@@ -1,0 +1,478 @@
+package mmlab
+
+// One benchmark per table and figure of the paper's evaluation
+// (DESIGN.md §3), plus the ablation benches of DESIGN.md §4. Each bench
+// runs the same pipeline as `figures -exp <id>` and reports the headline
+// shape numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the whole evaluation. The shared datasets are built once at
+// reduced scale (the pipelines are scale-invariant in shape; run
+// cmd/genfleet and cmd/hosim at -scale 1.0 for paper-sized datasets).
+
+import (
+	"sync"
+	"testing"
+
+	"mmlab/internal/analysis"
+	"mmlab/internal/carrier"
+	"mmlab/internal/config"
+	"mmlab/internal/crawler"
+	"mmlab/internal/dataset"
+	"mmlab/internal/experiment"
+	"mmlab/internal/geo"
+	"mmlab/internal/netsim"
+	"mmlab/internal/verify"
+)
+
+const (
+	benchD2Scale = 0.08
+	benchD1Scale = 0.04
+	benchSeed    = 7
+)
+
+var (
+	d2Once sync.Once
+	d2Data *dataset.D2
+
+	d1Once sync.Once
+	d1Data *dataset.D1
+)
+
+func benchD2(b *testing.B) *dataset.D2 {
+	b.Helper()
+	d2Once.Do(func() {
+		var err error
+		d2Data, err = crawler.BuildGlobalD2(benchD2Scale, benchSeed)
+		if err != nil {
+			b.Fatalf("building D2: %v", err)
+		}
+	})
+	return d2Data
+}
+
+func benchD1(b *testing.B) *dataset.D1 {
+	b.Helper()
+	d1Once.Do(func() {
+		var err error
+		d1Data, err = experiment.BuildD1(experiment.D1Options{Scale: benchD1Scale, Seed: benchSeed})
+		if err != nil {
+			b.Fatalf("building D1: %v", err)
+		}
+	})
+	return d1Data
+}
+
+func BenchmarkTable2Catalog(b *testing.B) {
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(analysis.Table2())
+	}
+	b.ReportMetric(float64(config.CatalogSize(config.RATLTE)), "lte-params")
+	_ = n
+}
+
+func BenchmarkTable3Carriers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = analysis.Table3()
+	}
+	b.ReportMetric(float64(len(carrier.All())), "carriers")
+	b.ReportMetric(float64(len(carrier.Countries())), "countries")
+}
+
+func BenchmarkTable4RATBreakdown(b *testing.B) {
+	d2 := benchD2(b)
+	b.ResetTimer()
+	var rows []analysis.Table4Row
+	for i := 0; i < b.N; i++ {
+		rows = analysis.Table4(d2)
+	}
+	for _, r := range rows {
+		if r.RAT == "LTE" {
+			b.ReportMetric(r.CellShare*100, "lte-cell-%")
+			b.ReportMetric(float64(r.Parameters), "lte-params")
+		}
+	}
+}
+
+func BenchmarkFig5Events(b *testing.B) {
+	d1 := benchD1(b)
+	b.ResetTimer()
+	var rows []analysis.Fig5Carrier
+	for i := 0; i < b.N; i++ {
+		rows = analysis.Fig5(d1, "A", "T")
+	}
+	for _, fc := range rows {
+		prefix := fc.Carrier + "-"
+		b.ReportMetric(fc.Share["A3"]*100, prefix+"A3-%")
+		b.ReportMetric(fc.Share["A5"]*100, prefix+"A5-%")
+		b.ReportMetric(fc.Share["P"]*100, prefix+"P-%")
+	}
+}
+
+func BenchmarkFig6RSRPChange(b *testing.B) {
+	d1 := benchD1(b)
+	b.ResetTimer()
+	var r analysis.Fig6Result
+	for i := 0; i < b.N; i++ {
+		r = analysis.Fig6(d1, "A")
+	}
+	b.ReportMetric(r.ImprovedShare["A3"]*100, "A3-improved-%")
+	b.ReportMetric(r.ImprovedShare["A5"]*100, "A5-improved-%")
+	b.ReportMetric(r.ImprovedWithin3dB["A3"]*100, "A3-within3dB-%")
+}
+
+func BenchmarkFig7Timeline(b *testing.B) {
+	var series [2]experiment.Fig7Series
+	var err error
+	for i := 0; i < b.N; i++ {
+		series, err = experiment.Fig7(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(series[0].MinThptBps/1e6, "minThpt-5dB-Mbps")
+	b.ReportMetric(series[1].MinThptBps/1e6, "minThpt-12dB-Mbps")
+	if series[1].MinThptBps > 0 {
+		b.ReportMetric(series[0].MinThptBps/series[1].MinThptBps, "gap-factor")
+	}
+}
+
+func BenchmarkFig8ConfigThroughput(b *testing.B) {
+	var res []experiment.Fig8Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.Fig8(benchSeed, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range res {
+		b.ReportMetric(r.MinThpt.Median/1e6, r.Case.Carrier+"-"+r.Case.Label+"-Mbps")
+	}
+}
+
+func BenchmarkFig9RadioImpact(b *testing.B) {
+	d1 := benchD1(b)
+	b.ResetTimer()
+	var r analysis.Fig9Result
+	for i := 0; i < b.N; i++ {
+		r = analysis.Fig9(d1, "T", "RSRP")
+	}
+	// δRSRP should grow with ΔA3 (aggregated over small vs large offsets).
+	b.ReportMetric(r.DeltaSmallOffsets.Median, "delta-offset<=3")
+	b.ReportMetric(r.DeltaLargeOffsets.Median, "delta-offset>=8")
+}
+
+func BenchmarkFig10IdleRSRP(b *testing.B) {
+	d1 := benchD1(b)
+	b.ResetTimer()
+	var r analysis.Fig10Result
+	for i := 0; i < b.N; i++ {
+		r = analysis.Fig10(d1)
+	}
+	for _, g := range analysis.Fig10Groups {
+		if r.N[g] > 0 {
+			b.ReportMetric(r.ImprovedShare[g]*100, g+"-improved-%")
+		}
+	}
+}
+
+func BenchmarkFig11Gaps(b *testing.B) {
+	d2 := benchD2(b)
+	b.ResetTimer()
+	var r analysis.Fig11Result
+	for i := 0; i < b.N; i++ {
+		r = analysis.Fig11(d2, "")
+	}
+	b.ReportMetric((1-r.IntraMinusNonIntra.At(-0.001))*100, "intra>=nonintra-%")
+	b.ReportMetric((1-r.IntraMinusServLow.At(30))*100, "gap>30dB-%")
+	b.ReportMetric(r.InvertedShare*100, "inverted-%")
+}
+
+func BenchmarkFig12Footprint(b *testing.B) {
+	d2 := benchD2(b)
+	b.ResetTimer()
+	var rows []analysis.Fig12Row
+	for i := 0; i < b.N; i++ {
+		rows = analysis.Fig12(d2)
+	}
+	b.ReportMetric(float64(len(rows)), "carriers")
+	b.ReportMetric(float64(d2.UniqueCells()), "cells")
+	b.ReportMetric(float64(d2.TotalSamples()), "samples")
+}
+
+func BenchmarkFig13Temporal(b *testing.B) {
+	d2 := benchD2(b)
+	b.ResetTimer()
+	var r analysis.Fig13Result
+	for i := 0; i < b.N; i++ {
+		r = analysis.Fig13(d2, 20)
+	}
+	b.ReportMetric(r.MultiShare*100, "multi-sample-%")
+	last := len(r.GapDays) - 1
+	b.ReportMetric(r.IdleChanged[last]*100, "idle-changed-%")
+	b.ReportMetric(r.ActiveChanged[last]*100, "active-changed-%")
+}
+
+func BenchmarkFig14ParamDist(b *testing.B) {
+	d2 := benchD2(b)
+	b.ResetTimer()
+	var pds []analysis.ParamDist
+	for i := 0; i < b.N; i++ {
+		pds = analysis.Fig14(d2, "A")
+	}
+	for _, pd := range pds {
+		if pd.Param == "cellReselectionPriority" {
+			b.ReportMetric(pd.Diversity.Simpson, "Ps-simpson")
+		}
+		if pd.Param == "qHyst" {
+			b.ReportMetric(float64(pd.Diversity.Richness), "Hs-richness")
+		}
+	}
+}
+
+func BenchmarkFig15CrossCarrier(b *testing.B) {
+	d2 := benchD2(b)
+	carriers := []string{"A", "T", "S", "V", "CM", "SK", "MO", "CH", "CW"}
+	b.ResetTimer()
+	var m map[string][]analysis.ParamDist
+	for i := 0; i < b.N; i++ {
+		m = analysis.Fig15(d2, carriers)
+	}
+	for _, pd := range m["cellReselectionPriority"] {
+		if pd.Carrier == "SK" {
+			b.ReportMetric(pd.Diversity.Simpson, "SK-Ps-simpson")
+		}
+	}
+}
+
+func BenchmarkFig16Diversity(b *testing.B) {
+	d2 := benchD2(b)
+	b.ResetTimer()
+	var pds []analysis.ParamDist
+	for i := 0; i < b.N; i++ {
+		pds = analysis.Fig16(d2, "A")
+	}
+	b.ReportMetric(float64(len(pds)), "observed-params")
+	single := 0
+	for _, pd := range pds {
+		if pd.Diversity.Richness == 1 {
+			single++
+		}
+	}
+	b.ReportMetric(float64(single), "single-valued")
+}
+
+func BenchmarkFig17CarrierDiversity(b *testing.B) {
+	d2 := benchD2(b)
+	carriers := []string{"A", "T", "S", "V", "CM", "SK", "MO", "CH", "CW"}
+	b.ResetTimer()
+	var m map[string][]analysis.ParamDist
+	for i := 0; i < b.N; i++ {
+		m = analysis.Fig17(d2, carriers)
+	}
+	// SK Telecom should show the lowest mean Simpson index.
+	means := map[string]float64{}
+	for _, pds := range m {
+		for _, pd := range pds {
+			means[pd.Carrier] += pd.Diversity.Simpson / float64(len(m))
+		}
+	}
+	b.ReportMetric(means["SK"], "SK-mean-simpson")
+	b.ReportMetric(means["A"], "A-mean-simpson")
+}
+
+func BenchmarkFig18FreqPriority(b *testing.B) {
+	d2 := benchD2(b)
+	b.ResetTimer()
+	var r analysis.Fig18Result
+	for i := 0; i < b.N; i++ {
+		r = analysis.Fig18(d2, "A")
+	}
+	b.ReportMetric(float64(len(r.Channels)), "channels")
+	b.ReportMetric(r.MultiValueCellShare*100, "multi-value-cell-%")
+	if d, ok := r.Serving[5780]; ok {
+		b.ReportMetric(d.ShareOf(2)*100, "ch5780-prio2-%")
+	}
+	if d, ok := r.Serving[9820]; ok {
+		b.ReportMetric(d.ShareOf(5)*100, "ch9820-prio5-%")
+	}
+}
+
+func BenchmarkFig19FreqDependence(b *testing.B) {
+	d2 := benchD2(b)
+	b.ResetTimer()
+	var rows []analysis.Fig19Row
+	for i := 0; i < b.N; i++ {
+		rows = analysis.Fig19(d2, "A")
+	}
+	for _, r := range rows {
+		switch r.Param {
+		case "cellReselectionPriority":
+			b.ReportMetric(r.ZetaD, "Ps-zetaD")
+		case "a3TimeToTrigger":
+			b.ReportMetric(r.ZetaD, "TTT-zetaD")
+		}
+	}
+}
+
+func BenchmarkFig20City(b *testing.B) {
+	d2 := benchD2(b)
+	b.ResetTimer()
+	var rows []analysis.Fig20Row
+	for i := 0; i < b.N; i++ {
+		rows = analysis.Fig20(d2, []string{"A", "T", "V", "S"}, []string{"C1", "C2", "C3", "C4", "C5"})
+	}
+	b.ReportMetric(float64(len(rows)), "carrier-city-cells")
+}
+
+func BenchmarkFig21Spatial(b *testing.B) {
+	d2 := benchD2(b)
+	b.ResetTimer()
+	var att, tmo analysis.Fig21Result
+	for i := 0; i < b.N; i++ {
+		att = analysis.Fig21(d2, "A", "C3", []float64{0.5, 1, 2})
+		tmo = analysis.Fig21(d2, "T", "C3", []float64{0.5, 1, 2})
+	}
+	b.ReportMetric(att.ByRadius[0.5].Median, "A-0.5km-median")
+	b.ReportMetric(tmo.ByRadius[0.5].Median, "T-0.5km-median")
+	b.ReportMetric(att.ByRadius[2].Median, "A-2km-median")
+	b.ReportMetric(tmo.ByRadius[2].Median, "T-2km-median")
+}
+
+func BenchmarkFig22RATEvolution(b *testing.B) {
+	d2 := benchD2(b)
+	b.ResetTimer()
+	var groups []analysis.Fig22Group
+	for i := 0; i < b.N; i++ {
+		groups = analysis.Fig22(d2)
+	}
+	for _, g := range groups {
+		b.ReportMetric(g.Simpson.Median, g.Label+"-median")
+	}
+}
+
+func BenchmarkDecisiveLatency(b *testing.B) {
+	d1 := benchD1(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bp := analysis.DecisiveLatency(d1)
+		if i == b.N-1 {
+			b.ReportMetric(bp.Median, "median-ms")
+			b.ReportMetric(bp.Lo, "min-ms")
+			b.ReportMetric(bp.Hi, "max-ms")
+		}
+	}
+}
+
+func BenchmarkAblationTTT(b *testing.B) {
+	var res [2]experiment.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.AblateTTT(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res[0].Handoffs), "handoffs-TTT0")
+	b.ReportMetric(float64(res[1].Handoffs), "handoffs-TTT320")
+}
+
+func BenchmarkAblationHysteresis(b *testing.B) {
+	var res [2]experiment.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.AblateHysteresis(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res[0].Handoffs), "handoffs-H0")
+	b.ReportMetric(float64(res[1].Handoffs), "handoffs-H2.5")
+}
+
+func BenchmarkAblationFilterK(b *testing.B) {
+	var res [2]experiment.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.AblateFilterK(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res[0].Handoffs), "handoffs-k0")
+	b.ReportMetric(float64(res[1].Handoffs), "handoffs-k8")
+}
+
+func BenchmarkAblationPriorityPolicy(b *testing.B) {
+	var weaker, total int
+	var err error
+	for i := 0; i < b.N; i++ {
+		weaker, total, err = experiment.PriorityVsStrongest(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if total > 0 {
+		b.ReportMetric(float64(weaker)/float64(total)*100, "weaker-target-%")
+	}
+}
+
+func BenchmarkVerifyStability(b *testing.B) {
+	gen, err := carrier.NewGenerator("A")
+	if err != nil {
+		b.Fatal(err)
+	}
+	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(3000, 2000))
+	var sane, looped int
+	for i := 0; i < b.N; i++ {
+		w := netsim.BuildWorld(gen, region, netsim.WorldOpts{Seed: benchSeed})
+		sane = len(verify.CheckStability(w, 900, 60000, 3))
+		// Sabotage: mutual-higher priorities between the two top layers.
+		w2 := netsim.BuildWorld(gen, region, netsim.WorldOpts{Seed: benchSeed, LTELayers: 2})
+		for _, c := range w2.Cells {
+			c.Config.Serving.Priority = 3
+			for j := range c.Config.Freqs {
+				if c.Config.Freqs[j].RAT == config.RATLTE && c.Config.Freqs[j].EARFCN != c.Site.Identity.EARFCN {
+					c.Config.Freqs[j].Priority = 5
+					c.Config.Freqs[j].ThreshHigh = 0
+				}
+			}
+		}
+		looped = len(verify.CheckStability(w2, 900, 60000, 3))
+	}
+	b.ReportMetric(float64(sane), "oscillating-sane")
+	b.ReportMetric(float64(looped), "oscillating-looped")
+}
+
+func BenchmarkAblationSpeedScaling(b *testing.B) {
+	var res [2]experiment.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.AblateSpeedScaling(11)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res[0].Handoffs), "reselections-on")
+	b.ReportMetric(float64(res[1].Handoffs), "reselections-off")
+	b.ReportMetric(res[0].MeanThpt, "servingRSRP-at-HO-on")
+	b.ReportMetric(res[1].MeanThpt, "servingRSRP-at-HO-off")
+}
+
+func BenchmarkCrossLayerTCP(b *testing.B) {
+	var r experiment.CrossLayerResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiment.CrossLayerTCP(9)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.Handoffs), "handoffs")
+	b.ReportMetric(float64(r.Timeouts), "tcp-timeouts")
+	b.ReportMetric(r.MeanThptBps/1e6, "mean-Mbps")
+	b.ReportMetric(r.DipRatio, "handoff-dip-ratio")
+}

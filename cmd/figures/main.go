@@ -1,0 +1,244 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation from the datasets (see DESIGN.md §3 for the experiment
+// index).
+//
+// Usage:
+//
+//	figures -exp fig14 [-d1 d1.jsonl] [-d2 d2.jsonl]
+//	figures -exp all   [-gen -scale 0.05]
+//
+// D1-based experiments (fig5/6/9/10, latency) need -d1; D2-based ones
+// (table4, fig11–fig22) need -d2. fig7, fig8 and the ablations run live
+// simulations and need no dataset. With -gen, missing datasets are built
+// in memory at -scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"mmlab/internal/analysis"
+	"mmlab/internal/crawler"
+	"mmlab/internal/dataset"
+	"mmlab/internal/experiment"
+)
+
+type ctx struct {
+	d1    *dataset.D1
+	d2    *dataset.D2
+	seed  int64
+	scale float64
+	gen   bool
+
+	d1Path, d2Path string
+}
+
+func (c *ctx) needD1() *dataset.D1 {
+	if c.d1 != nil {
+		return c.d1
+	}
+	if c.d1Path != "" {
+		fh, err := os.Open(c.d1Path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fh.Close()
+		d, err := dataset.ReadD1(fh)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c.d1 = d
+		return d
+	}
+	if !c.gen {
+		log.Fatal("this experiment needs -d1 <file> (or -gen to build one)")
+	}
+	log.Printf("building D1 at scale %g ...", c.scale)
+	d, err := experiment.BuildD1(experiment.D1Options{Scale: c.scale, Seed: c.seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.d1 = d
+	return d
+}
+
+func (c *ctx) needD2() *dataset.D2 {
+	if c.d2 != nil {
+		return c.d2
+	}
+	if c.d2Path != "" {
+		fh, err := os.Open(c.d2Path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fh.Close()
+		d, err := dataset.ReadD2(fh)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c.d2 = d
+		return d
+	}
+	if !c.gen {
+		log.Fatal("this experiment needs -d2 <file> (or -gen to build one)")
+	}
+	log.Printf("building D2 at scale %g ...", c.scale)
+	d, err := crawler.BuildGlobalD2(c.scale, c.seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.d2 = d
+	return d
+}
+
+// mainCarrierAcronyms mirrors the paper's nine-carrier panels.
+var mainCarrierAcronyms = []string{"A", "T", "S", "V", "CM", "SK", "MO", "CH", "CW"}
+
+var experiments = []struct {
+	id  string
+	fn  func(*ctx)
+	doc string
+}{
+	{"table2", func(c *ctx) { fmt.Print(analysis.Table2()) }, "LTE parameter catalog"},
+	{"table3", func(c *ctx) { fmt.Print(analysis.Table3()) }, "carrier registry"},
+	{"table4", func(c *ctx) { fmt.Print(analysis.RenderTable4(analysis.Table4(c.needD2()))) }, "per-RAT breakdown [D2]"},
+	{"fig5", func(c *ctx) { fmt.Print(analysis.RenderFig5(analysis.Fig5(c.needD1(), "A", "T"))) }, "decisive reporting events [D1]"},
+	{"fig6", func(c *ctx) {
+		fmt.Print(analysis.RenderFig6(analysis.Fig6(c.needD1(), "A")))
+	}, "RSRP changes in active handoffs [D1]"},
+	{"fig7", func(c *ctx) {
+		series, err := experiment.Fig7(c.seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, s := range series {
+			fmt.Printf("ΔA3=%g dB: first A3 report at %d ms, handoff +%d ms; mean min-thpt %.0f bps over %d A3 handoffs\n",
+				s.OffsetDB, s.ReportTime, s.HandoffGapMs, s.MinThptBps, s.A3Handoffs)
+			fmt.Printf("  1s bins (Mbps):")
+			for _, b := range s.Bins1s {
+				fmt.Printf(" %.1f", b/1e6)
+			}
+			fmt.Println()
+		}
+	}, "throughput timelines ΔA3=5 vs 12 [live sim]"},
+	{"fig8", func(c *ctx) {
+		res, err := experiment.Fig8(c.seed, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Fig 8: min pre-handoff throughput per configuration")
+		for _, r := range res {
+			fmt.Printf("  %s/%-4s handoffs=%3d minThpt(bps) %s\n", r.Case.Carrier, r.Case.Label, r.Handoffs, r.MinThpt)
+		}
+	}, "config → throughput comparison [live sim]"},
+	{"fig9", func(c *ctx) {
+		fmt.Print(analysis.RenderFig9(analysis.Fig9(c.needD1(), "A", "RSRP")))
+		fmt.Print(analysis.RenderFig9(analysis.Fig9(c.needD1(), "T", "RSRP")))
+	}, "radio impacts of A3/A5 configs [D1]"},
+	{"fig10", func(c *ctx) { fmt.Print(analysis.RenderFig10(analysis.Fig10(c.needD1()))) }, "idle-state RSRP changes [D1]"},
+	{"fig11", func(c *ctx) { fmt.Print(analysis.RenderFig11(analysis.Fig11(c.needD2(), ""))) }, "threshold gaps [D2]"},
+	{"fig12", func(c *ctx) { fmt.Print(analysis.RenderFig12(analysis.Fig12(c.needD2()))) }, "cells & samples per carrier [D2]"},
+	{"fig13", func(c *ctx) { fmt.Print(analysis.RenderFig13(analysis.Fig13(c.needD2(), 20))) }, "temporal dynamics [D2]"},
+	{"fig14", func(c *ctx) {
+		fmt.Print(analysis.RenderParamDists("Fig 14: eight representative parameters (AT&T)", analysis.Fig14(c.needD2(), "A")))
+	}, "parameter distributions AT&T [D2]"},
+	{"fig15", func(c *ctx) {
+		fmt.Print(analysis.RenderCrossCarrier("Fig 15: four parameters across carriers", analysis.Fig15(c.needD2(), mainCarrierAcronyms)))
+	}, "distributions across carriers [D2]"},
+	{"fig16", func(c *ctx) {
+		fmt.Print(analysis.RenderParamDists("Fig 16: diversity of all LTE parameters (AT&T), sorted by Simpson index", analysis.Fig16(c.needD2(), "A")))
+	}, "diversity measures AT&T [D2]"},
+	{"fig17", func(c *ctx) {
+		fmt.Print(analysis.RenderCrossCarrier("Fig 17: diversity of eight parameters across carriers", analysis.Fig17(c.needD2(), mainCarrierAcronyms)))
+	}, "diversity across carriers [D2]"},
+	{"fig18", func(c *ctx) { fmt.Print(analysis.RenderFig18(analysis.Fig18(c.needD2(), "A"))) }, "priorities per frequency AT&T [D2]"},
+	{"fig19", func(c *ctx) { fmt.Print(analysis.RenderFig19(analysis.Fig19(c.needD2(), "A"), "A")) }, "frequency dependence ζ [D2]"},
+	{"fig20", func(c *ctx) {
+		fmt.Print(analysis.RenderFig20(analysis.Fig20(c.needD2(), []string{"A", "T", "V", "S"}, []string{"C1", "C2", "C3", "C4", "C5"})))
+	}, "city-level priorities [D2]"},
+	{"fig21", func(c *ctx) {
+		var rs []analysis.Fig21Result
+		for _, acr := range []string{"A", "V", "S", "T"} {
+			rs = append(rs, analysis.Fig21(c.needD2(), acr, "C3", []float64{0.5, 1, 2}))
+		}
+		fmt.Print(analysis.RenderFig21(rs))
+	}, "spatial diversity [D2]"},
+	{"fig22", func(c *ctx) { fmt.Print(analysis.RenderFig22(analysis.Fig22(c.needD2()))) }, "diversity per RAT [D2]"},
+	{"latency", func(c *ctx) {
+		fmt.Printf("decisive report→handoff latency (ms): %s\n", analysis.DecisiveLatency(c.needD1()))
+	}, "80–230 ms decisive-report latency [D1]"},
+	{"ablate", func(c *ctx) {
+		ttt, err := experiment.AblateTTT(c.seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hyst, err := experiment.AblateHysteresis(c.seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fk, err := experiment.AblateFilterK(c.seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		weaker, total, err := experiment.PriorityVsStrongest(c.seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ss, err := experiment.AblateSpeedScaling(c.seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Ablations (DESIGN.md §4):")
+		for _, pair := range [][2]experiment.AblationResult{ttt, hyst, fk} {
+			for _, r := range pair {
+				fmt.Printf("  %-14s handoffs=%3d ping-pong=%2d meanThpt=%.2f Mbps\n",
+					r.Label, r.Handoffs, r.PingPong, r.MeanThpt/1e6)
+			}
+		}
+		for _, r := range ss {
+			fmt.Printf("  %-16s reselections=%3d meanServingRSRPatHO=%.1f dBm\n", r.Label, r.Handoffs, r.MeanThpt)
+		}
+		fmt.Printf("  priority-based idle reselection: %d/%d to weaker cells\n", weaker, total)
+	}, "design-knob ablations [live sim]"},
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	var (
+		exp    = flag.String("exp", "", "experiment id (table2..fig22, latency, ablate, all)")
+		d1Path = flag.String("d1", "", "D1 JSONL path")
+		d2Path = flag.String("d2", "", "D2 JSONL path")
+		gen    = flag.Bool("gen", false, "build missing datasets in memory")
+		scale  = flag.Float64("scale", 0.05, "generation scale with -gen")
+		seed   = flag.Int64("seed", 7, "seed for live-simulation experiments")
+	)
+	flag.Parse()
+	c := &ctx{seed: *seed, scale: *scale, gen: *gen, d1Path: *d1Path, d2Path: *d2Path}
+
+	if *exp == "" || *exp == "list" {
+		fmt.Println("experiments:")
+		for _, e := range experiments {
+			fmt.Printf("  %-8s %s\n", e.id, e.doc)
+		}
+		return
+	}
+	if *exp == "all" {
+		for _, e := range experiments {
+			fmt.Printf("===== %s =====\n", strings.ToUpper(e.id))
+			e.fn(c)
+			fmt.Println()
+		}
+		return
+	}
+	for _, e := range experiments {
+		if e.id == *exp {
+			e.fn(c)
+			return
+		}
+	}
+	log.Fatalf("unknown experiment %q (use -exp list)", *exp)
+}

@@ -1,0 +1,76 @@
+// Command genfleet builds dataset D2: it deploys every carrier's synthetic
+// fleet, runs the MMLab Type-I crawl over it (broadcast bytes → parser →
+// parameter extraction), and writes the resulting configuration snapshots
+// as JSON lines.
+//
+// Usage:
+//
+//	genfleet [-scale 1.0] [-seed 42] [-carrier A] [-o d2.jsonl]
+//
+// Scale 1.0 reproduces the paper's footprint (32k cells, 30 carriers);
+// -carrier restricts to one carrier.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mmlab/internal/carrier"
+	"mmlab/internal/crawler"
+	"mmlab/internal/dataset"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("genfleet: ")
+	var (
+		scale   = flag.Float64("scale", 1.0, "fraction of the paper's 32k-cell footprint")
+		seed    = flag.Int64("seed", 42, "crawl seed")
+		oneCarr = flag.String("carrier", "", "restrict to one carrier acronym (default: all 30)")
+		out     = flag.String("o", "d2.jsonl", "output path")
+		format  = flag.String("format", "jsonl", "output format: jsonl or csv")
+	)
+	flag.Parse()
+
+	var (
+		d2  *dataset.D2
+		err error
+	)
+	if *oneCarr != "" {
+		f, ferr := carrier.BuildFleet(*oneCarr, *scale)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		snaps, berr := crawler.BuildD2(f, *seed)
+		if berr != nil {
+			log.Fatal(berr)
+		}
+		d2 = &dataset.D2{Snapshots: snaps}
+	} else {
+		d2, err = crawler.BuildGlobalD2(*scale, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fh, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fh.Close()
+	switch *format {
+	case "jsonl":
+		err = dataset.WriteD2(fh, d2.Snapshots)
+	case "csv":
+		err = dataset.WriteD2CSV(fh, d2.Snapshots)
+	default:
+		log.Fatalf("unknown format %q", *format)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d snapshots, %d unique cells, %d parameter samples, %d carriers\n",
+		*out, len(d2.Snapshots), d2.UniqueCells(), d2.TotalSamples(), len(d2.Carriers()))
+}

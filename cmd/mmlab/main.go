@@ -1,0 +1,173 @@
+// Command mmlab is the device-centric crawler CLI (the paper's MMLab,
+// §3): it collects signaling into a diag log and parses diag logs into
+// configuration snapshots and handoff events.
+//
+// Subcommands:
+//
+//	mmlab collect -carrier A [-scale 0.1] [-seed 42] -o diag.bin
+//	    Simulate Type-I collection over a carrier fleet (proactive cell
+//	    switching across every deployed cell) and write the raw diag
+//	    byte stream.
+//
+//	mmlab parse diag.bin
+//	    Decode a diag log: print each cell's crawled configuration and
+//	    every observed handoff (decisive event, latency, target) — the
+//	    Fig. 3 view.
+//
+//	mmlab verify diag.bin
+//	    Run the multi-cell structural checks of §6 over the crawled
+//	    configurations: priority loops, per-area priority conflicts, and
+//	    unreachable layers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mmlab/internal/carrier"
+	"mmlab/internal/config"
+	"mmlab/internal/crawler"
+	"mmlab/internal/verify"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mmlab: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "collect":
+		collect(os.Args[2:])
+	case "parse":
+		parse(os.Args[2:])
+	case "verify":
+		verifyCmd(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mmlab collect|parse|verify [flags]")
+	os.Exit(2)
+}
+
+func collect(args []string) {
+	fs := flag.NewFlagSet("collect", flag.ExitOnError)
+	var (
+		acr   = fs.String("carrier", "A", "carrier acronym")
+		scale = fs.Float64("scale", 0.1, "fleet scale")
+		seed  = fs.Int64("seed", 42, "crawl seed")
+		out   = fs.String("o", "diag.bin", "output diag log")
+	)
+	fs.Parse(args)
+	f, err := carrier.BuildFleet(*acr, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fh, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fh.Close()
+	n, err := crawler.CrawlFleet(f, fh, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crawled %d cells of %s in %d visits → %s\n", len(f.Sites), *acr, n, *out)
+}
+
+func parse(args []string) {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	var (
+		verbose = fs.Bool("v", false, "print every snapshot in full")
+		max     = fs.Int("n", 10, "snapshots to print (with -v)")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal("parse: need one diag log path")
+	}
+	fh, err := os.Open(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fh.Close()
+	snaps, events, err := crawler.ParseDiag(fh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d configuration snapshots, %d handoff events\n", len(snaps), len(events))
+	if *verbose {
+		for i, s := range snaps {
+			if i >= *max {
+				fmt.Printf("... (%d more)\n", len(snaps)-i)
+				break
+			}
+			sv := s.Config.Serving
+			fmt.Printf("cell %v @t=%dms: Ps=%d qHyst=%g Θintra=%g Θnonintra=%g Δmin=%g Θ(s)low=%g freqs=%d reports=%d\n",
+				s.Identity, s.TimeMs, sv.Priority, sv.QHyst, sv.SIntraSearch,
+				sv.SNonIntraSearch, sv.QRxLevMin, sv.ThreshServingLow,
+				len(s.Config.Freqs), len(s.Config.Meas.Reports))
+		}
+	}
+	for i, ev := range events {
+		if i >= *max {
+			fmt.Printf("... (%d more handoffs)\n", len(events)-i)
+			break
+		}
+		fmt.Printf("handoff @t=%dms: event %s, serving %v (%.0f dBm) → %v, latency %d ms\n",
+			ev.ReportTimeMs, ev.Event, ev.Serving, ev.ServingRSRP, ev.Target, ev.LatencyMs())
+	}
+}
+
+func verifyCmd(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	maxPrint := fs.Int("n", 10, "findings to print per class")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal("verify: need one diag log path")
+	}
+	fh, err := os.Open(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fh.Close()
+	snaps, _, err := crawler.ParseDiag(fh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfgs := make([]*config.CellConfig, 0, len(snaps))
+	areas := make([]verify.CellArea, 0, len(snaps))
+	for i := range snaps {
+		cfgs = append(cfgs, &snaps[i].Config)
+		areas = append(areas, verify.CellArea{Config: &snaps[i].Config, Area: "crawl"})
+	}
+	print := func(title string, lines []string) {
+		fmt.Printf("[%s] %d findings\n", title, len(lines))
+		for i, l := range lines {
+			if i >= *maxPrint {
+				fmt.Printf("  ... and %d more\n", len(lines)-i)
+				break
+			}
+			fmt.Println("  " + l)
+		}
+	}
+	var loops []string
+	for _, l := range verify.FindPriorityLoops(cfgs) {
+		loops = append(loops, l.String())
+	}
+	print("priority-loops", loops)
+	var conf []string
+	for _, c := range verify.FindPriorityConflicts(areas) {
+		conf = append(conf, c.String())
+	}
+	print("priority-conflicts", conf)
+	var unre []string
+	for _, u := range verify.FindUnreachable(cfgs) {
+		unre = append(unre, u.String())
+	}
+	print("unreachable-layers", unre)
+}

@@ -1,0 +1,19 @@
+// Package mmlab is a full reproduction, as a Go library plus simulation
+// substrate, of "Mobility Support in Cellular Networks: A Measurement
+// Study on Its Configurations and Implications" (IMC 2018).
+//
+// The library implements the 3GPP policy-based handoff machinery the
+// paper studies (internal/core), the configuration schema of its Table 2
+// (internal/config), the signaling wire format and diag logs its MMLab
+// tool parses (internal/sib, internal/crawler), a radio/mobility/traffic
+// simulation substrate standing in for live carrier networks
+// (internal/radio, internal/geo, internal/mobility, internal/traffic,
+// internal/netsim), calibrated synthetic carrier policies standing in for
+// the proprietary measured configurations (internal/carrier), and one
+// analysis pipeline per table and figure of the paper's evaluation
+// (internal/analysis, internal/experiment).
+//
+// See DESIGN.md for the system inventory and per-experiment index,
+// EXPERIMENTS.md for paper-vs-measured results, and the benchmarks in
+// bench_test.go for regenerating every table and figure.
+package mmlab

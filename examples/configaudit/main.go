@@ -1,0 +1,187 @@
+// Configaudit is the paper's §6 "automated tool for configuration
+// verification" sketch made concrete: crawl a carrier's cells the way
+// MMLab does and flag the questionable practices the paper identified —
+// negative A3 offsets, A5 settings that ignore the serving cell or
+// guarantee no improvement, premature-measurement gaps, non-intra
+// thresholds below the decision threshold, and per-channel priority
+// conflicts that can strand devices (the band-30 case, §5.4.1).
+//
+//	go run ./examples/configaudit [-carrier A] [-scale 0.05]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"mmlab/internal/carrier"
+	"mmlab/internal/config"
+	"mmlab/internal/crawler"
+)
+
+// finding is one flagged configuration.
+type finding struct {
+	Rule string
+	Cell config.CellIdentity
+	Note string
+}
+
+func main() {
+	log.SetFlags(0)
+	var (
+		acr   = flag.String("carrier", "A", "carrier acronym")
+		scale = flag.Float64("scale", 0.05, "fleet scale")
+		seed  = flag.Int64("seed", 42, "crawl seed")
+		max   = flag.Int("n", 3, "examples to print per rule")
+	)
+	flag.Parse()
+
+	fleet, err := carrier.BuildFleet(*acr, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Crawl over the wire, then audit only what the device saw.
+	var buf bytes.Buffer
+	if _, err := crawler.CrawlFleet(fleet, &buf, *seed); err != nil {
+		log.Fatal(err)
+	}
+	snaps, _, err := crawler.ParseDiag(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("audited %d snapshots from carrier %s\n\n", len(snaps), *acr)
+
+	var findings []finding
+	seen := map[string]bool{}
+	add := func(f finding) {
+		key := f.Rule + "|" + f.Cell.String()
+		if !seen[key] {
+			seen[key] = true
+			findings = append(findings, f)
+		}
+	}
+	prioByChannel := map[uint32]map[int]int{}
+
+	for _, s := range snaps {
+		c := &s.Config
+		sv := c.Serving
+
+		// Rule 1 (§6/§4.1): negative A3 offsets delay or prevent handoffs.
+		for _, pair := range c.Meas.LinkedPairs() {
+			ev := pair.Report
+			switch ev.Type {
+			case config.EventA3:
+				if ev.Offset < 0 {
+					add(finding{"negative-a3-offset", s.Identity,
+						fmt.Sprintf("ΔA3 = %g dB", ev.Offset)})
+				}
+				if ev.Offset >= 10 {
+					add(finding{"late-a3-offset", s.Identity,
+						fmt.Sprintf("ΔA3 = %g dB defers handoffs until throughput has collapsed", ev.Offset)})
+				}
+			case config.EventA5:
+				// Rule 2: A5 that ignores the serving cell (ΘS = −44) or
+				// cannot guarantee improvement (ΘC below ΘS).
+				if ev.Quantity == config.RSRP && ev.Threshold1 >= -44 {
+					add(finding{"a5-ignores-serving", s.Identity,
+						fmt.Sprintf("ΘA5,S = %g dBm imposes no serving requirement", ev.Threshold1)})
+				}
+				if ev.Threshold2 < ev.Threshold1 {
+					add(finding{"a5-negative-config", s.Identity,
+						fmt.Sprintf("ΘA5,C (%g) < ΘA5,S (%g): weaker target allowed", ev.Threshold2, ev.Threshold1)})
+				}
+			}
+		}
+
+		// Rule 3 (§4.2): measurement threshold far above the decision
+		// threshold → measurements run almost always while handoffs almost
+		// never do (battery drain).
+		if gap := sv.SIntraSearch - sv.ThreshServingLow; gap > 30 {
+			add(finding{"premature-measurement", s.Identity,
+				fmt.Sprintf("Θintra − Θ(s)low = %g dB", gap)})
+		}
+		// Rule 4: non-intra measurements gated below the decision level →
+		// they may not run in time to assist handoffs.
+		if sv.SNonIntraSearch < sv.ThreshServingLow {
+			add(finding{"late-nonintra-measurement", s.Identity,
+				fmt.Sprintf("Θnonintra (%g) < Θ(s)low (%g)", sv.SNonIntraSearch, sv.ThreshServingLow)})
+		}
+		// Rule 5: inverted measurement ordering (rare, two carriers).
+		if sv.SNonIntraSearch > sv.SIntraSearch {
+			add(finding{"inverted-search-order", s.Identity,
+				fmt.Sprintf("Θnonintra (%g) > Θintra (%g)", sv.SNonIntraSearch, sv.SIntraSearch)})
+		}
+
+		// Collect priorities per channel for the conflict rules.
+		if s.Identity.RAT == config.RATLTE {
+			if prioByChannel[s.Identity.EARFCN] == nil {
+				prioByChannel[s.Identity.EARFCN] = map[int]int{}
+			}
+			prioByChannel[s.Identity.EARFCN][sv.Priority]++
+		}
+	}
+
+	// Rule 6 (§5.4.1): channels with multiple priority values are prone to
+	// handoff loops and inconsistent decisions.
+	var chans []uint32
+	for ch := range prioByChannel {
+		chans = append(chans, ch)
+	}
+	sort.Slice(chans, func(i, j int) bool { return chans[i] < chans[j] })
+	for _, ch := range chans {
+		if len(prioByChannel[ch]) > 1 {
+			add(finding{"priority-conflict", config.CellIdentity{EARFCN: ch, RAT: config.RATLTE},
+				fmt.Sprintf("channel %d advertises priorities %v", ch, keysOf(prioByChannel[ch]))})
+		}
+	}
+	// Rule 7: a highest-priority channel on an uncommon band can strand
+	// devices that lack it (the paper's band-30 outage).
+	for _, ch := range chans {
+		top := 0
+		for p := range prioByChannel[ch] {
+			if p > top {
+				top = p
+			}
+		}
+		if top >= 5 && carrier.LTEBand(ch) >= 30 {
+			add(finding{"band-lockout-risk", config.CellIdentity{EARFCN: ch, RAT: config.RATLTE},
+				fmt.Sprintf("band %d (channel %d) has top priority %d; devices without it lose 4G", carrier.LTEBand(ch), ch, top)})
+		}
+	}
+
+	byRule := map[string][]finding{}
+	var rules []string
+	for _, f := range findings {
+		if len(byRule[f.Rule]) == 0 {
+			rules = append(rules, f.Rule)
+		}
+		byRule[f.Rule] = append(byRule[f.Rule], f)
+	}
+	sort.Strings(rules)
+	if len(rules) == 0 {
+		fmt.Println("no questionable configurations found")
+		return
+	}
+	for _, rule := range rules {
+		fs := byRule[rule]
+		fmt.Printf("[%s] %d findings\n", rule, len(fs))
+		for i, f := range fs {
+			if i >= *max {
+				fmt.Printf("  ... and %d more\n", len(fs)-i)
+				break
+			}
+			fmt.Printf("  %v: %s\n", f.Cell, f.Note)
+		}
+	}
+}
+
+func keysOf(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,49 @@
+// Drivetest reproduces the paper's Fig. 7 experiment interactively: the
+// same route driven twice with ΔA3 = 5 dB and 12 dB, printing the
+// throughput timeline around the first handoff as an ASCII strip chart.
+//
+//	go run ./examples/drivetest [-seed 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"mmlab/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	seed := flag.Int64("seed", 3, "simulation seed")
+	flag.Parse()
+
+	series, err := experiment.Fig7(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	peak := 0.0
+	for _, s := range series {
+		for _, b := range s.Bins1s {
+			if b > peak {
+				peak = b
+			}
+		}
+	}
+	for _, s := range series {
+		fmt.Printf("ΔA3 = %g dB — report at t=25s (marked R), handoff +%d ms, %d A3 handoffs, mean min-thpt %.2f Mbps\n",
+			s.OffsetDB, s.HandoffGapMs, s.A3Handoffs, s.MinThptBps/1e6)
+		for i, b := range s.Bins1s {
+			bar := int(b / peak * 50)
+			mark := " "
+			if i == 25 {
+				mark = "R"
+			}
+			fmt.Printf("  %3ds %s|%s %5.1f Mbps\n", i-25, mark, strings.Repeat("#", bar), b/1e6)
+		}
+		fmt.Println()
+	}
+	fmt.Println("The larger offset defers the handoff until the serving cell is much")
+	fmt.Println("weaker, so throughput collapses before the switch (paper §4.1).")
+}

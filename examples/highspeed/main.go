@@ -1,0 +1,78 @@
+// Highspeed drives a device at rail speed (300 km/h) through a dense
+// deployment twice — with and without the TS 36.304 speed-dependent
+// reselection scaling broadcast in SIB3 — and compares how well each
+// policy keeps the fast mover on healthy cells. It connects the paper's
+// related work (performance "measured from moving cars and high-speed
+// trains") to the configuration machinery this library implements: the
+// scaling parameters are exactly the tReselectionSF/qHystSF entries of
+// the paper's Table 2 SIB3 block.
+//
+//	go run ./examples/highspeed [-kmh 300]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mmlab/internal/carrier"
+	"mmlab/internal/config"
+	"mmlab/internal/geo"
+	"mmlab/internal/netsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	kmh := flag.Float64("kmh", 300, "train speed")
+	seed := flag.Int64("seed", 11, "simulation seed")
+	flag.Parse()
+
+	gen, err := carrier.NewGenerator("A")
+	if err != nil {
+		log.Fatal(err)
+	}
+	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(12000, 3000))
+
+	run := func(scaling bool) (reselections int, meanRSRPAtHO float64, dwellMs int64) {
+		w := netsim.BuildWorld(gen, region, netsim.WorldOpts{Seed: *seed, LTELayers: 1, ISD: 450})
+		netsim.OverrideServing(w, func(s *config.ServingCellConfig) {
+			s.TReselectionSec = 4
+			if scaling {
+				s.SpeedScaling = config.SpeedScaling{
+					Enabled: true, NCellChangeMedium: 4, NCellChangeHigh: 7,
+					TEvaluationSec: 120, THystNormalSec: 120,
+					TReselectionSFMedium: 0.5, TReselectionSFHigh: 0.25,
+					QHystSFMedium: -2, QHystSFHigh: -4,
+				}
+			} else {
+				s.SpeedScaling = config.SpeedScaling{}
+			}
+		})
+		route := netsim.RowRoute(w, *kmh, 40)
+		res := netsim.RunDrive(w, route, route.Duration(), netsim.UEOpts{Seed: *seed * 7, Active: false})
+		sum := 0.0
+		for _, h := range res.Handoffs {
+			sum += h.RSRPOld
+		}
+		n := len(res.Handoffs)
+		if n > 0 {
+			meanRSRPAtHO = sum / float64(n)
+			dwellMs = route.Duration() / int64(n)
+		}
+		return n, meanRSRPAtHO, dwellMs
+	}
+
+	fmt.Printf("12 km at %.0f km/h through a 450 m ISD corridor:\n\n", *kmh)
+	for _, scaled := range []bool{false, true} {
+		n, rsrp, dwell := run(scaled)
+		label := "speed scaling OFF"
+		if scaled {
+			label = "speed scaling ON "
+		}
+		fmt.Printf("  %s  reselections=%3d  mean serving RSRP at reselection=%6.1f dBm  mean dwell=%4.1f s\n",
+			label, n, rsrp, float64(dwell)/1000)
+	}
+	fmt.Println("\nWith scaling, the device enters high mobility state, its Treselect")
+	fmt.Println("shrinks to a quarter and its hysteresis sheds 4 dB — so it leaves")
+	fmt.Println("dying cells earlier instead of riding them toward the noise floor.")
+}

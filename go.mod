@@ -1,0 +1,3 @@
+module mmlab
+
+go 1.22

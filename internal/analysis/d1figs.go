@@ -1,0 +1,320 @@
+// Package analysis implements one pipeline per table and figure of the
+// paper's evaluation (Figs. 5–22, Tables 2–4), computing over datasets D1
+// and D2 exactly the statistics the paper reports. It depends only on the
+// datasets and the statistics library — never on the generators — so it
+// sees what a real analyst would see.
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"mmlab/internal/dataset"
+	"mmlab/internal/stats"
+)
+
+// EventOrder lists the reporting-event labels in the paper's plotting
+// order (Fig. 5 x-axis).
+var EventOrder = []string{"A1", "A2", "A3", "A4", "A5", "P"}
+
+// Fig5Carrier is one carrier's decisive-event profile.
+type Fig5Carrier struct {
+	Carrier string
+	N       int
+	// Share of decisive events per label (fractions of active handoffs).
+	Share map[string]float64
+	// Observed parameter ranges of the decisive configurations.
+	A3Offset      [2]float64 // [min, max] dB
+	A3Hysteresis  [2]float64
+	A3DominantOff float64
+	A5RSRPT1      [2]float64 // ΘA5,S range (RSRP cases)
+	A5RSRPT2      [2]float64 // ΘA5,C range
+	A5RSRQT1      [2]float64
+	A5RSRQT2      [2]float64
+}
+
+func rangeOf(xs []float64) [2]float64 {
+	if len(xs) == 0 {
+		return [2]float64{math.NaN(), math.NaN()}
+	}
+	return [2]float64{stats.Min(xs), stats.Max(xs)}
+}
+
+// Fig5 computes the decisive reporting-event distribution and parameter
+// ranges per carrier over D1's active handoffs (paper Fig. 5).
+func Fig5(d1 *dataset.D1, carriers ...string) []Fig5Carrier {
+	byCarrier := map[string][]dataset.D1Record{}
+	for _, r := range d1.Active() {
+		byCarrier[r.Carrier] = append(byCarrier[r.Carrier], r)
+	}
+	var out []Fig5Carrier
+	for _, acr := range carriers {
+		recs := byCarrier[acr]
+		fc := Fig5Carrier{Carrier: acr, N: len(recs), Share: map[string]float64{}}
+		var a3off, a3hyst, a5pt1, a5pt2, a5qt1, a5qt2 []float64
+		a3offCount := stats.Counts{}
+		for _, r := range recs {
+			fc.Share[r.Event]++
+			switch r.Event {
+			case "A3":
+				a3off = append(a3off, r.Offset)
+				a3hyst = append(a3hyst, r.Hysteresis)
+				a3offCount[r.Offset]++
+			case "A5":
+				if r.Quantity == "RSRQ" {
+					a5qt1 = append(a5qt1, r.Threshold1)
+					a5qt2 = append(a5qt2, r.Threshold2)
+				} else {
+					a5pt1 = append(a5pt1, r.Threshold1)
+					a5pt2 = append(a5pt2, r.Threshold2)
+				}
+			}
+		}
+		if fc.N > 0 {
+			for ev := range fc.Share {
+				fc.Share[ev] /= float64(fc.N)
+			}
+		}
+		fc.A3Offset = rangeOf(a3off)
+		fc.A3Hysteresis = rangeOf(a3hyst)
+		fc.A5RSRPT1 = rangeOf(a5pt1)
+		fc.A5RSRPT2 = rangeOf(a5pt2)
+		fc.A5RSRQT1 = rangeOf(a5qt1)
+		fc.A5RSRQT2 = rangeOf(a5qt2)
+		fc.A3DominantOff, _ = a3offCount.Dominant()
+		out = append(out, fc)
+	}
+	return out
+}
+
+// Fig6Result captures RSRP changes across active handoffs for one carrier.
+type Fig6Result struct {
+	Carrier string
+	// Points maps decisive event → (RSRP old, RSRP new) pairs (Fig. 6a).
+	Points map[string][][2]float64
+	// DeltaCDF maps decisive event → CDF of δRSRP (Fig. 6b).
+	DeltaCDF map[string]*stats.CDF
+	// ImprovedShare maps event → fraction of handoffs with δRSRP > 0.
+	ImprovedShare map[string]float64
+	// ImprovedWithin3dB counts δRSRP > −3 dB as improved ("given that 3dB
+	// measurement dynamics is common").
+	ImprovedWithin3dB map[string]float64
+	// A5 split by configuration sign (Fig. 6c): positive means the
+	// candidate threshold exceeds the serving one (improvement implied by
+	// configuration), negative the opposite.
+	A5Pos, A5Neg *stats.CDF
+}
+
+// a5Positive classifies an A5 configuration: candidate threshold above
+// serving threshold guarantees a stronger target (paper §4.1).
+func a5Positive(r dataset.D1Record) bool {
+	return r.Threshold2 > r.Threshold1
+}
+
+// Fig6 analyzes δRSRP per decisive event (paper Fig. 6).
+func Fig6(d1 *dataset.D1, carrier string) Fig6Result {
+	res := Fig6Result{
+		Carrier:           carrier,
+		Points:            map[string][][2]float64{},
+		DeltaCDF:          map[string]*stats.CDF{},
+		ImprovedShare:     map[string]float64{},
+		ImprovedWithin3dB: map[string]float64{},
+	}
+	deltas := map[string][]float64{}
+	var a5pos, a5neg []float64
+	for _, r := range d1.Active() {
+		if r.Carrier != carrier {
+			continue
+		}
+		res.Points[r.Event] = append(res.Points[r.Event], [2]float64{r.RSRPOld, r.RSRPNew})
+		deltas[r.Event] = append(deltas[r.Event], r.DeltaRSRP())
+		if r.Event == "A5" {
+			if a5Positive(r) {
+				a5pos = append(a5pos, r.DeltaRSRP())
+			} else {
+				a5neg = append(a5neg, r.DeltaRSRP())
+			}
+		}
+	}
+	for ev, ds := range deltas {
+		res.DeltaCDF[ev] = stats.NewCDF(ds)
+		better, within := 0, 0
+		for _, d := range ds {
+			if d > 0 {
+				better++
+			}
+			if d > -3 {
+				within++
+			}
+		}
+		res.ImprovedShare[ev] = float64(better) / float64(len(ds))
+		res.ImprovedWithin3dB[ev] = float64(within) / float64(len(ds))
+	}
+	res.A5Pos = stats.NewCDF(a5pos)
+	res.A5Neg = stats.NewCDF(a5neg)
+	return res
+}
+
+// Fig9Result relates configuration values to radio outcomes (Fig. 9).
+type Fig9Result struct {
+	Carrier string
+	// DeltaByOffset: ΔA3 value → boxplot of δRSRP (Fig. 9a).
+	DeltaByOffset map[float64]stats.Boxplot
+	// OldByA5T1: ΘA5,S → boxplot of the old cell's level at handoff, in
+	// the event's own quantity (Fig. 9b left).
+	OldByA5T1 map[float64]stats.Boxplot
+	// NewByA5T2: ΘA5,C → boxplot of the new cell's level (Fig. 9b right).
+	NewByA5T2 map[float64]stats.Boxplot
+	Quantity  string
+	// DeltaSmallOffsets / DeltaLargeOffsets aggregate δRSRP over ΔA3 ≤ 3
+	// and ΔA3 ≥ 8 respectively — the figure's headline gradient.
+	DeltaSmallOffsets stats.Boxplot
+	DeltaLargeOffsets stats.Boxplot
+}
+
+// Fig9 groups radio outcomes by the decisive configuration values.
+// quantity selects which A5 family to analyze ("RSRP" or "RSRQ"; the
+// paper's Fig. 9b uses RSRQ).
+func Fig9(d1 *dataset.D1, carrier, quantity string) Fig9Result {
+	res := Fig9Result{
+		Carrier:       carrier,
+		DeltaByOffset: map[float64]stats.Boxplot{},
+		OldByA5T1:     map[float64]stats.Boxplot{},
+		NewByA5T2:     map[float64]stats.Boxplot{},
+		Quantity:      quantity,
+	}
+	deltaBy := map[float64][]float64{}
+	oldBy := map[float64][]float64{}
+	newBy := map[float64][]float64{}
+	var small, large []float64
+	for _, r := range d1.Active() {
+		if r.Carrier != carrier {
+			continue
+		}
+		switch r.Event {
+		case "A3":
+			// Intra-frequency handoffs only: an inter-frequency target may
+			// already exceed the serving cell by far more than ΔA3 when it
+			// first becomes measurable, which would wash out the
+			// offset→δRSRP relation the figure shows.
+			if !r.IntraFreq() {
+				continue
+			}
+			deltaBy[r.Offset] = append(deltaBy[r.Offset], r.DeltaRSRP())
+			if r.Offset <= 3 {
+				small = append(small, r.DeltaRSRP())
+			} else if r.Offset >= 8 {
+				large = append(large, r.DeltaRSRP())
+			}
+		case "A5":
+			if r.Quantity != quantity {
+				continue
+			}
+			oldV, newV := r.RSRPOld, r.RSRPNew
+			if quantity == "RSRQ" {
+				oldV, newV = r.RSRQOld, r.RSRQNew
+			}
+			oldBy[r.Threshold1] = append(oldBy[r.Threshold1], oldV)
+			newBy[r.Threshold2] = append(newBy[r.Threshold2], newV)
+		}
+	}
+	for k, v := range deltaBy {
+		res.DeltaByOffset[k] = stats.NewBoxplot(v)
+	}
+	for k, v := range oldBy {
+		res.OldByA5T1[k] = stats.NewBoxplot(v)
+	}
+	for k, v := range newBy {
+		res.NewByA5T2[k] = stats.NewBoxplot(v)
+	}
+	res.DeltaSmallOffsets = stats.NewBoxplot(small)
+	res.DeltaLargeOffsets = stats.NewBoxplot(large)
+	return res
+}
+
+// Fig10Groups are the idle-handoff categories of Fig. 10: intra-frequency
+// plus non-intra split by target-priority relation.
+var Fig10Groups = []string{"intra", "nonintra-L", "nonintra-E", "nonintra-H"}
+
+// Fig10Result captures idle-state RSRP changes per category.
+type Fig10Result struct {
+	Points        map[string][][2]float64
+	DeltaCDF      map[string]*stats.CDF
+	ImprovedShare map[string]float64
+	N             map[string]int
+}
+
+// fig10Group classifies one idle handoff.
+func fig10Group(r dataset.D1Record) string {
+	if r.IntraFreq() {
+		return "intra"
+	}
+	switch r.PriorityRelation() {
+	case "higher":
+		return "nonintra-H"
+	case "lower":
+		return "nonintra-L"
+	default:
+		return "nonintra-E"
+	}
+}
+
+// Fig10 analyzes idle-state handoffs across all carriers ("results are
+// consistent across different carriers", §4.2); pass carriers to filter.
+func Fig10(d1 *dataset.D1, carriers ...string) Fig10Result {
+	want := map[string]bool{}
+	for _, c := range carriers {
+		want[c] = true
+	}
+	res := Fig10Result{
+		Points:        map[string][][2]float64{},
+		DeltaCDF:      map[string]*stats.CDF{},
+		ImprovedShare: map[string]float64{},
+		N:             map[string]int{},
+	}
+	deltas := map[string][]float64{}
+	for _, r := range d1.Idle() {
+		if len(want) > 0 && !want[r.Carrier] {
+			continue
+		}
+		g := fig10Group(r)
+		res.Points[g] = append(res.Points[g], [2]float64{r.RSRPOld, r.RSRPNew})
+		deltas[g] = append(deltas[g], r.DeltaRSRP())
+	}
+	for g, ds := range deltas {
+		res.DeltaCDF[g] = stats.NewCDF(ds)
+		res.N[g] = len(ds)
+		better := 0
+		for _, d := range ds {
+			if d > 0 {
+				better++
+			}
+		}
+		res.ImprovedShare[g] = float64(better) / float64(len(ds))
+	}
+	return res
+}
+
+// DecisiveLatency summarizes the report→execution gaps in D1's active
+// records — the evidence behind "handoffs happen immediately (within
+// 80-230 ms) once the last measurement report is sent" (§4.1).
+func DecisiveLatency(d1 *dataset.D1) stats.Boxplot {
+	var gaps []float64
+	for _, r := range d1.Active() {
+		if r.ReportTimeMs > 0 {
+			gaps = append(gaps, float64(r.TimeMs-r.ReportTimeMs))
+		}
+	}
+	return stats.NewBoxplot(gaps)
+}
+
+// SortedKeys returns a map's float keys in ascending order (rendering
+// helper for the grouped-boxplot figures).
+func SortedKeys[V any](m map[float64]V) []float64 {
+	out := make([]float64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"mmlab/internal/dataset"
+)
+
+// mkActive builds an active-state record with the fields Fig 5/6/9 read.
+func mkActive(carrier, event, quantity string, off, t1, t2, rsrpOld, rsrpNew float64) dataset.D1Record {
+	return dataset.D1Record{
+		Carrier: carrier, City: "C3", Kind: "active", Event: event,
+		Quantity: quantity, Offset: off, Hysteresis: 1,
+		Threshold1: t1, Threshold2: t2,
+		FromRAT: "LTE", ToRAT: "LTE", FromEARFCN: 100, ToEARFCN: 100,
+		RSRPOld: rsrpOld, RSRPNew: rsrpNew,
+		RSRQOld: -14, RSRQNew: -12,
+		TimeMs: 1000, ReportTimeMs: 850, MinThptBefore: 1e6,
+	}
+}
+
+func mkIdle(carrier string, fromPrio, toPrio int, fromFreq, toFreq uint32, rsrpOld, rsrpNew float64) dataset.D1Record {
+	return dataset.D1Record{
+		Carrier: carrier, City: "C3", Kind: "idle",
+		FromRAT: "LTE", ToRAT: "LTE", FromEARFCN: fromFreq, ToEARFCN: toFreq,
+		FromPriority: fromPrio, ToPriority: toPrio,
+		RSRPOld: rsrpOld, RSRPNew: rsrpNew, MinThptBefore: -1,
+	}
+}
+
+func testD1() *dataset.D1 {
+	d := &dataset.D1{}
+	// AT&T: 6 A3 (Δ=3), 3 A5 (one RSRQ), 1 P.
+	for i := 0; i < 6; i++ {
+		d.Records = append(d.Records, mkActive("A", "A3", "RSRP", 3, 0, 0, -105, -95))
+	}
+	d.Records = append(d.Records,
+		mkActive("A", "A5", "RSRP", 0, -44, -114, -100, -104), // negative config, weaker target
+		mkActive("A", "A5", "RSRP", 0, -44, -114, -108, -100),
+		mkActive("A", "A5", "RSRQ", 0, -11.5, -14, -102, -105), // ΘS > ΘC: negative
+		mkActive("A", "P", "RSRP", 0, 0, 0, -110, -102),
+	)
+	// T-Mobile: 2 A3 with Δ=12.
+	d.Records = append(d.Records,
+		mkActive("T", "A3", "RSRP", 12, 0, 0, -112, -98),
+		mkActive("T", "A3", "RSRP", 12, 0, 0, -114, -99),
+	)
+	// Idle records across the Fig 10 groups.
+	d.Records = append(d.Records,
+		mkIdle("A", 3, 3, 100, 100, -105, -98),  // intra, improves
+		mkIdle("A", 3, 3, 100, 200, -105, -99),  // nonintra equal, improves
+		mkIdle("A", 3, 5, 100, 300, -100, -106), // nonintra higher, degrades
+		mkIdle("A", 3, 1, 100, 400, -117, -108), // nonintra lower, improves
+	)
+	return d
+}
+
+func TestFig5SharesAndRanges(t *testing.T) {
+	rows := Fig5(testD1(), "A", "T")
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	a := rows[0]
+	if a.Carrier != "A" || a.N != 10 {
+		t.Fatalf("AT&T row = %+v", a)
+	}
+	if math.Abs(a.Share["A3"]-0.6) > 1e-9 || math.Abs(a.Share["A5"]-0.3) > 1e-9 || math.Abs(a.Share["P"]-0.1) > 1e-9 {
+		t.Errorf("shares = %v", a.Share)
+	}
+	if a.A3DominantOff != 3 || a.A3Offset != [2]float64{3, 3} {
+		t.Errorf("ΔA3 stats = %v dominant %v", a.A3Offset, a.A3DominantOff)
+	}
+	if a.A5RSRPT1 != [2]float64{-44, -44} || a.A5RSRPT2 != [2]float64{-114, -114} {
+		t.Errorf("A5 RSRP ranges = %v %v", a.A5RSRPT1, a.A5RSRPT2)
+	}
+	if a.A5RSRQT1 != [2]float64{-11.5, -11.5} {
+		t.Errorf("A5 RSRQ T1 = %v", a.A5RSRQT1)
+	}
+	tm := rows[1]
+	if tm.N != 2 || tm.Share["A3"] != 1 {
+		t.Errorf("T-Mobile row = %+v", tm)
+	}
+	// Carrier with no records: zero row.
+	empty := Fig5(testD1(), "V")
+	if empty[0].N != 0 {
+		t.Errorf("V row = %+v", empty[0])
+	}
+}
+
+func TestFig6(t *testing.T) {
+	r := Fig6(testD1(), "A")
+	if got := r.ImprovedShare["A3"]; got != 1 {
+		t.Errorf("A3 improved = %v", got)
+	}
+	// A5: 1 of 3 improves.
+	if got := r.ImprovedShare["A5"]; math.Abs(got-1.0/3) > 1e-9 {
+		t.Errorf("A5 improved = %v", got)
+	}
+	if len(r.Points["A3"]) != 6 || len(r.Points["A5"]) != 3 || len(r.Points["P"]) != 1 {
+		t.Errorf("points = %d/%d/%d", len(r.Points["A3"]), len(r.Points["A5"]), len(r.Points["P"]))
+	}
+	// All three A5 configs here are "negative" (T2 < T1 is false... check):
+	// RSRP: T2=-114 < T1=-44 → negative; RSRQ: T2=-14 < T1=-11.5 → negative.
+	if r.A5Pos.N() != 0 || r.A5Neg.N() != 3 {
+		t.Errorf("A5 split = %d/%d", r.A5Pos.N(), r.A5Neg.N())
+	}
+	// CDF medians are sane.
+	if r.DeltaCDF["A3"].Inverse(0.5) != 10 {
+		t.Errorf("A3 median δ = %v", r.DeltaCDF["A3"].Inverse(0.5))
+	}
+}
+
+func TestFig9(t *testing.T) {
+	r := Fig9(testD1(), "A", "RSRP")
+	if len(r.DeltaByOffset) != 1 {
+		t.Fatalf("offsets = %v", SortedKeys(r.DeltaByOffset))
+	}
+	bp := r.DeltaByOffset[3]
+	if bp.N != 6 || bp.Median != 10 {
+		t.Errorf("δ boxplot for ΔA3=3: %+v", bp)
+	}
+	if bp, ok := r.OldByA5T1[-44]; !ok || bp.N != 2 {
+		t.Errorf("ΘS=-44 r_old boxplot: %+v", bp)
+	}
+	if bp, ok := r.NewByA5T2[-114]; !ok || bp.N != 2 {
+		t.Errorf("ΘC=-114 r_new boxplot: %+v", bp)
+	}
+	// RSRQ family selects the RSRQ record only, with RSRQ values.
+	rq := Fig9(testD1(), "A", "RSRQ")
+	if bp, ok := rq.OldByA5T1[-11.5]; !ok || bp.N != 1 || bp.Median != -14 {
+		t.Errorf("RSRQ ΘS boxplot: %+v", bp)
+	}
+}
+
+func TestFig10(t *testing.T) {
+	r := Fig10(testD1())
+	if r.N["intra"] != 1 || r.N["nonintra-E"] != 1 || r.N["nonintra-H"] != 1 || r.N["nonintra-L"] != 1 {
+		t.Fatalf("group sizes = %v", r.N)
+	}
+	if r.ImprovedShare["nonintra-H"] != 0 {
+		t.Error("higher-priority record degrades here")
+	}
+	if r.ImprovedShare["intra"] != 1 || r.ImprovedShare["nonintra-L"] != 1 {
+		t.Error("intra/lower records improve here")
+	}
+	// Carrier filter excludes everything for "T" (no idle T records).
+	rt := Fig10(testD1(), "T")
+	if len(rt.N) != 0 {
+		t.Errorf("filtered groups = %v", rt.N)
+	}
+}
+
+func TestDecisiveLatency(t *testing.T) {
+	bp := DecisiveLatency(testD1())
+	if bp.N != 12 { // 12 active records with ReportTimeMs > 0
+		t.Fatalf("latency N = %d", bp.N)
+	}
+	if bp.Median != 150 {
+		t.Errorf("median latency = %v", bp.Median)
+	}
+}
+
+func TestRenderD1Figures(t *testing.T) {
+	d := testD1()
+	for name, s := range map[string]string{
+		"fig5":  RenderFig5(Fig5(d, "A", "T")),
+		"fig6":  RenderFig6(Fig6(d, "A")),
+		"fig9":  RenderFig9(Fig9(d, "A", "RSRP")),
+		"fig10": RenderFig10(Fig10(d)),
+	} {
+		if len(s) < 40 {
+			t.Errorf("%s rendering too short: %q", name, s)
+		}
+	}
+}

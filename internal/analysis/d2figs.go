@@ -1,0 +1,617 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mmlab/internal/config"
+	"mmlab/internal/dataset"
+	"mmlab/internal/stats"
+)
+
+// RepresentativeParams are the eight parameters of Figs. 14 and 17:
+// Ps, Hs, Δmin, Θ(s)lower, Θnonintra, ΔA3, ΘA5,S, TreportTrigger.
+var RepresentativeParams = []string{
+	"cellReselectionPriority",
+	"qHyst",
+	"qRxLevMin",
+	"threshServingLowP",
+	"sNonIntraSearchP",
+	"a3Offset",
+	"a5Threshold1",
+	"a3TimeToTrigger",
+}
+
+// FourParams are Fig. 15's four parameters with different diversity
+// classes: Ps (high D + low Cv), Δmin (low + low), Θ(s)low (high + high),
+// ΔA3 (medium + medium).
+var FourParams = []string{
+	"cellReselectionPriority",
+	"qRxLevMin",
+	"threshServingLowP",
+	"a3Offset",
+}
+
+// IdleParams / ActiveParams split the observable LTE parameters into the
+// idle-state (SIB) and active-state (measConfig) classes of Fig. 13b.
+var (
+	IdleParams = []string{
+		"cellReselectionPriority", "qHyst", "sIntraSearchP", "sNonIntraSearchP",
+		"threshServingLowP", "qRxLevMin", "tReselectionEUTRA",
+		"interFreqPriority", "threshXHighP", "threshXLowP",
+	}
+	ActiveParams = []string{
+		"a2Threshold", "a3Offset", "a3Hysteresis", "a3TimeToTrigger",
+		"a5Threshold1", "a5Threshold2", "a5TimeToTrigger", "filterCoefficientRSRP",
+	}
+)
+
+// Table4Row is one RAT's share of the dataset.
+type Table4Row struct {
+	RAT        string
+	Parameters int     // standardized parameter count (catalog size)
+	CellShare  float64 // fraction of D2 cells on this RAT
+}
+
+// Table4 reproduces the per-RAT breakdown. Cells are keyed by
+// (carrier, cell id): identifiers are carrier-scoped.
+func Table4(d2 *dataset.D2) []Table4Row {
+	type key struct {
+		carrier string
+		cell    uint32
+	}
+	counts := map[string]map[key]bool{}
+	for i := range d2.Snapshots {
+		s := &d2.Snapshots[i]
+		if counts[s.RAT] == nil {
+			counts[s.RAT] = map[key]bool{}
+		}
+		counts[s.RAT][key{s.Carrier, s.CellID}] = true
+	}
+	total := 0
+	for _, m := range counts {
+		total += len(m)
+	}
+	var out []Table4Row
+	for _, rat := range config.AllRATs() {
+		share := 0.0
+		if total > 0 {
+			share = float64(len(counts[rat.String()])) / float64(total)
+		}
+		out = append(out, Table4Row{
+			RAT:        rat.String(),
+			Parameters: config.CatalogSize(rat),
+			CellShare:  share,
+		})
+	}
+	return out
+}
+
+// Fig12Row is one carrier's dataset footprint.
+type Fig12Row struct {
+	Carrier string
+	Cells   int
+	Samples int
+}
+
+// Fig12 counts cells and parameter samples per carrier.
+func Fig12(d2 *dataset.D2) []Fig12Row {
+	cells := map[string]map[uint32]bool{}
+	samples := map[string]int{}
+	for i := range d2.Snapshots {
+		s := &d2.Snapshots[i]
+		if cells[s.Carrier] == nil {
+			cells[s.Carrier] = map[uint32]bool{}
+		}
+		cells[s.Carrier][s.CellID] = true
+		samples[s.Carrier] += s.SampleCount()
+	}
+	carriers := d2.Carriers()
+	out := make([]Fig12Row, 0, len(carriers))
+	for _, c := range carriers {
+		out = append(out, Fig12Row{Carrier: c, Cells: len(cells[c]), Samples: samples[c]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cells > out[j].Cells })
+	return out
+}
+
+// Fig13Result holds the revisit histogram and temporal-dynamics series.
+type Fig13Result struct {
+	// SamplesPerCell[k] is the fraction of cells observed k times
+	// (k = len(SamplesPerCell)-1 aggregates the tail).
+	SamplesPerCell []float64
+	MultiShare     float64 // fraction of cells with > 1 snapshot
+
+	// GapDays labels the temporal buckets; IdleChanged / ActiveChanged are
+	// the per-bucket fractions of cells whose idle / active parameters
+	// read differently across that revisit gap.
+	GapDays       []float64
+	IdleChanged   []float64
+	ActiveChanged []float64
+}
+
+// gapBuckets edges in days (paper Fig. 13b x-axis: 1/24, 1, 7, 30, 180).
+var gapBuckets = []float64{1.0 / 24, 1, 7, 30, 180, math.Inf(1)}
+
+// paramsDiffer compares one parameter class between two snapshots.
+func paramsDiffer(a, b *dataset.D2Snapshot, params []string) bool {
+	for _, p := range params {
+		va, okA := a.Params[p]
+		vb, okB := b.Params[p]
+		if okA != okB || len(va) != len(vb) {
+			return true
+		}
+		for i := range va {
+			if va[i] != vb[i] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Fig13 computes revisit statistics over D2.
+func Fig13(d2 *dataset.D2, maxBar int) Fig13Result {
+	if maxBar <= 0 {
+		maxBar = 20
+	}
+	type ck struct {
+		carrier string
+		cell    uint32
+	}
+	perCell := map[ck][]*dataset.D2Snapshot{}
+	for i := range d2.Snapshots {
+		s := &d2.Snapshots[i]
+		k := ck{s.Carrier, s.CellID}
+		perCell[k] = append(perCell[k], s)
+	}
+
+	res := Fig13Result{SamplesPerCell: make([]float64, maxBar+1)}
+	multi := 0
+	idleTot := make([]int, len(gapBuckets))
+	idleChg := make([]int, len(gapBuckets))
+	actTot := make([]int, len(gapBuckets))
+	actChg := make([]int, len(gapBuckets))
+
+	for _, snaps := range perCell {
+		n := len(snaps)
+		if n > maxBar {
+			n = maxBar
+		}
+		res.SamplesPerCell[n]++
+		if len(snaps) > 1 {
+			multi++
+		}
+		sort.Slice(snaps, func(i, j int) bool { return snaps[i].TimeMs < snaps[j].TimeMs })
+		// Compare the first observation against each later one, bucketed
+		// by gap; a cell counts once per bucket.
+		idleSeen := make([]bool, len(gapBuckets))
+		actSeen := make([]bool, len(gapBuckets))
+		for i := 1; i < len(snaps); i++ {
+			gapDays := float64(snaps[i].TimeMs-snaps[0].TimeMs) / (24 * 3600 * 1000)
+			b := 0
+			for b < len(gapBuckets)-1 && gapDays > gapBuckets[b] {
+				b++
+			}
+			if !idleSeen[b] {
+				idleSeen[b] = true
+				idleTot[b]++
+				if paramsDiffer(snaps[0], snaps[i], IdleParams) {
+					idleChg[b]++
+				}
+			}
+			if !actSeen[b] {
+				actSeen[b] = true
+				actTot[b]++
+				if paramsDiffer(snaps[0], snaps[i], ActiveParams) {
+					actChg[b]++
+				}
+			}
+		}
+	}
+
+	total := float64(len(perCell))
+	if total > 0 {
+		for i := range res.SamplesPerCell {
+			res.SamplesPerCell[i] /= total
+		}
+		res.MultiShare = float64(multi) / total
+	}
+	for b := range gapBuckets {
+		res.GapDays = append(res.GapDays, gapBuckets[b])
+		if idleTot[b] > 0 {
+			res.IdleChanged = append(res.IdleChanged, float64(idleChg[b])/float64(idleTot[b]))
+		} else {
+			res.IdleChanged = append(res.IdleChanged, 0)
+		}
+		if actTot[b] > 0 {
+			res.ActiveChanged = append(res.ActiveChanged, float64(actChg[b])/float64(actTot[b]))
+		} else {
+			res.ActiveChanged = append(res.ActiveChanged, 0)
+		}
+	}
+	return res
+}
+
+// ParamDist is one parameter's observed distribution plus its diversity
+// triple, the unit of Figs. 14–17.
+type ParamDist struct {
+	Param     string
+	Carrier   string
+	Dist      stats.Distribution
+	Diversity stats.Diversity
+	N         int
+}
+
+// paramDist computes one (carrier, param) cell.
+func paramDist(d2 *dataset.D2, carrierAcr, rat, param string) ParamDist {
+	vals := d2.ParamValues(carrierAcr, rat, param)
+	return ParamDist{
+		Param:     param,
+		Carrier:   carrierAcr,
+		Dist:      stats.NewDistribution(vals),
+		Diversity: stats.DiversityOf(vals),
+		N:         len(vals),
+	}
+}
+
+// Fig14 computes the eight representative parameter distributions for one
+// carrier (the paper shows AT&T).
+func Fig14(d2 *dataset.D2, carrierAcr string) []ParamDist {
+	out := make([]ParamDist, 0, len(RepresentativeParams))
+	for _, p := range RepresentativeParams {
+		out = append(out, paramDist(d2, carrierAcr, "LTE", p))
+	}
+	return out
+}
+
+// Fig15 computes the four illustrative parameters across carriers.
+func Fig15(d2 *dataset.D2, carriers []string) map[string][]ParamDist {
+	out := map[string][]ParamDist{}
+	for _, p := range FourParams {
+		for _, c := range carriers {
+			out[p] = append(out[p], paramDist(d2, c, "LTE", p))
+		}
+	}
+	return out
+}
+
+// Fig16 computes the diversity triple for every observed LTE parameter of
+// one carrier, sorted by ascending Simpson index (the paper's x-axis
+// ordering).
+func Fig16(d2 *dataset.D2, carrierAcr string) []ParamDist {
+	var out []ParamDist
+	for _, p := range config.ObservableParams(config.RATLTE) {
+		pd := paramDist(d2, carrierAcr, "LTE", p.Name)
+		if pd.N == 0 {
+			continue // unobserved, as the paper omits unused events
+		}
+		out = append(out, pd)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Diversity.Simpson != out[j].Diversity.Simpson {
+			return out[i].Diversity.Simpson < out[j].Diversity.Simpson
+		}
+		return out[i].Param < out[j].Param
+	})
+	return out
+}
+
+// Fig17 computes the eight representative parameters' diversity across
+// carriers.
+func Fig17(d2 *dataset.D2, carriers []string) map[string][]ParamDist {
+	out := map[string][]ParamDist{}
+	for _, p := range RepresentativeParams {
+		for _, c := range carriers {
+			out[p] = append(out[p], paramDist(d2, c, "LTE", p))
+		}
+	}
+	return out
+}
+
+// Fig18Result is the priority-vs-frequency breakdown of one carrier.
+type Fig18Result struct {
+	Carrier string
+	// Serving: EARFCN → distribution of the serving-cell priority Ps.
+	Serving map[uint32]stats.Distribution
+	// Candidate: EARFCN → distribution of advertised candidate priority Pc.
+	Candidate map[uint32]stats.Distribution
+	// MultiValueCellShare is the fraction of cells whose serving priority
+	// deviates from their channel's dominant value (the paper's 6.3 % of
+	// AT&T cells on multi-valued channels, §5.4.1 — the conflict-prone
+	// configurations).
+	MultiValueCellShare float64
+	Channels            []uint32
+}
+
+// Fig18 breaks priorities down by frequency channel.
+func Fig18(d2 *dataset.D2, carrierAcr string) Fig18Result {
+	res := Fig18Result{
+		Carrier:   carrierAcr,
+		Serving:   map[uint32]stats.Distribution{},
+		Candidate: map[uint32]stats.Distribution{},
+	}
+	servingVals := map[uint32]map[uint32]float64{} // channel → cell → Ps (last)
+	candVals := map[uint32][]float64{}
+	type areaKey struct {
+		ch   uint32
+		city string
+	}
+	areaVals := map[areaKey]map[uint32]float64{}
+	for i := range d2.Snapshots {
+		s := &d2.Snapshots[i]
+		if s.Carrier != carrierAcr || s.RAT != "LTE" {
+			continue
+		}
+		if ps, ok := s.Params["cellReselectionPriority"]; ok && len(ps) > 0 {
+			if servingVals[s.EARFCN] == nil {
+				servingVals[s.EARFCN] = map[uint32]float64{}
+			}
+			servingVals[s.EARFCN][s.CellID] = ps[0]
+			ak := areaKey{s.EARFCN, s.City}
+			if areaVals[ak] == nil {
+				areaVals[ak] = map[uint32]float64{}
+			}
+			areaVals[ak][s.CellID] = ps[0]
+		}
+		for _, f := range s.Freqs {
+			if f.RAT == "LTE" {
+				candVals[f.EARFCN] = append(candVals[f.EARFCN], float64(f.Priority))
+			}
+		}
+	}
+	seen := map[uint32]bool{}
+	for ch, cells := range servingVals {
+		var vals []float64
+		for _, v := range cells {
+			vals = append(vals, v)
+		}
+		res.Serving[ch] = stats.NewDistribution(vals)
+		seen[ch] = true
+	}
+	for ch, vals := range candVals {
+		res.Candidate[ch] = stats.NewDistribution(vals)
+		seen[ch] = true
+	}
+	for ch := range seen {
+		res.Channels = append(res.Channels, ch)
+	}
+	sort.Slice(res.Channels, func(i, j int) bool { return res.Channels[i] < res.Channels[j] })
+	// Conflict-prone cells deviate from their (channel, area) dominant
+	// value — neighboring cells that disagree on a channel's priority are
+	// what causes the paper's handoff loops (§5.4.1); market-to-market
+	// re-plans are not conflicts.
+	total, deviants := 0, 0
+	for ak, cells := range areaVals {
+		var vals []float64
+		for _, v := range cells {
+			vals = append(vals, v)
+		}
+		dom, _ := stats.CountValues(vals).Dominant()
+		_ = ak
+		for _, v := range cells {
+			total++
+			if v != dom {
+				deviants++
+			}
+		}
+	}
+	if total > 0 {
+		res.MultiValueCellShare = float64(deviants) / float64(total)
+	}
+	return res
+}
+
+// Fig19Row is one parameter's frequency dependence.
+type Fig19Row struct {
+	Param string
+	ZetaD float64 // ζ on the Simpson index
+	ZetaC float64 // ζ on the coefficient of variation
+}
+
+// Fig19 computes ζ_{M,θ|freq} for every parameter of Fig. 16's order.
+func Fig19(d2 *dataset.D2, carrierAcr string) []Fig19Row {
+	var out []Fig19Row
+	byFreq := func(s *dataset.D2Snapshot) string { return fmt.Sprint(s.EARFCN) }
+	for _, pd := range Fig16(d2, carrierAcr) {
+		overall := d2.ParamValues(carrierAcr, "LTE", pd.Param)
+		groups := d2.GroupParamValues(carrierAcr, "LTE", pd.Param, byFreq)
+		out = append(out, Fig19Row{
+			Param: pd.Param,
+			ZetaD: stats.Dependence(stats.SimpsonIndexOf, overall, groups),
+			ZetaC: stats.Dependence(stats.CoefficientOfVariation, overall, groups),
+		})
+	}
+	return out
+}
+
+// Fig20Row is one (carrier, city) priority distribution.
+type Fig20Row struct {
+	Carrier string
+	City    string
+	Dist    stats.Distribution
+}
+
+// Fig20 computes city-level Ps distributions for the US carriers.
+func Fig20(d2 *dataset.D2, carriers, cities []string) []Fig20Row {
+	var out []Fig20Row
+	for _, acr := range carriers {
+		for _, city := range cities {
+			perCity := d2.GroupParamValues(acr, "LTE", "cellReselectionPriority",
+				func(s *dataset.D2Snapshot) string { return s.City })
+			out = append(out, Fig20Row{Carrier: acr, City: city, Dist: stats.NewDistribution(perCity[city])})
+		}
+	}
+	return out
+}
+
+// Fig21Result is the spatial-diversity boxplot set for one carrier.
+type Fig21Result struct {
+	Carrier string
+	City    string
+	// ByRadius: radius in km → boxplot of per-cell ζ values (Eq. 5
+	// applied to the Simpson index of Ps within the neighborhood).
+	ByRadius map[float64]stats.Boxplot
+}
+
+// Fig21 measures spatial configuration diversity per the paper's Eq. 5:
+// for each cell c, ζ[c] = |M(θ | cluster of cells within R of c) − M(θ)|
+// with M the Simpson index of Ps. A carrier whose neighborhoods mirror
+// the overall mix scores ~0 (T-Mobile: values fixed per area, so every
+// cluster looks like the whole); per-cell tuning makes small clusters
+// deviate from the population (AT&T/Verizon/Sprint).
+func Fig21(d2 *dataset.D2, carrierAcr, city string, radiiKm []float64) Fig21Result {
+	type cellInfo struct {
+		x, y float64
+		ps   float64
+	}
+	var cells []cellInfo
+	seen := map[uint32]bool{}
+	for i := range d2.Snapshots {
+		s := &d2.Snapshots[i]
+		if s.Carrier != carrierAcr || s.City != city || s.RAT != "LTE" || seen[s.CellID] {
+			continue
+		}
+		ps, ok := s.Params["cellReselectionPriority"]
+		if !ok || len(ps) == 0 {
+			continue
+		}
+		seen[s.CellID] = true
+		cells = append(cells, cellInfo{x: s.PosX, y: s.PosY, ps: ps[0]})
+	}
+	res := Fig21Result{Carrier: carrierAcr, City: city, ByRadius: map[float64]stats.Boxplot{}}
+	var all []float64
+	for _, c := range cells {
+		all = append(all, c.ps)
+	}
+	overall := stats.SimpsonIndexOf(all)
+	for _, rKm := range radiiKm {
+		r := rKm * 1000
+		var zetas []float64
+		for _, c := range cells {
+			var vals []float64
+			for _, o := range cells {
+				dx, dy := c.x-o.x, c.y-o.y
+				if math.Hypot(dx, dy) <= r {
+					vals = append(vals, o.ps)
+				}
+			}
+			if len(vals) >= 2 {
+				zetas = append(zetas, math.Abs(stats.SimpsonIndexOf(vals)-overall))
+			}
+		}
+		res.ByRadius[rKm] = stats.NewBoxplot(zetas)
+	}
+	return res
+}
+
+// Fig22Group is one (carrier, RAT) population of per-parameter Simpson
+// indexes (the paper plots ATT-LTE, ATT-WCDMA, Sprint-EVDO, ATT-GSM).
+type Fig22Group struct {
+	Label   string
+	Carrier string
+	RAT     config.RAT
+	Simpson stats.Boxplot
+	Values  []float64
+}
+
+// Fig22 computes diversity boxplots per RAT generation.
+func Fig22(d2 *dataset.D2) []Fig22Group {
+	groups := []struct {
+		label, carrier string
+		rat            config.RAT
+	}{
+		{"ATT-LTE", "A", config.RATLTE},
+		{"ATT-WCDMA", "A", config.RATUMTS},
+		{"Sprint-EVDO", "S", config.RATEVDO},
+		{"ATT-GSM", "A", config.RATGSM},
+	}
+	var out []Fig22Group
+	for _, g := range groups {
+		var ds []float64
+		for _, p := range config.ObservableParams(g.rat) {
+			vals := d2.ParamValues(g.carrier, g.rat.String(), p.Name)
+			if len(vals) == 0 {
+				continue
+			}
+			ds = append(ds, stats.SimpsonIndexOf(vals))
+		}
+		out = append(out, Fig22Group{
+			Label:   g.label,
+			Carrier: g.carrier,
+			RAT:     g.rat,
+			Simpson: stats.NewBoxplot(ds),
+			Values:  ds,
+		})
+	}
+	return out
+}
+
+// Fig11Result holds the measurement-vs-decision threshold gap CDFs.
+type Fig11Result struct {
+	IntraMinusNonIntra *stats.CDF // Θintra − Θnonintra
+	IntraMinusServLow  *stats.CDF // Θintra − Θ(s)low
+	NonIntraMinusLow   *stats.CDF // Θnonintra − Θ(s)low
+	// Pairs holds the (Θintra, Θnonintra) scatter of the figure's inset.
+	Pairs [][2]float64
+	// EqualShare is the fraction with Θintra = Θnonintra (~5 % in §4.2).
+	EqualShare float64
+	// InvertedShare is the rare Θnonintra > Θintra counterexample.
+	InvertedShare float64
+}
+
+// Fig11 computes the threshold-gap analysis over LTE snapshots.
+// carrierAcr = "" covers all carriers.
+func Fig11(d2 *dataset.D2, carrierAcr string) Fig11Result {
+	var dIN, dIS, dNS []float64
+	var pairs [][2]float64
+	equal, inverted, n := 0, 0, 0
+	seen := map[string]bool{}
+	for i := range d2.Snapshots {
+		s := &d2.Snapshots[i]
+		if s.RAT != "LTE" || (carrierAcr != "" && s.Carrier != carrierAcr) {
+			continue
+		}
+		key := fmt.Sprintf("%s/%d", s.Carrier, s.CellID)
+		if seen[key] {
+			continue // one observation per cell
+		}
+		intra, ok1 := first(s.Params["sIntraSearchP"])
+		noni, ok2 := first(s.Params["sNonIntraSearchP"])
+		low, ok3 := first(s.Params["threshServingLowP"])
+		if !ok1 || !ok2 || !ok3 {
+			continue
+		}
+		seen[key] = true
+		n++
+		dIN = append(dIN, intra-noni)
+		dIS = append(dIS, intra-low)
+		dNS = append(dNS, noni-low)
+		pairs = append(pairs, [2]float64{intra, noni})
+		if intra == noni {
+			equal++
+		}
+		if noni > intra {
+			inverted++
+		}
+	}
+	res := Fig11Result{
+		IntraMinusNonIntra: stats.NewCDF(dIN),
+		IntraMinusServLow:  stats.NewCDF(dIS),
+		NonIntraMinusLow:   stats.NewCDF(dNS),
+		Pairs:              pairs,
+	}
+	if n > 0 {
+		res.EqualShare = float64(equal) / float64(n)
+		res.InvertedShare = float64(inverted) / float64(n)
+	}
+	return res
+}
+
+func first(xs []float64) (float64, bool) {
+	if len(xs) == 0 {
+		return 0, false
+	}
+	return xs[0], true
+}

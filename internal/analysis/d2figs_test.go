@@ -1,0 +1,345 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mmlab/internal/dataset"
+)
+
+// snapAt builds a snapshot with position and params.
+func snapAt(carrier, city string, cell uint32, earfcn uint32, rat string, round int, tMs uint64, x, y float64, params map[string][]float64) dataset.D2Snapshot {
+	return dataset.D2Snapshot{
+		Carrier: carrier, City: city, CellID: cell, EARFCN: earfcn, RAT: rat,
+		Round: round, TimeMs: tMs, PosX: x, PosY: y, Params: params,
+	}
+}
+
+func lteParams(ps, intra, nonintra, low, dmin float64) map[string][]float64 {
+	return map[string][]float64{
+		"cellReselectionPriority": {ps},
+		"sIntraSearchP":           {intra},
+		"sNonIntraSearchP":        {nonintra},
+		"threshServingLowP":       {low},
+		"qRxLevMin":               {dmin},
+		"qHyst":                   {4},
+		"a3Offset":                {3},
+	}
+}
+
+func testD2() *dataset.D2 {
+	d := &dataset.D2{}
+	// AT&T: cells on two channels with per-channel priorities.
+	for i := uint32(1); i <= 10; i++ {
+		p := lteParams(2, 62, 28, 6, -122)
+		s := snapAt("A", "C3", i, 5780, "LTE", 1, 0, float64(i)*100, 0, p)
+		s.Freqs = []dataset.FreqObs{{EARFCN: 9820, RAT: "LTE", Priority: 5}}
+		d.Snapshots = append(d.Snapshots, s)
+	}
+	for i := uint32(11); i <= 16; i++ {
+		p := lteParams(5, 58, 20, 10, -122)
+		s := snapAt("A", "C3", i, 9820, "LTE", 1, 0, float64(i)*100, 0, p)
+		s.Freqs = []dataset.FreqObs{{EARFCN: 5780, RAT: "LTE", Priority: 2}}
+		d.Snapshots = append(d.Snapshots, s)
+	}
+	// One AT&T cell revisited much later with a changed active param.
+	p := lteParams(2, 62, 28, 6, -122)
+	d.Snapshots = append(d.Snapshots, snapAt("A", "C3", 1, 5780, "LTE", 2,
+		200*24*3600*1000, 100, 0, map[string][]float64{
+			"cellReselectionPriority": {2},
+			"sIntraSearchP":           {62},
+			"sNonIntraSearchP":        {28},
+			"threshServingLowP":       {6},
+			"qRxLevMin":               {-122},
+			"qHyst":                   {4},
+			"a3Offset":                {5}, // changed
+		}))
+	_ = p
+	// AT&T non-LTE cells.
+	d.Snapshots = append(d.Snapshots,
+		snapAt("A", "C3", 100, 4385, "UMTS", 1, 0, 50, 50, map[string][]float64{"qHyst1s": {2}, "qRxLevMin": {-115}}),
+		snapAt("A", "C3", 101, 128, "GSM", 1, 0, 60, 60, map[string][]float64{"cellReselectHysteresis": {2}}),
+	)
+	// Sprint EVDO.
+	d.Snapshots = append(d.Snapshots,
+		snapAt("S", "C3", 200, 476, "EVDO", 1, 0, 70, 70, map[string][]float64{"pilotAdd": {6}, "pilotDrop": {8}}),
+	)
+	// T-Mobile: uniform priorities (single value) in two cities.
+	for i := uint32(300); i < 310; i++ {
+		d.Snapshots = append(d.Snapshots,
+			snapAt("T", "C1", i, 1950, "LTE", 1, 0, float64(i), 0, lteParams(5, 60, 24, 6, -124)))
+	}
+	for i := uint32(310); i < 320; i++ {
+		d.Snapshots = append(d.Snapshots,
+			snapAt("T", "C3", i, 1950, "LTE", 1, 0, float64(i), 0, lteParams(5, 60, 24, 6, -124)))
+	}
+	return d
+}
+
+func TestTable4(t *testing.T) {
+	rows := Table4(testD2())
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byRAT := map[string]Table4Row{}
+	total := 0.0
+	for _, r := range rows {
+		byRAT[r.RAT] = r
+		total += r.CellShare
+	}
+	if byRAT["LTE"].Parameters != 66 || byRAT["UMTS"].Parameters != 64 {
+		t.Error("catalog sizes wrong in Table 4")
+	}
+	if byRAT["LTE"].CellShare <= byRAT["UMTS"].CellShare {
+		t.Error("LTE should dominate cell share")
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("shares sum to %v", total)
+	}
+}
+
+func TestFig12(t *testing.T) {
+	rows := Fig12(testD2())
+	if rows[0].Carrier != "T" && rows[0].Carrier != "A" {
+		t.Errorf("largest carrier = %s", rows[0].Carrier)
+	}
+	for _, r := range rows {
+		if r.Cells == 0 || r.Samples == 0 {
+			t.Errorf("empty row %+v", r)
+		}
+		if r.Samples < r.Cells {
+			t.Errorf("samples < cells for %s", r.Carrier)
+		}
+	}
+}
+
+func TestFig13(t *testing.T) {
+	r := Fig13(testD2(), 20)
+	// One cell of 41 is revisited.
+	if r.MultiShare <= 0 || r.MultiShare > 0.1 {
+		t.Errorf("MultiShare = %v", r.MultiShare)
+	}
+	if math.Abs(r.SamplesPerCell[2]-r.MultiShare) > 1e-9 {
+		t.Errorf("2-sample fraction = %v", r.SamplesPerCell[2])
+	}
+	// The revisit is at a 200-day gap with a changed active param and
+	// unchanged idle params.
+	last := len(r.GapDays) - 1
+	if r.ActiveChanged[last] != 1 {
+		t.Errorf("active change at >180d = %v", r.ActiveChanged)
+	}
+	if r.IdleChanged[last] != 0 {
+		t.Errorf("idle change at >180d = %v", r.IdleChanged)
+	}
+}
+
+func TestFig14(t *testing.T) {
+	pds := Fig14(testD2(), "A")
+	if len(pds) != len(RepresentativeParams) {
+		t.Fatalf("pds = %d", len(pds))
+	}
+	byName := map[string]ParamDist{}
+	for _, pd := range pds {
+		byName[pd.Param] = pd
+	}
+	// qHyst single-valued at 4 (Hs in Fig. 14).
+	if d := byName["qHyst"]; d.Diversity.Simpson != 0 || d.Dist.ShareOf(4) != 1 {
+		t.Errorf("qHyst dist = %+v", d)
+	}
+	// Priority has two values (2 and 5) in this dataset.
+	if d := byName["cellReselectionPriority"]; d.Diversity.Richness != 2 {
+		t.Errorf("priority richness = %d", d.Diversity.Richness)
+	}
+}
+
+func TestFig15AndFig17(t *testing.T) {
+	m15 := Fig15(testD2(), []string{"A", "T"})
+	if len(m15) != len(FourParams) {
+		t.Fatalf("Fig15 params = %d", len(m15))
+	}
+	for p, pds := range m15 {
+		if len(pds) != 2 {
+			t.Errorf("%s carriers = %d", p, len(pds))
+		}
+	}
+	// T-Mobile priorities single-valued here.
+	for _, pd := range m15["cellReselectionPriority"] {
+		if pd.Carrier == "T" && pd.Diversity.Simpson != 0 {
+			t.Errorf("T priority Simpson = %v", pd.Diversity.Simpson)
+		}
+	}
+	m17 := Fig17(testD2(), []string{"A", "T"})
+	if len(m17) != len(RepresentativeParams) {
+		t.Fatalf("Fig17 params = %d", len(m17))
+	}
+}
+
+func TestFig16SortedAndObservedOnly(t *testing.T) {
+	pds := Fig16(testD2(), "A")
+	if len(pds) == 0 {
+		t.Fatal("no parameters")
+	}
+	for i := 1; i < len(pds); i++ {
+		if pds[i].Diversity.Simpson < pds[i-1].Diversity.Simpson {
+			t.Fatal("not sorted by Simpson index")
+		}
+	}
+	for _, pd := range pds {
+		if pd.N == 0 {
+			t.Errorf("unobserved param %s included", pd.Param)
+		}
+	}
+}
+
+func TestFig18(t *testing.T) {
+	r := Fig18(testD2(), "A")
+	if d, ok := r.Serving[5780]; !ok || d.ShareOf(2) != 1 {
+		t.Errorf("serving 5780 = %+v", d)
+	}
+	if d, ok := r.Serving[9820]; !ok || d.ShareOf(5) != 1 {
+		t.Errorf("serving 9820 = %+v", d)
+	}
+	if d, ok := r.Candidate[9820]; !ok || d.ShareOf(5) != 1 {
+		t.Errorf("candidate 9820 = %+v", d)
+	}
+	if r.MultiValueCellShare != 0 {
+		t.Errorf("multi-value share = %v, single-valued channels here", r.MultiValueCellShare)
+	}
+	if len(r.Channels) != 2 {
+		t.Errorf("channels = %v", r.Channels)
+	}
+}
+
+func TestFig18MultiValueShare(t *testing.T) {
+	d := testD2()
+	// Add a second priority value on channel 5780.
+	d.Snapshots = append(d.Snapshots,
+		snapAt("A", "C3", 999, 5780, "LTE", 1, 0, 0, 0, lteParams(3, 62, 28, 6, -122)))
+	r := Fig18(d, "A")
+	if r.MultiValueCellShare <= 0 {
+		t.Error("multi-value share should be positive after conflict added")
+	}
+	// Exactly one of 11+6(+1 conflicting) serving cells deviates.
+	if r.MultiValueCellShare > 0.2 {
+		t.Errorf("deviant share = %v, want small", r.MultiValueCellShare)
+	}
+}
+
+func TestFig19(t *testing.T) {
+	rows := Fig19(testD2(), "A")
+	byName := map[string]Fig19Row{}
+	for _, r := range rows {
+		byName[r.Param] = r
+	}
+	// Priority is perfectly frequency-determined here: high ζD.
+	if byName["cellReselectionPriority"].ZetaD <= 0 {
+		t.Error("priority should be frequency-dependent")
+	}
+	// qHyst is single-valued: ζ = 0.
+	if byName["qHyst"].ZetaD != 0 {
+		t.Error("qHyst should be frequency-independent")
+	}
+}
+
+func TestFig20(t *testing.T) {
+	rows := Fig20(testD2(), []string{"T"}, []string{"C1", "C3"})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Dist.N == 0 {
+			t.Errorf("empty city distribution %+v", r)
+		}
+	}
+}
+
+func TestFig21(t *testing.T) {
+	// AT&T cells at x=100..1600 carry channel-dependent priorities; small
+	// (0.5 km) neighborhoods have skewed channel mixes, so their Simpson
+	// index deviates from the overall one → ζ > 0 somewhere (Eq. 5).
+	r := Fig21(testD2(), "A", "C3", []float64{0.5, 2})
+	bp05 := r.ByRadius[0.5]
+	if bp05.N == 0 {
+		t.Fatal("no neighborhoods at 0.5 km")
+	}
+	if bp05.Hi <= 0 {
+		t.Errorf("0.5km max ζ = %v, want > 0", bp05.Hi)
+	}
+	// T-Mobile single-valued: every cluster matches the overall (both
+	// Simpson 0) → ζ identically 0.
+	rt := Fig21(testD2(), "T", "C3", []float64{2})
+	if bp := rt.ByRadius[2]; bp.N > 0 && bp.Hi != 0 {
+		t.Errorf("T-Mobile spatial diversity = %+v, want 0", bp)
+	}
+}
+
+func TestFig22(t *testing.T) {
+	groups := Fig22(testD2())
+	if len(groups) != 4 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	if groups[0].Label != "ATT-LTE" || groups[0].RAT.String() != "LTE" {
+		t.Errorf("group order: %+v", groups[0])
+	}
+	if len(groups[0].Values) == 0 {
+		t.Error("LTE group empty")
+	}
+}
+
+func TestFig11(t *testing.T) {
+	r := Fig11(testD2(), "A")
+	// All AT&T LTE cells have Θintra > Θnonintra.
+	if got := r.IntraMinusNonIntra.At(-0.001); got != 0 {
+		t.Errorf("P(Θintra−Θnonintra < 0) = %v", got)
+	}
+	// Θintra − Θ(s)low = 56 or 48 here: all > 30.
+	if got := r.IntraMinusServLow.At(30); got != 0 {
+		t.Errorf("P(gap ≤ 30) = %v", got)
+	}
+	if r.InvertedShare != 0 {
+		t.Errorf("inverted share = %v", r.InvertedShare)
+	}
+	if len(r.Pairs) == 0 {
+		t.Error("no pairs")
+	}
+	// Revisited cell counted once.
+	if r.IntraMinusNonIntra.N() != 16 {
+		t.Errorf("N = %d, want 16 unique AT&T LTE cells", r.IntraMinusNonIntra.N())
+	}
+}
+
+func TestRenderD2Figures(t *testing.T) {
+	d := testD2()
+	outputs := map[string]string{
+		"table2": Table2(),
+		"table3": Table3(),
+		"table4": RenderTable4(Table4(d)),
+		"fig11":  RenderFig11(Fig11(d, "A")),
+		"fig12":  RenderFig12(Fig12(d)),
+		"fig13":  RenderFig13(Fig13(d, 20)),
+		"fig14":  RenderParamDists("Fig 14", Fig14(d, "A")),
+		"fig15":  RenderCrossCarrier("Fig 15", Fig15(d, []string{"A", "T"})),
+		"fig16":  RenderParamDists("Fig 16", Fig16(d, "A")),
+		"fig17":  RenderCrossCarrier("Fig 17", Fig17(d, []string{"A", "T"})),
+		"fig18":  RenderFig18(Fig18(d, "A")),
+		"fig19":  RenderFig19(Fig19(d, "A"), "A"),
+		"fig20":  RenderFig20(Fig20(d, []string{"A", "T"}, []string{"C1", "C3"})),
+		"fig21":  RenderFig21([]Fig21Result{Fig21(d, "A", "C3", []float64{0.5, 1, 2})}),
+		"fig22":  RenderFig22(Fig22(d)),
+	}
+	for name, s := range outputs {
+		if len(s) < 40 {
+			t.Errorf("%s rendering too short: %q", name, s)
+		}
+		if strings.Contains(s, "%!") {
+			t.Errorf("%s rendering has a format bug: %q", name, s)
+		}
+	}
+	if !strings.Contains(outputs["table2"], "66 total") {
+		t.Error("Table 2 should state 66 parameters")
+	}
+	if !strings.Contains(outputs["table3"], "30 carriers over 15") {
+		t.Error("Table 3 should state 30 carriers / 15 countries")
+	}
+}

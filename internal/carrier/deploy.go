@@ -1,0 +1,223 @@
+package carrier
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mmlab/internal/config"
+	"mmlab/internal/geo"
+)
+
+// D2TotalCells is the paper's dataset-D2 footprint: "handoff configurations
+// from 32,033 unique cells" (§5).
+const D2TotalCells = 32033
+
+// RAT mix targets (Table 4 cell-level breakdown: LTE 72 %, UMTS 14 %,
+// GSM 5 %, EVDO 5 %, CDMA1x 4 %), expressed per carrier family so the
+// global aggregate lands on the table.
+var (
+	gsmFamilyMix  = map[config.RAT]float64{config.RATLTE: 0.74, config.RATUMTS: 0.192, config.RATGSM: 0.068}
+	cdmaFamilyMix = map[config.RAT]float64{config.RATLTE: 0.665, config.RATEVDO: 0.186, config.RATCDMA1x: 0.149}
+)
+
+// ratMixFor returns the per-RAT cell shares for a carrier.
+func ratMixFor(c Carrier) map[config.RAT]float64 {
+	if c.HasRAT(config.RATEVDO) {
+		return cdmaFamilyMix
+	}
+	if len(c.RATs) == 1 {
+		return map[config.RAT]float64{c.RATs[0]: 1}
+	}
+	return gsmFamilyMix
+}
+
+// totalShare normalizes registry CellShare values.
+func totalShare() float64 {
+	s := 0.0
+	for _, c := range registry {
+		s += c.CellShare
+	}
+	return s
+}
+
+// CellCount returns the carrier's D2 cell count at the given scale
+// (scale 1.0 reproduces the paper's 32k-cell footprint; smaller scales
+// shrink every carrier proportionally, keeping at least 24 cells so
+// per-carrier statistics stay meaningful).
+func CellCount(c Carrier, scale float64) int {
+	n := int(math.Round(float64(D2TotalCells) * scale * c.CellShare / totalShare()))
+	if n < 24 {
+		n = 24
+	}
+	return n
+}
+
+// RegionAlloc is one (region, cell-count) slice of a carrier's footprint.
+type RegionAlloc struct {
+	Region string
+	Cells  int
+}
+
+// Allocate splits a carrier's cells across regions. US carriers spread
+// over the five cities of Fig. 20 (proportional to the paper's city
+// totals) plus a catch-all "US-X"; other carriers use their country code.
+func Allocate(c Carrier, scale float64) []RegionAlloc {
+	n := CellCount(c, scale)
+	if c.Country != "US" {
+		return []RegionAlloc{{Region: c.Country, Cells: n}}
+	}
+	cityTotal := 0
+	for _, city := range USCities {
+		cityTotal += city.Cells
+	}
+	// The five cities hold roughly 2/3 of US cells; the rest is highways
+	// and sporadic collection.
+	inCities := int(float64(n) * 0.65)
+	var out []RegionAlloc
+	used := 0
+	for _, city := range USCities {
+		k := int(math.Round(float64(inCities) * float64(city.Cells) / float64(cityTotal)))
+		out = append(out, RegionAlloc{Region: city.Code, Cells: k})
+		used += k
+	}
+	out = append(out, RegionAlloc{Region: "US-X", Cells: n - used})
+	return out
+}
+
+// RegionBounds returns the region's rectangle, sized so cell density is
+// metropolitan (~4 macro cells per km² summed over carriers and layers).
+func RegionBounds(region string, cells int) geo.Rect {
+	if cells < 1 {
+		cells = 1
+	}
+	areaKm2 := float64(cells) / 4.0
+	side := math.Sqrt(areaKm2) * 1000
+	if side < 2000 {
+		side = 2000
+	}
+	// Offset each region so they never overlap (regions are independent
+	// worlds; the offset just keeps coordinates distinct for debugging).
+	h := seedFor("region", region)
+	ox := float64(uint16(h)) * 1e4
+	oy := float64(uint16(h>>16)) * 1e4
+	return geo.NewRect(geo.Pt(ox, oy), geo.Pt(ox+side, oy+side))
+}
+
+// Deploy lays a carrier's cells out in one region: one hexagonal layer per
+// (RAT, channel) pair, sized by the channel's deployment weight, matching
+// "cellular networks deploy many overlapping cells across geographic
+// areas ... cells may use distinct RATs ... each cell further operates
+// over a given frequency channel" (§2).
+//
+// idBase is the first CellID to assign; the return value uses sequential
+// IDs so a fleet's cells are globally unique within the carrier.
+func Deploy(g *Generator, region string, cells int, idBase uint32) []CellSite {
+	bounds := RegionBounds(region, cells)
+	mix := ratMixFor(g.Carrier)
+	rats := append([]config.RAT(nil), g.Carrier.RATs...)
+	sort.Slice(rats, func(i, j int) bool { return rats[i] < rats[j] })
+
+	var sites []CellSite
+	id := idBase
+	for _, rat := range rats {
+		ratCells := int(math.Round(float64(cells) * mix[rat]))
+		if ratCells == 0 {
+			continue
+		}
+		chans := g.Plan.channelsFor(rat)
+		if len(chans) == 0 {
+			continue
+		}
+		wTotal := 0.0
+		for _, cu := range chans {
+			wTotal += cu.Weight
+		}
+		layer := 0
+		for _, cu := range chans {
+			n := int(math.Round(float64(ratCells) * cu.Weight / wTotal))
+			if n == 0 {
+				continue
+			}
+			isd := hexISD(bounds, n)
+			off := geo.Pt(float64(layer)*isd/3.7, float64(layer)*isd/5.3)
+			all := geo.HexLattice(bounds, isd, off)
+			pts := all[:0:0]
+			for _, p := range all {
+				if bounds.Contains(p) {
+					pts = append(pts, p)
+				}
+			}
+			if len(pts) > n {
+				pts = pts[:n]
+			}
+			for _, p := range pts {
+				sites = append(sites, CellSite{
+					Carrier: g.Carrier.Acronym,
+					City:    region,
+					Pos:     p,
+					Identity: config.CellIdentity{
+						CellID: id,
+						PCI:    uint16(id % 504),
+						EARFCN: cu.EARFCN,
+						RAT:    rat,
+					},
+				})
+				id++
+			}
+			layer++
+		}
+	}
+	return sites
+}
+
+// hexISD returns the inter-site distance that fits about n sites in r
+// (hex lattice density: 2/(√3·ISD²) sites per unit area).
+func hexISD(r geo.Rect, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	return math.Sqrt(2 * r.Area() / (math.Sqrt(3) * float64(n)))
+}
+
+// Fleet is one carrier's complete deployment.
+type Fleet struct {
+	Gen   *Generator
+	Sites []CellSite
+}
+
+// BuildFleet deploys a carrier across all its regions at the given scale.
+func BuildFleet(acronym string, scale float64) (*Fleet, error) {
+	g, err := NewGenerator(acronym)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{Gen: g}
+	id := uint32(1)
+	for _, alloc := range Allocate(g.Carrier, scale) {
+		if alloc.Cells <= 0 {
+			continue
+		}
+		sites := Deploy(g, alloc.Region, alloc.Cells, id)
+		if len(sites) > 0 {
+			id = sites[len(sites)-1].Identity.CellID + 1
+		}
+		f.Sites = append(f.Sites, sites...)
+	}
+	return f, nil
+}
+
+// SiteByID finds a site in the fleet.
+func (f *Fleet) SiteByID(cellID uint32) (CellSite, bool) {
+	for _, s := range f.Sites {
+		if s.Identity.CellID == cellID {
+			return s, true
+		}
+	}
+	return CellSite{}, false
+}
+
+// String summarizes the fleet.
+func (f *Fleet) String() string {
+	return fmt.Sprintf("fleet %s: %d cells", f.Gen.Carrier.Acronym, len(f.Sites))
+}

@@ -1,0 +1,193 @@
+package carrier
+
+import (
+	"math"
+	"testing"
+
+	"mmlab/internal/config"
+)
+
+func TestCellCountScaling(t *testing.T) {
+	total := 0
+	for _, c := range All() {
+		n := CellCount(c, 1.0)
+		if n < 24 {
+			t.Errorf("%s cell count %d below floor", c.Acronym, n)
+		}
+		total += n
+	}
+	// Scale 1.0 lands near the paper's 32,033 cells (small-carrier floors
+	// add a little).
+	if total < 30000 || total > 35000 {
+		t.Errorf("full-scale total = %d, want ~32k", total)
+	}
+	// AT&T is the largest footprint (Fig. 12).
+	a, _ := ByAcronym("A")
+	for _, c := range All() {
+		if c.Acronym != "A" && CellCount(c, 1.0) > CellCount(a, 1.0) {
+			t.Errorf("%s larger than AT&T", c.Acronym)
+		}
+	}
+	// Small scales floor at 24.
+	sk, _ := ByAcronym("SK")
+	if CellCount(sk, 0.001) != 24 {
+		t.Errorf("floored count = %d", CellCount(sk, 0.001))
+	}
+}
+
+func TestAllocateUSCarrier(t *testing.T) {
+	a, _ := ByAcronym("A")
+	allocs := Allocate(a, 1.0)
+	if len(allocs) != 6 { // 5 cities + US-X
+		t.Fatalf("allocs = %d, want 6", len(allocs))
+	}
+	sum := 0
+	var chicago, lafayette int
+	for _, al := range allocs {
+		sum += al.Cells
+		switch al.Region {
+		case "C1":
+			chicago = al.Cells
+		case "C5":
+			lafayette = al.Cells
+		}
+	}
+	if sum != CellCount(a, 1.0) {
+		t.Errorf("allocation sum %d != count %d", sum, CellCount(a, 1.0))
+	}
+	if chicago <= lafayette {
+		t.Errorf("Chicago (%d) should exceed Lafayette (%d)", chicago, lafayette)
+	}
+}
+
+func TestAllocateForeignCarrier(t *testing.T) {
+	cm, _ := ByAcronym("CM")
+	allocs := Allocate(cm, 1.0)
+	if len(allocs) != 1 || allocs[0].Region != "CN" {
+		t.Errorf("CM allocs = %+v", allocs)
+	}
+}
+
+func TestRegionBounds(t *testing.T) {
+	r1 := RegionBounds("C1", 1000)
+	r2 := RegionBounds("C5", 100)
+	if r1.Area() <= r2.Area() {
+		t.Error("bigger region should have bigger area")
+	}
+	if r1.Width() < 2000 || RegionBounds("tiny", 1).Width() < 2000 {
+		t.Error("region width floor violated")
+	}
+	// Deterministic.
+	if RegionBounds("C1", 1000) != r1 {
+		t.Error("bounds not deterministic")
+	}
+}
+
+func TestDeploy(t *testing.T) {
+	g := mustGen(t, "A")
+	sites := Deploy(g, "C3", 400, 1000)
+	if len(sites) == 0 {
+		t.Fatal("no sites")
+	}
+	// Count within 25% of target (lattice rounding).
+	if math.Abs(float64(len(sites))-400) > 100 {
+		t.Errorf("deployed %d, want ~400", len(sites))
+	}
+	bounds := RegionBounds("C3", 400).Expand(3000)
+	ids := map[uint32]bool{}
+	ratCount := map[config.RAT]int{}
+	for _, s := range sites {
+		if ids[s.Identity.CellID] {
+			t.Fatalf("duplicate cell id %d", s.Identity.CellID)
+		}
+		ids[s.Identity.CellID] = true
+		if s.Identity.CellID < 1000 {
+			t.Fatalf("cell id %d below base", s.Identity.CellID)
+		}
+		if !bounds.Contains(s.Pos) {
+			t.Errorf("site %v outside region", s.Pos)
+		}
+		if s.City != "C3" || s.Carrier != "A" {
+			t.Errorf("site metadata wrong: %+v", s)
+		}
+		ratCount[s.Identity.RAT]++
+	}
+	// RAT mix approximates Table 4 family mix: LTE ~74%.
+	lteFrac := float64(ratCount[config.RATLTE]) / float64(len(sites))
+	if lteFrac < 0.6 || lteFrac > 0.85 {
+		t.Errorf("LTE fraction = %v, want ~0.74", lteFrac)
+	}
+	if ratCount[config.RATUMTS] == 0 || ratCount[config.RATGSM] == 0 {
+		t.Error("missing 3G/2G layers")
+	}
+}
+
+func TestDeployCDMACarrier(t *testing.T) {
+	g := mustGen(t, "V")
+	sites := Deploy(g, "C1", 300, 1)
+	ratCount := map[config.RAT]int{}
+	for _, s := range sites {
+		ratCount[s.Identity.RAT]++
+	}
+	if ratCount[config.RATEVDO] == 0 || ratCount[config.RATCDMA1x] == 0 {
+		t.Errorf("Verizon missing CDMA layers: %v", ratCount)
+	}
+	if ratCount[config.RATUMTS] != 0 || ratCount[config.RATGSM] != 0 {
+		t.Errorf("Verizon has GSM-family layers: %v", ratCount)
+	}
+}
+
+func TestBuildFleet(t *testing.T) {
+	f, err := BuildFleet("A", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Sites) == 0 {
+		t.Fatal("empty fleet")
+	}
+	// Unique IDs across regions.
+	seen := map[uint32]bool{}
+	cities := map[string]bool{}
+	for _, s := range f.Sites {
+		if seen[s.Identity.CellID] {
+			t.Fatalf("duplicate id %d across regions", s.Identity.CellID)
+		}
+		seen[s.Identity.CellID] = true
+		cities[s.City] = true
+	}
+	if len(cities) < 5 {
+		t.Errorf("US fleet covers %d regions, want >= 5", len(cities))
+	}
+	// Lookup works.
+	first := f.Sites[0]
+	got, ok := f.SiteByID(first.Identity.CellID)
+	if !ok || got.Identity != first.Identity {
+		t.Error("SiteByID failed")
+	}
+	if _, ok := f.SiteByID(0xFFFFFFFF); ok {
+		t.Error("bogus id resolved")
+	}
+	if f.String() == "" {
+		t.Error("String empty")
+	}
+	if _, err := BuildFleet("nope", 1); err == nil {
+		t.Error("unknown carrier fleet should error")
+	}
+}
+
+func TestFleetConfigsValidate(t *testing.T) {
+	for _, acr := range []string{"T", "SK", "CT"} {
+		f, err := BuildFleet(acr, 0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range f.Sites {
+			if i > 200 {
+				break
+			}
+			if err := f.Gen.Config(s, 0).Validate(); err != nil {
+				t.Fatalf("%s site %d: %v", acr, i, err)
+			}
+		}
+	}
+}

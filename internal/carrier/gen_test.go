@@ -1,0 +1,407 @@
+package carrier
+
+import (
+	"math"
+	"testing"
+
+	"mmlab/internal/config"
+	"mmlab/internal/geo"
+)
+
+func attSite(cellID uint32, earfcn uint32, city string, pos geo.Point) CellSite {
+	return CellSite{
+		Carrier: "A", City: city, Pos: pos,
+		Identity: config.CellIdentity{CellID: cellID, PCI: uint16(cellID % 504), EARFCN: earfcn, RAT: config.RATLTE},
+	}
+}
+
+func mustGen(t *testing.T, acr string) *Generator {
+	t.Helper()
+	g, err := NewGenerator(acr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGeneratorUnknown(t *testing.T) {
+	if _, err := NewGenerator("nope"); err == nil {
+		t.Error("unknown carrier should error")
+	}
+}
+
+func TestConfigDeterministic(t *testing.T) {
+	g := mustGen(t, "A")
+	site := attSite(42, 5780, "C3", geo.Pt(1000, 2000))
+	a := g.Config(site, 0)
+	b := g.Config(site, 0)
+	if a.Serving != b.Serving {
+		t.Error("serving config not deterministic")
+	}
+	if len(a.Freqs) != len(b.Freqs) {
+		t.Fatal("freq count differs")
+	}
+	for i := range a.Freqs {
+		if a.Freqs[i] != b.Freqs[i] {
+			t.Errorf("freq[%d] differs", i)
+		}
+	}
+}
+
+func TestGeneratedConfigsValidate(t *testing.T) {
+	for _, acr := range []string{"A", "T", "V", "S", "CM", "SK", "MO", "CH", "CW", "OR"} {
+		g := mustGen(t, acr)
+		for id := uint32(1); id <= 50; id++ {
+			chans := g.Plan.channelsFor(config.RATLTE)
+			earfcn := chans[int(id)%len(chans)].EARFCN
+			site := CellSite{
+				Carrier: acr, City: "C1", Pos: geo.Pt(float64(id)*300, float64(id)*170),
+				Identity: config.CellIdentity{CellID: id, EARFCN: earfcn, RAT: config.RATLTE},
+			}
+			c := g.Config(site, 0)
+			if err := c.Validate(); err != nil {
+				t.Fatalf("%s cell %d: %v", acr, id, err)
+			}
+		}
+	}
+}
+
+func TestATTCalibration(t *testing.T) {
+	g := mustGen(t, "A")
+	const n = 2000
+	hsCount := map[float64]int{}
+	dminDominant := 0
+	intraGE := 0
+	for id := uint32(1); id <= n; id++ {
+		site := attSite(id, 850, "C3", geo.Pt(float64(id%50)*400, float64(id/50)*400))
+		s := g.servingConfig(site, 0)
+		hsCount[s.QHyst]++
+		if s.QRxLevMin == -122 {
+			dminDominant++
+		}
+		if s.SIntraSearch >= s.SNonIntraSearch {
+			intraGE++
+		}
+	}
+	// Hs is single-valued at 4 dB (Fig. 14).
+	if len(hsCount) != 1 || hsCount[4] != n {
+		t.Errorf("Hs distribution = %v, want all 4", hsCount)
+	}
+	// Δmin dominated by −122 (Fig. 14 Simpson index 0.003).
+	if f := float64(dminDominant) / n; f < 0.9 {
+		t.Errorf("Δmin=-122 share = %v, want > 0.9", f)
+	}
+	// Θintra ≥ Θnonintra for AT&T everywhere (Fig. 11 left).
+	if intraGE != n {
+		t.Errorf("Θintra ≥ Θnonintra in %d/%d cells, want all", intraGE, n)
+	}
+}
+
+func TestATTPriorityByBand(t *testing.T) {
+	g := mustGen(t, "A")
+	count := func(earfcn uint32) map[int]int {
+		c := map[int]int{}
+		for id := uint32(1); id <= 500; id++ {
+			site := attSite(id, earfcn, "C3", geo.Pt(float64(id)*100, 0))
+			c[g.priorityFor(site, earfcn, config.RATLTE, 0)]++
+		}
+		return c
+	}
+	// Band 12/17 channels → dominant priority 2 (the paper's LTE-exclusive
+	// "main bands" get LOW priority).
+	for _, ch := range []uint32{5110, 5780} {
+		c := count(ch)
+		if c[2] < 400 {
+			t.Errorf("channel %d priorities = %v, want dominated by 2", ch, c)
+		}
+	}
+	// Band 30 (9820) → highest (5 dominant).
+	c := count(9820)
+	if c[5] < 300 || c[5]+c[4] < 450 {
+		t.Errorf("channel 9820 priorities = %v, want dominated by 5 then 4", c)
+	}
+	// UMTS layer gets priority 1-ish, GSM 0.
+	site := attSite(7, 850, "C3", geo.Pt(0, 0))
+	if p := g.priorityFor(site, 4385, config.RATUMTS, 0); p > 2 {
+		t.Errorf("UMTS priority = %d", p)
+	}
+	if p := g.priorityFor(site, 128, config.RATGSM, 0); p != 0 {
+		t.Errorf("GSM priority = %d", p)
+	}
+}
+
+func TestChicagoCityVariant(t *testing.T) {
+	g := mustGen(t, "A")
+	diff := 0
+	for id := uint32(1); id <= 300; id++ {
+		pos := geo.Pt(float64(id)*120, float64(id)*80)
+		c1 := g.priorityFor(attSite(id, 850, "C1", pos), 850, config.RATLTE, 0)
+		c3 := g.priorityFor(attSite(id, 850, "C3", pos), 850, config.RATLTE, 0)
+		if c1 != c3 {
+			diff++
+		}
+	}
+	// Chicago's distribution must differ visibly (Fig. 20).
+	if diff < 200 {
+		t.Errorf("C1 vs C3 priority differs at %d/300 cells, want most", diff)
+	}
+}
+
+func TestEventMixCalibration(t *testing.T) {
+	for _, tc := range []struct {
+		acr    string
+		wantA3 float64
+		wantA5 float64
+		wantP  float64
+	}{
+		{"A", 0.674, 0.261, 0.044},
+		{"T", 0.677, 0.100, 0.202},
+	} {
+		g := mustGen(t, tc.acr)
+		const n = 4000
+		counts := map[config.EventType]int{}
+		for id := uint32(1); id <= n; id++ {
+			site := CellSite{Carrier: tc.acr, City: "C3", Pos: geo.Pt(float64(id%60)*250, float64(id/60)*250),
+				Identity: config.CellIdentity{CellID: id, EARFCN: 1975, RAT: config.RATLTE}}
+			counts[g.PrimaryEvent(site, 0)]++
+		}
+		check := func(e config.EventType, want float64) {
+			got := float64(counts[e]) / n
+			if math.Abs(got-want) > 0.03 {
+				t.Errorf("%s %s share = %.3f, want ~%.3f", tc.acr, e, got, want)
+			}
+		}
+		check(config.EventA3, tc.wantA3)
+		check(config.EventA5, tc.wantA5)
+		check(config.EventPeriodic, tc.wantP)
+		// A1/A4 rare (<0.5% each, Fig. 5); A6/B1/B2/C1/C2 never.
+		if f := float64(counts[config.EventA1]) / n; f > 0.01 {
+			t.Errorf("%s A1 share = %v", tc.acr, f)
+		}
+		for _, e := range []config.EventType{config.EventA6, config.EventB1, config.EventB2, config.EventC1, config.EventC2} {
+			if counts[e] != 0 {
+				t.Errorf("%s configured %s, which the paper never observes", tc.acr, e)
+			}
+		}
+	}
+}
+
+func TestATTA5Thresholds(t *testing.T) {
+	g := mustGen(t, "A")
+	rsrpT1 := map[float64]int{}
+	rsrqSeen, rsrpSeen := 0, 0
+	for id := uint32(1); id <= 3000; id++ {
+		site := attSite(id, 850, "C3", geo.Pt(float64(id%60)*200, float64(id/60)*200))
+		mc := g.measConfig(site, 0)
+		ev := mc.Reports[2]
+		if ev.Type != config.EventA5 {
+			continue
+		}
+		if ev.Quantity == config.RSRQ {
+			rsrqSeen++
+			// ΘA5,S ∈ [−18, −11.5], ΘA5,C ∈ [−18.5, −14] (Fig. 5a).
+			if ev.Threshold1 < -18 || ev.Threshold1 > -11.5 {
+				t.Errorf("A5 RSRQ T1 = %v out of paper range", ev.Threshold1)
+			}
+			if ev.Threshold2 < -18.5 || ev.Threshold2 > -14 {
+				t.Errorf("A5 RSRQ T2 = %v out of paper range", ev.Threshold2)
+			}
+		} else {
+			rsrpSeen++
+			rsrpT1[ev.Threshold1]++
+		}
+	}
+	if rsrqSeen == 0 || rsrpSeen == 0 {
+		t.Fatalf("A5 quantity mix: rsrq=%d rsrp=%d", rsrqSeen, rsrpSeen)
+	}
+	// Dominant RSRP setting ΘA5,S = −44 ("no requirement").
+	if f := float64(rsrpT1[-44]) / float64(rsrpSeen); f < 0.6 {
+		t.Errorf("ΘA5,S=-44 share = %v, want dominant", f)
+	}
+}
+
+func TestA3OffsetRanges(t *testing.T) {
+	gA := mustGen(t, "A")
+	gT := mustGen(t, "T")
+	for id := uint32(1); id <= 2000; id++ {
+		pos := geo.Pt(float64(id%50)*300, float64(id/50)*300)
+		siteA := attSite(id, 850, "C2", pos)
+		mcA := gA.measConfig(siteA, 0)
+		if ev := mcA.Reports[2]; ev.Type == config.EventA3 {
+			if ev.Offset < 0 || ev.Offset > 5 {
+				t.Fatalf("AT&T ΔA3 = %v outside [0,5]", ev.Offset)
+			}
+			if ev.Hysteresis < 1 || ev.Hysteresis > 2.5 {
+				t.Fatalf("AT&T HA3 = %v outside [1,2.5]", ev.Hysteresis)
+			}
+		}
+		siteT := CellSite{Carrier: "T", City: "C2", Pos: pos,
+			Identity: config.CellIdentity{CellID: id, EARFCN: 1950, RAT: config.RATLTE}}
+		mcT := gT.measConfig(siteT, 0)
+		if ev := mcT.Reports[2]; ev.Type == config.EventA3 {
+			if ev.Offset < -1 || ev.Offset > 15 {
+				t.Fatalf("T-Mobile ΔA3 = %v outside [-1,15]", ev.Offset)
+			}
+		}
+	}
+}
+
+func TestTMobileNegativeOffsetsExist(t *testing.T) {
+	g := mustGen(t, "T")
+	neg := 0
+	for id := uint32(1); id <= 4000; id++ {
+		site := CellSite{Carrier: "T", City: "C2", Pos: geo.Pt(float64(id%20)*5100, float64(id/20)*5100),
+			Identity: config.CellIdentity{CellID: id, EARFCN: 1950, RAT: config.RATLTE}}
+		if ev := g.measConfig(site, 0).Reports[2]; ev.Type == config.EventA3 && ev.Offset < 0 {
+			neg++
+		}
+	}
+	// §6: "Some negative offset values are observed in A3" (T-Mobile).
+	if neg == 0 {
+		t.Error("no negative ΔA3 generated for T-Mobile")
+	}
+}
+
+func TestTMobileSpatialUniformity(t *testing.T) {
+	g := mustGen(t, "T")
+	// Cells within the same 5km tile share idle parameter values (Fig. 21:
+	// T-Mobile proximity diversity ~ 0).
+	base := CellSite{Carrier: "T", City: "C3", Pos: geo.Pt(1000, 1000),
+		Identity: config.CellIdentity{CellID: 1, EARFCN: 1950, RAT: config.RATLTE}}
+	for id := uint32(2); id <= 30; id++ {
+		near := base
+		near.Identity.CellID = id
+		near.Pos = geo.Pt(1000+float64(id)*30, 1000+float64(id)*20) // within tile
+		a, b := g.servingConfig(base, 0), g.servingConfig(near, 0)
+		if a.ThreshServingLow != b.ThreshServingLow || a.SNonIntraSearch != b.SNonIntraSearch {
+			t.Fatalf("T-Mobile nearby cells differ: %+v vs %+v", a, b)
+		}
+	}
+}
+
+func TestATTSpatialDiversityExists(t *testing.T) {
+	g := mustGen(t, "A")
+	vals := map[float64]bool{}
+	for id := uint32(1); id <= 40; id++ {
+		site := attSite(id, 850, "C3", geo.Pt(1000+float64(id)*40, 1000))
+		vals[g.servingConfig(site, 0).ThreshServingLow] = true
+	}
+	// AT&T fine-tunes per cell even in close proximity (Fig. 21).
+	if len(vals) < 2 {
+		t.Error("AT&T nearby cells all identical; expected per-cell variation")
+	}
+}
+
+func TestSKTelecomSingleValued(t *testing.T) {
+	g := mustGen(t, "SK")
+	first := g.servingConfig(CellSite{Carrier: "SK", City: "KR", Pos: geo.Pt(500, 500),
+		Identity: config.CellIdentity{CellID: 1, EARFCN: g.Plan.channelsFor(config.RATLTE)[0].EARFCN, RAT: config.RATLTE}}, 0)
+	for id := uint32(2); id <= 200; id++ {
+		site := CellSite{Carrier: "SK", City: "KR", Pos: geo.Pt(float64(id)*997, float64(id)*313),
+			Identity: config.CellIdentity{CellID: id, EARFCN: g.Plan.channelsFor(config.RATLTE)[0].EARFCN, RAT: config.RATLTE}}
+		s := g.servingConfig(site, 0)
+		if s.QHyst != first.QHyst || s.QRxLevMin != first.QRxLevMin ||
+			s.SIntraSearch != first.SIntraSearch || s.ThreshServingLow != first.ThreshServingLow ||
+			s.Priority != first.Priority {
+			t.Fatalf("SK Telecom cell %d differs: %+v vs %+v", id, s, first)
+		}
+	}
+}
+
+func TestTemporalUpdates(t *testing.T) {
+	g := mustGen(t, "A")
+	idleChanged, activeChanged := 0, 0
+	const n = 3000
+	for id := uint32(1); id <= n; id++ {
+		site := attSite(id, 850, "C3", geo.Pt(float64(id%60)*200, float64(id/60)*200))
+		s0, s1 := g.servingConfig(site, 0), g.servingConfig(site, 1)
+		if s0 != s1 {
+			idleChanged++
+		}
+		e0, e1 := g.PrimaryEvent(site, 0), g.PrimaryEvent(site, 1)
+		m0, m1 := g.measConfig(site, 0).Reports[2], g.measConfig(site, 1).Reports[2]
+		if e0 != e1 || m0 != m1 {
+			activeChanged++
+		}
+	}
+	fIdle := float64(idleChanged) / n
+	fActive := float64(activeChanged) / n
+	// Fig. 13b: idle 0.4–1.6 %, active 21.2–24.1 %.
+	if fIdle < 0.002 || fIdle > 0.05 {
+		t.Errorf("idle update fraction = %v, want ~0.012", fIdle)
+	}
+	if fActive < 0.12 || fActive > 0.33 {
+		t.Errorf("active update fraction = %v, want ~0.22", fActive)
+	}
+	if fActive <= fIdle {
+		t.Error("active-state params must update more often than idle-state")
+	}
+}
+
+func TestAnomalousOrderingRare(t *testing.T) {
+	// Only CU and TH may invert Θintra < Θnonintra, and only rarely.
+	for _, acr := range []string{"A", "T", "V", "CM", "SK"} {
+		g := mustGen(t, acr)
+		ch := g.Plan.channelsFor(config.RATLTE)[0].EARFCN
+		for id := uint32(1); id <= 300; id++ {
+			site := CellSite{Carrier: acr, City: "C1", Pos: geo.Pt(float64(id)*321, float64(id)*123),
+				Identity: config.CellIdentity{CellID: id, EARFCN: ch, RAT: config.RATLTE}}
+			s := g.servingConfig(site, 0)
+			if s.SNonIntraSearch > s.SIntraSearch {
+				t.Fatalf("%s cell %d: Θnonintra %v > Θintra %v", acr, id, s.SNonIntraSearch, s.SIntraSearch)
+			}
+		}
+	}
+	inverted := 0
+	g := mustGen(t, "CU")
+	ch := g.Plan.channelsFor(config.RATLTE)[0].EARFCN
+	for id := uint32(1); id <= 3000; id++ {
+		site := CellSite{Carrier: "CU", City: "CN", Pos: geo.Pt(float64(id%20)*5200, float64(id/20)*5200),
+			Identity: config.CellIdentity{CellID: id, EARFCN: ch, RAT: config.RATLTE}}
+		s := g.servingConfig(site, 0)
+		if s.SNonIntraSearch > s.SIntraSearch {
+			inverted++
+		}
+	}
+	if inverted == 0 {
+		t.Error("CU should exhibit the rare inverted ordering somewhere")
+	}
+	if f := float64(inverted) / 3000; f > 0.15 {
+		t.Errorf("inversion too common: %v", f)
+	}
+}
+
+func TestMeasConfigStructure(t *testing.T) {
+	g := mustGen(t, "A")
+	site := attSite(9, 850, "C3", geo.Pt(100, 100))
+	mc := g.measConfig(site, 0)
+	if err := mc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if mc.Reports[1].Type != config.EventA2 {
+		t.Error("report 1 should be the A2 gate")
+	}
+	if len(mc.Objects) < 2 {
+		t.Errorf("objects = %d, want serving + neighbors", len(mc.Objects))
+	}
+	nObj := len(mc.Objects)
+	wantLinks := 2 * nObj // A2 gate per object + primary per object
+	if mc.Reports[2].Type == config.EventA3 {
+		// A2 gate per object, A3 on the serving object only, plus the
+		// inter-frequency coverage A5 on every non-serving object.
+		wantLinks = nObj + 1 + (nObj - 1)
+		if _, ok := mc.Reports[3]; !ok && nObj > 1 {
+			t.Error("A3-primary cell missing its coverage A5")
+		}
+	}
+	if len(mc.Links) != wantLinks {
+		t.Errorf("links = %d, want %d (primary %s)", len(mc.Links), wantLinks, mc.Reports[2].Type)
+	}
+	// Non-LTE cells carry no measConfig (D1 is 4G→4G active handoffs).
+	siteU := site
+	siteU.Identity.RAT = config.RATUMTS
+	cu := g.Config(siteU, 0)
+	if len(cu.Meas.Reports) != 0 {
+		t.Error("UMTS cell should have no active-state reports")
+	}
+}

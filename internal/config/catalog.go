@@ -1,0 +1,429 @@
+package config
+
+// The standard specifications "describe 66 parameters for a single 4G cell
+// and 91 parameters for 3G/2G RATs" (paper §1, Table 4: LTE 66, UMTS 64,
+// GSM 9, EVDO 14, CDMA1x 4 — the latter four summing to 91). The catalogs
+// below enumerate those parameters. Each descriptor can extract its
+// observed values from a CellConfig; descriptors for parameters that exist
+// in the standard but are not modeled (or, as in the paper, never observed)
+// have a nil extractor — the analysis skips them exactly as the paper's
+// Fig. 16 plots only the observed subset.
+
+// Category groups parameters as Table 2 does.
+type Category uint8
+
+// Parameter categories (Table 2 left column).
+const (
+	CatCellPriority Category = iota
+	CatRadioEval
+	CatTimer
+	CatMisc
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case CatCellPriority:
+		return "cell priority"
+	case CatRadioEval:
+		return "radio signal evaluation"
+	case CatTimer:
+		return "timer"
+	default:
+		return "misc"
+	}
+}
+
+// ParamDescriptor describes one standardized configuration parameter.
+type ParamDescriptor struct {
+	Name     string
+	Category Category
+	Message  string // carrying message: SIB1/3/4/5/6/7/8, measConfig
+	UsedFor  string // measurement / reporting / decision / calibration
+
+	// Extract returns the parameter's observed values at one cell (one
+	// value per instance: per-frequency parameters yield one value per
+	// FreqRelation, event parameters one per matching report config).
+	// nil means the parameter is standardized but not observable here.
+	Extract func(*CellConfig) []float64
+}
+
+// Observable reports whether the parameter can be crawled from a cell.
+func (p ParamDescriptor) Observable() bool { return p.Extract != nil }
+
+func one(v float64) []float64 { return []float64{v} }
+
+// extractServing lifts a serving-field getter to an extractor.
+func extractServing(get func(ServingCellConfig) float64) func(*CellConfig) []float64 {
+	return func(c *CellConfig) []float64 { return one(get(c.Serving)) }
+}
+
+// extractSpeedScaling lifts a speed-scaling getter; cells without the
+// block observe nothing.
+func extractSpeedScaling(get func(SpeedScaling) float64) func(*CellConfig) []float64 {
+	return func(c *CellConfig) []float64 {
+		if !c.Serving.SpeedScaling.Enabled {
+			return nil
+		}
+		return one(get(c.Serving.SpeedScaling))
+	}
+}
+
+// extractFreq lifts a FreqRelation getter to an extractor over frequencies
+// of the given RAT filter (nil filter = all).
+func extractFreq(want func(FreqRelation) bool, get func(FreqRelation) float64) func(*CellConfig) []float64 {
+	return func(c *CellConfig) []float64 {
+		var out []float64
+		for _, f := range c.Freqs {
+			if want == nil || want(f) {
+				out = append(out, get(f))
+			}
+		}
+		return out
+	}
+}
+
+func isRAT(r RAT) func(FreqRelation) bool {
+	return func(f FreqRelation) bool { return f.RAT == r }
+}
+
+// extractEvent lifts an EventConfig getter over report configs of a type.
+func extractEvent(t EventType, get func(EventConfig) float64) func(*CellConfig) []float64 {
+	return func(c *CellConfig) []float64 {
+		var out []float64
+		for _, id := range sortedReportIDs(c.Meas.Reports) {
+			r := c.Meas.Reports[id]
+			if r.Type == t {
+				out = append(out, get(r))
+			}
+		}
+		return out
+	}
+}
+
+func sortedReportIDs(m map[int]EventConfig) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ { // insertion sort; maps are tiny
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+// lteCatalog builds the 66-parameter LTE catalog.
+func lteCatalog() []ParamDescriptor {
+	ps := []ParamDescriptor{
+		// ---- SIB1 (3) ----
+		{Name: "qRxLevMin", Category: CatRadioEval, Message: "SIB1", UsedFor: "calibration",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QRxLevMin })},
+		{Name: "qRxLevMinOffset", Category: CatRadioEval, Message: "SIB1", UsedFor: "calibration"},
+		{Name: "qQualMin", Category: CatRadioEval, Message: "SIB1", UsedFor: "calibration",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QQualMin })},
+
+		// ---- SIB3 (15) ----
+		{Name: "cellReselectionPriority", Category: CatCellPriority, Message: "SIB3", UsedFor: "decision",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return float64(s.Priority) })},
+		{Name: "qHyst", Category: CatRadioEval, Message: "SIB3", UsedFor: "decision",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QHyst })},
+		{Name: "sIntraSearchP", Category: CatRadioEval, Message: "SIB3", UsedFor: "measurement",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.SIntraSearch })},
+		{Name: "sIntraSearchQ", Category: CatRadioEval, Message: "SIB3", UsedFor: "measurement",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.SIntraSearchQ })},
+		{Name: "sNonIntraSearchP", Category: CatRadioEval, Message: "SIB3", UsedFor: "measurement",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.SNonIntraSearch })},
+		{Name: "sNonIntraSearchQ", Category: CatRadioEval, Message: "SIB3", UsedFor: "measurement",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.SNonIntraSearchQ })},
+		{Name: "threshServingLowP", Category: CatRadioEval, Message: "SIB3", UsedFor: "decision",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.ThreshServingLow })},
+		{Name: "threshServingLowQ", Category: CatRadioEval, Message: "SIB3", UsedFor: "decision",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.ThreshServingLowQ })},
+		{Name: "tReselectionEUTRA", Category: CatTimer, Message: "SIB3", UsedFor: "decision",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return float64(s.TReselectionSec) })},
+		{Name: "tReselectionSFMedium", Category: CatTimer, Message: "SIB3", UsedFor: "decision",
+			Extract: extractSpeedScaling(func(sc SpeedScaling) float64 { return sc.TReselectionSFMedium })},
+		{Name: "tReselectionSFHigh", Category: CatTimer, Message: "SIB3", UsedFor: "decision",
+			Extract: extractSpeedScaling(func(sc SpeedScaling) float64 { return sc.TReselectionSFHigh })},
+		{Name: "qHystSFMedium", Category: CatRadioEval, Message: "SIB3", UsedFor: "decision",
+			Extract: extractSpeedScaling(func(sc SpeedScaling) float64 { return sc.QHystSFMedium })},
+		{Name: "qHystSFHigh", Category: CatRadioEval, Message: "SIB3", UsedFor: "decision",
+			Extract: extractSpeedScaling(func(sc SpeedScaling) float64 { return sc.QHystSFHigh })},
+		{Name: "tEvaluation", Category: CatTimer, Message: "SIB3", UsedFor: "measurement",
+			Extract: extractSpeedScaling(func(sc SpeedScaling) float64 { return float64(sc.TEvaluationSec) })},
+		{Name: "tHystNormal", Category: CatTimer, Message: "SIB3", UsedFor: "measurement",
+			Extract: extractSpeedScaling(func(sc SpeedScaling) float64 { return float64(sc.THystNormalSec) })},
+
+		// ---- SIB4 (2) ----
+		{Name: "qOffsetCell", Category: CatRadioEval, Message: "SIB4", UsedFor: "decision"},
+		{Name: "intraFreqBlackCells", Category: CatMisc, Message: "SIB4", UsedFor: "measurement",
+			Extract: func(c *CellConfig) []float64 { return one(float64(len(c.ForbiddenCells))) }},
+
+		// ---- SIB5: LTE inter-frequency (10) ----
+		{Name: "dlCarrierFreq", Category: CatMisc, Message: "SIB5", UsedFor: "measurement",
+			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return float64(f.EARFCN) })},
+		{Name: "interFreqPriority", Category: CatCellPriority, Message: "SIB5", UsedFor: "decision",
+			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return float64(f.Priority) })},
+		{Name: "threshXHighP", Category: CatRadioEval, Message: "SIB5", UsedFor: "decision",
+			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return f.ThreshHigh })},
+		{Name: "threshXLowP", Category: CatRadioEval, Message: "SIB5", UsedFor: "decision",
+			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return f.ThreshLow })},
+		{Name: "threshXHighQ", Category: CatRadioEval, Message: "SIB5", UsedFor: "decision"},
+		{Name: "threshXLowQ", Category: CatRadioEval, Message: "SIB5", UsedFor: "decision"},
+		{Name: "interFreqQRxLevMin", Category: CatRadioEval, Message: "SIB5", UsedFor: "calibration",
+			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return f.QRxLevMin })},
+		{Name: "qOffsetFreq", Category: CatRadioEval, Message: "SIB5", UsedFor: "decision",
+			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return f.QOffsetFreq })},
+		{Name: "tReselectionInterFreq", Category: CatTimer, Message: "SIB5", UsedFor: "decision",
+			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return float64(f.TReselectionSec) })},
+		{Name: "allowedMeasBandwidth", Category: CatMisc, Message: "SIB5", UsedFor: "measurement",
+			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return float64(f.MeasBandwidthRBs) })},
+
+		// ---- SIB6: UMTS neighbors (7) ----
+		{Name: "utraCarrierFreq", Category: CatMisc, Message: "SIB6", UsedFor: "measurement",
+			Extract: extractFreq(isRAT(RATUMTS), func(f FreqRelation) float64 { return float64(f.EARFCN) })},
+		{Name: "utraPriority", Category: CatCellPriority, Message: "SIB6", UsedFor: "decision",
+			Extract: extractFreq(isRAT(RATUMTS), func(f FreqRelation) float64 { return float64(f.Priority) })},
+		{Name: "utraThreshXHigh", Category: CatRadioEval, Message: "SIB6", UsedFor: "decision",
+			Extract: extractFreq(isRAT(RATUMTS), func(f FreqRelation) float64 { return f.ThreshHigh })},
+		{Name: "utraThreshXLow", Category: CatRadioEval, Message: "SIB6", UsedFor: "decision",
+			Extract: extractFreq(isRAT(RATUMTS), func(f FreqRelation) float64 { return f.ThreshLow })},
+		{Name: "utraQRxLevMin", Category: CatRadioEval, Message: "SIB6", UsedFor: "calibration",
+			Extract: extractFreq(isRAT(RATUMTS), func(f FreqRelation) float64 { return f.QRxLevMin })},
+		{Name: "utraQQualMin", Category: CatRadioEval, Message: "SIB6", UsedFor: "calibration"},
+		{Name: "tReselectionUTRA", Category: CatTimer, Message: "SIB6", UsedFor: "decision",
+			Extract: extractFreq(isRAT(RATUMTS), func(f FreqRelation) float64 { return float64(f.TReselectionSec) })},
+
+		// ---- SIB7: GERAN neighbors (6) ----
+		{Name: "geranStartingARFCN", Category: CatMisc, Message: "SIB7", UsedFor: "measurement",
+			Extract: extractFreq(isRAT(RATGSM), func(f FreqRelation) float64 { return float64(f.EARFCN) })},
+		{Name: "geranPriority", Category: CatCellPriority, Message: "SIB7", UsedFor: "decision",
+			Extract: extractFreq(isRAT(RATGSM), func(f FreqRelation) float64 { return float64(f.Priority) })},
+		{Name: "geranThreshXHigh", Category: CatRadioEval, Message: "SIB7", UsedFor: "decision",
+			Extract: extractFreq(isRAT(RATGSM), func(f FreqRelation) float64 { return f.ThreshHigh })},
+		{Name: "geranThreshXLow", Category: CatRadioEval, Message: "SIB7", UsedFor: "decision",
+			Extract: extractFreq(isRAT(RATGSM), func(f FreqRelation) float64 { return f.ThreshLow })},
+		{Name: "geranQRxLevMin", Category: CatRadioEval, Message: "SIB7", UsedFor: "calibration",
+			Extract: extractFreq(isRAT(RATGSM), func(f FreqRelation) float64 { return f.QRxLevMin })},
+		{Name: "tReselectionGERAN", Category: CatTimer, Message: "SIB7", UsedFor: "decision",
+			Extract: extractFreq(isRAT(RATGSM), func(f FreqRelation) float64 { return float64(f.TReselectionSec) })},
+
+		// ---- SIB8: CDMA2000 neighbors (6) ----
+		{Name: "cdmaBandClass", Category: CatMisc, Message: "SIB8", UsedFor: "measurement",
+			Extract: extractFreq(func(f FreqRelation) bool { return f.RAT == RATEVDO || f.RAT == RATCDMA1x },
+				func(f FreqRelation) float64 { return float64(f.EARFCN) })},
+		{Name: "cdmaPriority", Category: CatCellPriority, Message: "SIB8", UsedFor: "decision",
+			Extract: extractFreq(func(f FreqRelation) bool { return f.RAT == RATEVDO || f.RAT == RATCDMA1x },
+				func(f FreqRelation) float64 { return float64(f.Priority) })},
+		{Name: "cdmaThreshXHigh", Category: CatRadioEval, Message: "SIB8", UsedFor: "decision",
+			Extract: extractFreq(func(f FreqRelation) bool { return f.RAT == RATEVDO || f.RAT == RATCDMA1x },
+				func(f FreqRelation) float64 { return f.ThreshHigh })},
+		{Name: "cdmaThreshXLow", Category: CatRadioEval, Message: "SIB8", UsedFor: "decision",
+			Extract: extractFreq(func(f FreqRelation) bool { return f.RAT == RATEVDO || f.RAT == RATCDMA1x },
+				func(f FreqRelation) float64 { return f.ThreshLow })},
+		{Name: "cdmaQRxLevMin", Category: CatRadioEval, Message: "SIB8", UsedFor: "calibration",
+			Extract: extractFreq(func(f FreqRelation) bool { return f.RAT == RATEVDO || f.RAT == RATCDMA1x },
+				func(f FreqRelation) float64 { return f.QRxLevMin })},
+		{Name: "tReselectionCDMA", Category: CatTimer, Message: "SIB8", UsedFor: "decision",
+			Extract: extractFreq(func(f FreqRelation) bool { return f.RAT == RATEVDO || f.RAT == RATCDMA1x },
+				func(f FreqRelation) float64 { return float64(f.TReselectionSec) })},
+
+		// ---- measConfig: active-state (17) ----
+		{Name: "filterCoefficientRSRP", Category: CatMisc, Message: "measConfig", UsedFor: "measurement",
+			Extract: func(c *CellConfig) []float64 { return one(float64(c.Meas.FilterK)) }},
+		{Name: "sMeasure", Category: CatRadioEval, Message: "measConfig", UsedFor: "measurement",
+			Extract: func(c *CellConfig) []float64 {
+				if c.Meas.SMeasure == 0 {
+					return nil
+				}
+				return one(c.Meas.SMeasure)
+			}},
+		{Name: "a1Threshold", Category: CatRadioEval, Message: "event A1", UsedFor: "reporting",
+			Extract: extractEvent(EventA1, func(e EventConfig) float64 { return e.Threshold1 })},
+		{Name: "a1Hysteresis", Category: CatRadioEval, Message: "event A1", UsedFor: "reporting",
+			Extract: extractEvent(EventA1, func(e EventConfig) float64 { return e.Hysteresis })},
+		{Name: "a1TimeToTrigger", Category: CatTimer, Message: "event A1", UsedFor: "reporting",
+			Extract: extractEvent(EventA1, func(e EventConfig) float64 { return float64(e.TimeToTriggerMs) })},
+		{Name: "a2Threshold", Category: CatRadioEval, Message: "event A2", UsedFor: "reporting",
+			Extract: extractEvent(EventA2, func(e EventConfig) float64 { return e.Threshold1 })},
+		{Name: "a2Hysteresis", Category: CatRadioEval, Message: "event A2", UsedFor: "reporting",
+			Extract: extractEvent(EventA2, func(e EventConfig) float64 { return e.Hysteresis })},
+		{Name: "a2TimeToTrigger", Category: CatTimer, Message: "event A2", UsedFor: "reporting",
+			Extract: extractEvent(EventA2, func(e EventConfig) float64 { return float64(e.TimeToTriggerMs) })},
+		{Name: "a3Offset", Category: CatRadioEval, Message: "event A3", UsedFor: "reporting",
+			Extract: extractEvent(EventA3, func(e EventConfig) float64 { return e.Offset })},
+		{Name: "a3Hysteresis", Category: CatRadioEval, Message: "event A3", UsedFor: "reporting",
+			Extract: extractEvent(EventA3, func(e EventConfig) float64 { return e.Hysteresis })},
+		{Name: "a3TimeToTrigger", Category: CatTimer, Message: "event A3", UsedFor: "reporting",
+			Extract: extractEvent(EventA3, func(e EventConfig) float64 { return float64(e.TimeToTriggerMs) })},
+		{Name: "a4Threshold", Category: CatRadioEval, Message: "event A4", UsedFor: "reporting",
+			Extract: extractEvent(EventA4, func(e EventConfig) float64 { return e.Threshold2 })},
+		{Name: "a5Threshold1", Category: CatRadioEval, Message: "event A5", UsedFor: "reporting",
+			Extract: extractEvent(EventA5, func(e EventConfig) float64 { return e.Threshold1 })},
+		{Name: "a5Threshold2", Category: CatRadioEval, Message: "event A5", UsedFor: "reporting",
+			Extract: extractEvent(EventA5, func(e EventConfig) float64 { return e.Threshold2 })},
+		{Name: "a5TimeToTrigger", Category: CatTimer, Message: "event A5", UsedFor: "reporting",
+			Extract: extractEvent(EventA5, func(e EventConfig) float64 { return float64(e.TimeToTriggerMs) })},
+		{Name: "b1Threshold", Category: CatRadioEval, Message: "event B1", UsedFor: "reporting",
+			Extract: extractEvent(EventB1, func(e EventConfig) float64 { return e.Threshold2 })},
+		{Name: "b2Threshold1", Category: CatRadioEval, Message: "event B2", UsedFor: "reporting",
+			Extract: extractEvent(EventB2, func(e EventConfig) float64 { return e.Threshold1 })},
+	}
+	return ps
+}
+
+// umtsCatalog builds the 64-parameter UMTS catalog (TS 25.331/25.304:
+// reselection block, HCS block, and the e1a–e1f intra-frequency plus
+// e2a–e2f inter-frequency/RAT event families). Our simulated UMTS cells
+// share the CellConfig schema, so the reselection core is observable and
+// the legacy HCS/event internals are standardized-but-unobserved, matching
+// the paper's "most [3G] parameters... single dominant value" (§5.5).
+func umtsCatalog() []ParamDescriptor {
+	ps := []ParamDescriptor{
+		{Name: "qHyst1s", Category: CatRadioEval, Message: "SIB3", UsedFor: "decision",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QHyst })},
+		{Name: "qHyst2s", Category: CatRadioEval, Message: "SIB3", UsedFor: "decision"},
+		{Name: "sIntrasearch", Category: CatRadioEval, Message: "SIB3", UsedFor: "measurement",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.SIntraSearch })},
+		{Name: "sIntersearch", Category: CatRadioEval, Message: "SIB3", UsedFor: "measurement",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.SNonIntraSearch })},
+		{Name: "sSearchRAT", Category: CatRadioEval, Message: "SIB3", UsedFor: "measurement",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.SNonIntraSearchQ })},
+		{Name: "qRxLevMin", Category: CatRadioEval, Message: "SIB3", UsedFor: "calibration",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QRxLevMin })},
+		{Name: "qQualMin", Category: CatRadioEval, Message: "SIB3", UsedFor: "calibration",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QQualMin })},
+		{Name: "tReselectionS", Category: CatTimer, Message: "SIB3", UsedFor: "decision",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return float64(s.TReselectionSec) })},
+		{Name: "cellReselectionPriority", Category: CatCellPriority, Message: "SIB19", UsedFor: "decision",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return float64(s.Priority) })},
+		{Name: "threshServingLow", Category: CatRadioEval, Message: "SIB19", UsedFor: "decision",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.ThreshServingLow })},
+		{Name: "eutraPriority", Category: CatCellPriority, Message: "SIB19", UsedFor: "decision",
+			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return float64(f.Priority) })},
+		{Name: "eutraThreshHigh", Category: CatRadioEval, Message: "SIB19", UsedFor: "decision",
+			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return f.ThreshHigh })},
+		{Name: "eutraThreshLow", Category: CatRadioEval, Message: "SIB19", UsedFor: "decision",
+			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return f.ThreshLow })},
+		{Name: "eutraQRxLevMin", Category: CatRadioEval, Message: "SIB19", UsedFor: "calibration",
+			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return f.QRxLevMin })},
+		{Name: "interFreqCarrier", Category: CatMisc, Message: "SIB11", UsedFor: "measurement",
+			Extract: extractFreq(isRAT(RATUMTS), func(f FreqRelation) float64 { return float64(f.EARFCN) })},
+		{Name: "interFreqQOffset", Category: CatRadioEval, Message: "SIB11", UsedFor: "decision",
+			Extract: extractFreq(isRAT(RATUMTS), func(f FreqRelation) float64 { return f.QOffsetFreq })},
+	}
+	// HCS block (8): standardized, legacy, unobserved.
+	for _, n := range []string{"hcsPrio", "qHCS", "tCRMax", "nCR", "tCRMaxHyst", "penaltyTime", "temporaryOffset1", "temporaryOffset2"} {
+		ps = append(ps, ParamDescriptor{Name: n, Category: CatRadioEval, Message: "SIB3", UsedFor: "decision"})
+	}
+	// Intra/inter-frequency measurement events e1a–e1f, e2a–e2f with
+	// threshold/hysteresis/timeToTrigger each (36), plus 4 filter/quantity
+	// knobs: standardized; our UMTS cells are idle-state only (as in the
+	// paper's D1, which studies 4G→4G active handoffs), so unobserved.
+	for _, ev := range []string{"e1a", "e1b", "e1c", "e1d", "e1e", "e1f", "e2a", "e2b", "e2c", "e2d", "e2e", "e2f"} {
+		ps = append(ps,
+			ParamDescriptor{Name: ev + "Threshold", Category: CatRadioEval, Message: "MEASUREMENT CONTROL", UsedFor: "reporting"},
+			ParamDescriptor{Name: ev + "Hysteresis", Category: CatRadioEval, Message: "MEASUREMENT CONTROL", UsedFor: "reporting"},
+			ParamDescriptor{Name: ev + "TimeToTrigger", Category: CatTimer, Message: "MEASUREMENT CONTROL", UsedFor: "reporting"},
+		)
+	}
+	for _, n := range []string{"filterCoefficient", "measQuantityCPICH", "maxReportedCells", "reportingInterval"} {
+		ps = append(ps, ParamDescriptor{Name: n, Category: CatMisc, Message: "MEASUREMENT CONTROL", UsedFor: "reporting"})
+	}
+	return ps
+}
+
+// gsmCatalog builds the 9-parameter GSM catalog (TS 45.008 C1/C2
+// reselection).
+func gsmCatalog() []ParamDescriptor {
+	return []ParamDescriptor{
+		{Name: "cellReselectHysteresis", Category: CatRadioEval, Message: "SI3", UsedFor: "decision",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QHyst })},
+		{Name: "rxLevAccessMin", Category: CatRadioEval, Message: "SI3", UsedFor: "calibration",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QRxLevMin })},
+		{Name: "msTxPwrMaxCCH", Category: CatMisc, Message: "SI3", UsedFor: "calibration"},
+		{Name: "cellReselectOffset", Category: CatRadioEval, Message: "SI4", UsedFor: "decision",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.ThreshServingLow })},
+		{Name: "temporaryOffset", Category: CatRadioEval, Message: "SI4", UsedFor: "decision"},
+		{Name: "penaltyTime", Category: CatTimer, Message: "SI4", UsedFor: "decision"},
+		{Name: "cellBarQualify", Category: CatMisc, Message: "SI4", UsedFor: "decision"},
+		{Name: "gprsReselection", Category: CatMisc, Message: "SI13", UsedFor: "decision"},
+		{Name: "eutranPriority", Category: CatCellPriority, Message: "SI2quater", UsedFor: "decision",
+			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return float64(f.Priority) })},
+	}
+}
+
+// evdoCatalog builds the 14-parameter 3G EV-DO catalog (C.S0024 idle
+// handoff + pilot sets).
+func evdoCatalog() []ParamDescriptor {
+	ps := []ParamDescriptor{
+		{Name: "pilotAdd", Category: CatRadioEval, Message: "SectorParameters", UsedFor: "decision",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.ThreshServingLow })},
+		{Name: "pilotDrop", Category: CatRadioEval, Message: "SectorParameters", UsedFor: "decision",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.SIntraSearch })},
+		{Name: "pilotDropTimer", Category: CatTimer, Message: "SectorParameters", UsedFor: "decision",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return float64(s.TReselectionSec) })},
+		{Name: "pilotCompare", Category: CatRadioEval, Message: "SectorParameters", UsedFor: "decision",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QHyst })},
+		{Name: "pilotIncrement", Category: CatMisc, Message: "SectorParameters", UsedFor: "measurement"},
+	}
+	for _, n := range []string{"searchWindowActive", "searchWindowNeighbor", "searchWindowRemaining",
+		"softSlope", "addIntercept", "dropIntercept", "neighborMaxAge", "channelList", "accessHashingChannelMask"} {
+		ps = append(ps, ParamDescriptor{Name: n, Category: CatMisc, Message: "SectorParameters", UsedFor: "measurement"})
+	}
+	return ps
+}
+
+// cdma1xCatalog builds the 4-parameter CDMA 1x catalog.
+func cdma1xCatalog() []ParamDescriptor {
+	return []ParamDescriptor{
+		{Name: "tAdd", Category: CatRadioEval, Message: "SystemParameters", UsedFor: "decision",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.ThreshServingLow })},
+		{Name: "tDrop", Category: CatRadioEval, Message: "SystemParameters", UsedFor: "decision",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.SIntraSearch })},
+		{Name: "tComp", Category: CatRadioEval, Message: "SystemParameters", UsedFor: "decision",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QHyst })},
+		{Name: "tTDrop", Category: CatTimer, Message: "SystemParameters", UsedFor: "decision",
+			Extract: extractServing(func(s ServingCellConfig) float64 { return float64(s.TReselectionSec) })},
+	}
+}
+
+var catalogs = map[RAT][]ParamDescriptor{
+	RATLTE:    lteCatalog(),
+	RATUMTS:   umtsCatalog(),
+	RATGSM:    gsmCatalog(),
+	RATEVDO:   evdoCatalog(),
+	RATCDMA1x: cdma1xCatalog(),
+}
+
+// Catalog returns the standardized parameter catalog for a RAT. The slice
+// is shared; callers must not modify it.
+func Catalog(rat RAT) []ParamDescriptor { return catalogs[rat] }
+
+// CatalogSize returns the number of standardized parameters for a RAT
+// (Table 4's "#. parameter" row).
+func CatalogSize(rat RAT) int { return len(catalogs[rat]) }
+
+// FindParam looks a parameter up by name within a RAT's catalog.
+func FindParam(rat RAT, name string) (ParamDescriptor, bool) {
+	for _, p := range catalogs[rat] {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return ParamDescriptor{}, false
+}
+
+// ObservableParams returns the catalog subset with extractors, the
+// parameters a device-side crawler can actually see.
+func ObservableParams(rat RAT) []ParamDescriptor {
+	var out []ParamDescriptor
+	for _, p := range catalogs[rat] {
+		if p.Observable() {
+			out = append(out, p)
+		}
+	}
+	return out
+}

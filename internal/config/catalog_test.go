@@ -1,0 +1,207 @@
+package config
+
+import "testing"
+
+func TestCatalogSizesMatchTable4(t *testing.T) {
+	// Paper Table 4: LTE 66, UMTS 64, GSM 9, EVDO 14, CDMA1x 4
+	// (and §1: "66 parameters for a single 4G cell and 91 parameters for
+	// 3G/2G RATs" — 64+9+14+4 = 91).
+	want := map[RAT]int{RATLTE: 66, RATUMTS: 64, RATGSM: 9, RATEVDO: 14, RATCDMA1x: 4}
+	total3g2g := 0
+	for rat, n := range want {
+		if got := CatalogSize(rat); got != n {
+			t.Errorf("CatalogSize(%s) = %d, want %d", rat, got, n)
+		}
+		if rat != RATLTE {
+			total3g2g += CatalogSize(rat)
+		}
+	}
+	if total3g2g != 91 {
+		t.Errorf("3G/2G parameter total = %d, want 91", total3g2g)
+	}
+}
+
+func TestCatalogNamesUnique(t *testing.T) {
+	for _, rat := range AllRATs() {
+		seen := map[string]bool{}
+		for _, p := range Catalog(rat) {
+			if p.Name == "" {
+				t.Errorf("%s: empty parameter name", rat)
+			}
+			if seen[p.Name] {
+				t.Errorf("%s: duplicate parameter %q", rat, p.Name)
+			}
+			seen[p.Name] = true
+			if p.Message == "" || p.UsedFor == "" {
+				t.Errorf("%s/%s: missing message/usedFor", rat, p.Name)
+			}
+		}
+	}
+}
+
+func TestCategoriesRender(t *testing.T) {
+	for _, c := range []Category{CatCellPriority, CatRadioEval, CatTimer, CatMisc} {
+		if c.String() == "" {
+			t.Errorf("Category %d renders empty", c)
+		}
+	}
+}
+
+func TestFindParam(t *testing.T) {
+	p, ok := FindParam(RATLTE, "a3Offset")
+	if !ok || p.Name != "a3Offset" {
+		t.Fatal("a3Offset not found in LTE catalog")
+	}
+	if _, ok := FindParam(RATLTE, "nonsense"); ok {
+		t.Error("nonsense should not be found")
+	}
+	if _, ok := FindParam(RATGSM, "a3Offset"); ok {
+		t.Error("a3Offset is not a GSM parameter")
+	}
+}
+
+func TestLTEExtractionOnValidCell(t *testing.T) {
+	c := validCell()
+	// Table 2's main parameters must be observable and extract the
+	// configured values.
+	cases := map[string]float64{
+		"cellReselectionPriority": 7,
+		"qHyst":                   4,
+		"sIntraSearchP":           62,
+		"sNonIntraSearchP":        28,
+		"qRxLevMin":               -122,
+		"threshServingLowP":       6,
+		"tReselectionEUTRA":       2,
+		"a3Offset":                3,
+		"a3Hysteresis":            1,
+		"a3TimeToTrigger":         320,
+		"filterCoefficientRSRP":   4,
+	}
+	for name, want := range cases {
+		p, ok := FindParam(RATLTE, name)
+		if !ok {
+			t.Errorf("%s missing from catalog", name)
+			continue
+		}
+		if !p.Observable() {
+			t.Errorf("%s should be observable", name)
+			continue
+		}
+		vals := p.Extract(c)
+		if len(vals) != 1 || vals[0] != want {
+			t.Errorf("%s extracted %v, want [%v]", name, vals, want)
+		}
+	}
+}
+
+func TestPerFreqExtraction(t *testing.T) {
+	c := validCell()
+	c.Freqs = append(c.Freqs,
+		FreqRelation{EARFCN: 2000, RAT: RATLTE, Priority: 5, ThreshHigh: 10, ThreshLow: 2, QRxLevMin: -120, TReselectionSec: 1, MeasBandwidthRBs: 100},
+		FreqRelation{EARFCN: 4435, RAT: RATUMTS, Priority: 3, ThreshHigh: 8, ThreshLow: 2, QRxLevMin: -115, TReselectionSec: 2},
+	)
+	p, _ := FindParam(RATLTE, "interFreqPriority")
+	vals := p.Extract(c)
+	if len(vals) != 2 { // only the two LTE freqs
+		t.Fatalf("interFreqPriority extracted %v", vals)
+	}
+	p, _ = FindParam(RATLTE, "utraPriority")
+	vals = p.Extract(c)
+	if len(vals) != 1 || vals[0] != 3 {
+		t.Errorf("utraPriority extracted %v, want [3]", vals)
+	}
+	p, _ = FindParam(RATLTE, "dlCarrierFreq")
+	vals = p.Extract(c)
+	if len(vals) != 2 || vals[0] != 5780 || vals[1] != 2000 {
+		t.Errorf("dlCarrierFreq extracted %v", vals)
+	}
+}
+
+func TestEventExtractionPerType(t *testing.T) {
+	c := validCell()
+	c.Meas.Reports[2] = EventConfig{
+		Type: EventA5, Quantity: RSRP, Threshold1: -44, Threshold2: -114,
+		Hysteresis: 1, TimeToTriggerMs: 640, ReportIntervalMs: 240,
+	}
+	c.Meas.Reports[3] = EventConfig{
+		Type: EventA2, Quantity: RSRP, Threshold1: -110,
+		Hysteresis: 2, TimeToTriggerMs: 320, ReportIntervalMs: 240,
+	}
+	p, _ := FindParam(RATLTE, "a5Threshold1")
+	if vals := p.Extract(c); len(vals) != 1 || vals[0] != -44 {
+		t.Errorf("a5Threshold1 = %v", vals)
+	}
+	p, _ = FindParam(RATLTE, "a5Threshold2")
+	if vals := p.Extract(c); len(vals) != 1 || vals[0] != -114 {
+		t.Errorf("a5Threshold2 = %v", vals)
+	}
+	p, _ = FindParam(RATLTE, "a2Threshold")
+	if vals := p.Extract(c); len(vals) != 1 || vals[0] != -110 {
+		t.Errorf("a2Threshold = %v", vals)
+	}
+	// No A1 configured → empty extraction, not a zero value.
+	p, _ = FindParam(RATLTE, "a1Threshold")
+	if vals := p.Extract(c); len(vals) != 0 {
+		t.Errorf("a1Threshold on cell without A1 = %v", vals)
+	}
+}
+
+func TestSMeasureZeroMeansDisabled(t *testing.T) {
+	c := validCell()
+	c.Meas.SMeasure = 0
+	p, _ := FindParam(RATLTE, "sMeasure")
+	if vals := p.Extract(c); len(vals) != 0 {
+		t.Errorf("disabled sMeasure should extract nothing, got %v", vals)
+	}
+	c.Meas.SMeasure = -97
+	if vals := p.Extract(c); len(vals) != 1 || vals[0] != -97 {
+		t.Errorf("sMeasure = %v", vals)
+	}
+}
+
+func TestObservableParams(t *testing.T) {
+	obs := ObservableParams(RATLTE)
+	if len(obs) == 0 || len(obs) >= CatalogSize(RATLTE) {
+		t.Errorf("LTE observable = %d of %d; want a strict non-empty subset",
+			len(obs), CatalogSize(RATLTE))
+	}
+	for _, p := range obs {
+		if !p.Observable() {
+			t.Errorf("%s in observable set without extractor", p.Name)
+		}
+	}
+	// UMTS/GSM/EVDO/CDMA1x each observe at least their reselection core.
+	for _, rat := range []RAT{RATUMTS, RATGSM, RATEVDO, RATCDMA1x} {
+		if len(ObservableParams(rat)) < 3 {
+			t.Errorf("%s observable subset too small: %d", rat, len(ObservableParams(rat)))
+		}
+	}
+}
+
+func TestExtractorsNeverPanicOnMinimalCell(t *testing.T) {
+	c := &CellConfig{Identity: CellIdentity{RAT: RATLTE}}
+	for _, rat := range AllRATs() {
+		for _, p := range Catalog(rat) {
+			if p.Extract == nil {
+				continue
+			}
+			_ = p.Extract(c) // must not panic on empty maps/slices
+		}
+	}
+}
+
+func TestEventParamsUnobservedWithoutReports(t *testing.T) {
+	// Idle-only cells (3G/2G in D1) have no measConfig reports; every event
+	// extractor must return empty.
+	c := validCell()
+	c.Meas.Reports = nil
+	for _, name := range []string{"a1Threshold", "a2Threshold", "a3Offset", "a4Threshold", "a5Threshold1", "b1Threshold", "b2Threshold1"} {
+		p, ok := FindParam(RATLTE, name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		if vals := p.Extract(c); len(vals) != 0 {
+			t.Errorf("%s on report-less cell = %v", name, vals)
+		}
+	}
+}

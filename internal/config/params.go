@@ -1,0 +1,371 @@
+package config
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// CellIdentity names a cell uniquely within a carrier and carries the two
+// structural attributes the paper's analysis conditions on: RAT and
+// frequency channel (EARFCN/UARFCN/ARFCN, uniformly "channel" here).
+type CellIdentity struct {
+	CellID uint32 // global cell identity, carrier-scoped
+	PCI    uint16 // physical-layer cell identity (0..503 for LTE)
+	EARFCN uint32 // absolute radio frequency channel number
+	RAT    RAT
+}
+
+// String renders "LTE/5780#12345".
+func (id CellIdentity) String() string {
+	return fmt.Sprintf("%s/%d#%d", id.RAT, id.EARFCN, id.CellID)
+}
+
+// ServingCellConfig carries the serving-cell parameters broadcast in SIB3
+// (plus the SIB1 minimum level): the idle-state measurement-triggering and
+// decision knobs of Table 2.
+type ServingCellConfig struct {
+	Priority int // Ps: cell-reselection priority, 0..7, 7 most preferred
+
+	QHyst float64 // Hs: hysteresis added to the serving cell's rank (dB)
+
+	// Measurement-triggering thresholds (Eq. 1): intra-frequency neighbor
+	// measurement starts when rS ≤ Δmin + Θintra, non-intra-frequency
+	// measurement when rS ≤ Δmin + Θnonintra. Values are in dB above
+	// QRxLevMin, 0..62.
+	SIntraSearch     float64 // Θintra (RSRP leg)
+	SIntraSearchQ    float64 // Θintra,rsrq (dB above QQualMin)
+	SNonIntraSearch  float64 // Θnonintra (RSRP leg)
+	SNonIntraSearchQ float64 // Θnonintra,rsrq
+
+	QRxLevMin float64 // Δmin: minimum required RSRP (dBm); calibration level
+	QQualMin  float64 // Δmin,rsrq: minimum required RSRQ (dB)
+
+	// Decision thresholds for leaving toward a lower-priority layer
+	// (Eq. 3 case 3): serving must be below Δmin + ThreshServingLow.
+	ThreshServingLow  float64 // Θ(s)lower, dB above QRxLevMin
+	ThreshServingLowQ float64 // RSRQ leg
+
+	TReselectionSec int // Treselect: seconds a ranking must hold (Tdecision for idle)
+
+	THigherMeasSec int // period for measuring higher-priority layers when above thresholds
+
+	// Speed-dependent scaling (TS 36.304 §5.2.4.3): devices that reselect
+	// often enter medium/high mobility state, which scales Treselect by
+	// the SF factors and adds the (negative) QHystSF deltas to QHyst so
+	// fast movers hand off with less damping.
+	SpeedScaling SpeedScaling
+}
+
+// SpeedScaling carries the SIB3 speedStateReselectionPars block. The zero
+// value (Enabled false) means the cell does not broadcast it.
+type SpeedScaling struct {
+	Enabled bool
+
+	// NCellChangeMedium/High: reselection counts within TEvaluationSec
+	// that enter medium / high mobility state.
+	NCellChangeMedium int
+	NCellChangeHigh   int
+	TEvaluationSec    int // sliding evaluation window
+	THystNormalSec    int // quiet time required to fall back to normal
+
+	// Treselection scaling factors in {0.25, 0.5, 0.75, 1.0}.
+	TReselectionSFMedium float64
+	TReselectionSFHigh   float64
+	// QHyst additive deltas in dB, −6..0.
+	QHystSFMedium float64
+	QHystSFHigh   float64
+}
+
+// Validate checks the speed-scaling block against TS 36.304 domains.
+func (sc SpeedScaling) Validate() error {
+	if !sc.Enabled {
+		return nil
+	}
+	if sc.NCellChangeMedium < 1 || sc.NCellChangeMedium > 16 ||
+		sc.NCellChangeHigh < 1 || sc.NCellChangeHigh > 16 {
+		return fmt.Errorf("%w: nCellChange medium=%d high=%d", ErrThresholdRange, sc.NCellChangeMedium, sc.NCellChangeHigh)
+	}
+	if sc.NCellChangeHigh < sc.NCellChangeMedium {
+		return fmt.Errorf("%w: nCellChangeHigh below medium", ErrThresholdRange)
+	}
+	okT := map[int]bool{30: true, 60: true, 120: true, 180: true, 240: true}
+	if !okT[sc.TEvaluationSec] || !okT[sc.THystNormalSec] {
+		return fmt.Errorf("%w: tEvaluation=%ds tHystNormal=%ds", ErrTimerRange, sc.TEvaluationSec, sc.THystNormalSec)
+	}
+	okSF := map[float64]bool{0.25: true, 0.5: true, 0.75: true, 1.0: true}
+	if !okSF[sc.TReselectionSFMedium] || !okSF[sc.TReselectionSFHigh] {
+		return fmt.Errorf("%w: tReselectionSF medium=%g high=%g", ErrTimerRange, sc.TReselectionSFMedium, sc.TReselectionSFHigh)
+	}
+	if sc.QHystSFMedium < -6 || sc.QHystSFMedium > 0 || sc.QHystSFHigh < -6 || sc.QHystSFHigh > 0 {
+		return fmt.Errorf("%w: qHystSF medium=%g high=%g", ErrThresholdRange, sc.QHystSFMedium, sc.QHystSFHigh)
+	}
+	return nil
+}
+
+// FreqRelation is one candidate-frequency entry from SIB5 (intra-RAT
+// inter-frequency), SIB6 (UMTS), SIB7 (GSM) or SIB8 (CDMA2000): the
+// per-frequency priority and decision thresholds of Table 2.
+type FreqRelation struct {
+	EARFCN uint32
+	RAT    RAT
+
+	Priority int // Pc (per-frequency P_freq)
+
+	ThreshHigh float64 // Θ(c)higher: entry level toward a higher-priority layer (dB above that layer's Δmin)
+	ThreshLow  float64 // Θ(c)lower: entry level toward a lower-priority layer
+
+	QRxLevMin   float64 // Δmin for cells on this frequency (dBm)
+	QOffsetFreq float64 // Δfreq: frequency-specific rank offset for equal priority (dB)
+
+	TReselectionSec  int
+	MeasBandwidthRBs int // maximum measurement bandwidth (resource blocks)
+}
+
+// EventConfig is one reporting configuration (ReportConfigEUTRA): an event
+// of Table 2's "radio signal evaluation" block with its thresholds Θe,
+// hysteresis He, offset Δe and timers (paper Eq. 2 shows the A3 form).
+type EventConfig struct {
+	Type     EventType
+	Quantity Quantity // trigger quantity: RSRP or RSRQ
+
+	// Threshold1 applies to the serving cell (A1, A2, and the first leg of
+	// A5/B2); Threshold2 to the neighbor (A4, second leg of A5/B2, B1).
+	// Absolute values: dBm for RSRP, dB for RSRQ.
+	Threshold1 float64
+	Threshold2 float64
+
+	Offset     float64 // Δe: relative offset for A3/A6 (dB)
+	Hysteresis float64 // He (dB)
+
+	TimeToTriggerMs  int // TreportTrigger
+	ReportIntervalMs int // TreportInterval
+	ReportAmount     int // number of periodic reports after trigger; 0 = infinity
+	MaxReportCells   int // cells per report (1..8)
+}
+
+// IsPeriodic reports whether this is a periodic (non-event) report config.
+func (e EventConfig) IsPeriodic() bool { return e.Type == EventPeriodic }
+
+// MeasObject describes one frequency the network orders the UE to measure
+// in active state, with the per-frequency and per-cell offsets (Δfreq,
+// Δcell of Table 2) and the cell blacklist.
+type MeasObject struct {
+	EARFCN      uint32
+	RAT         RAT
+	OffsetFreq  float64            // Δfreq applied to all cells on this carrier
+	CellOffsets map[uint16]float64 // Δcell, keyed by PCI
+	Blacklist   []uint16           // PCIs excluded from reporting (Listforbid)
+}
+
+// MeasLink ties a measurement object to a report configuration, as
+// measId does in TS 36.331.
+type MeasLink struct {
+	ObjectID int
+	ReportID int
+}
+
+// MeasConfig is the active-state measurement configuration delivered in
+// RRCConnectionReconfiguration.
+type MeasConfig struct {
+	Objects map[int]MeasObject
+	Reports map[int]EventConfig
+	Links   []MeasLink
+
+	FilterK  int     // L3 filter coefficient k (quantityConfig)
+	SMeasure float64 // s-Measure: neighbor measurement gate on serving RSRP (dBm); 0 = disabled
+}
+
+// LinkedPairs returns (object, report) pairs in deterministic order.
+func (m MeasConfig) LinkedPairs() []struct {
+	Object MeasObject
+	Report EventConfig
+} {
+	links := append([]MeasLink(nil), m.Links...)
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].ObjectID != links[j].ObjectID {
+			return links[i].ObjectID < links[j].ObjectID
+		}
+		return links[i].ReportID < links[j].ReportID
+	})
+	var out []struct {
+		Object MeasObject
+		Report EventConfig
+	}
+	for _, l := range links {
+		obj, okO := m.Objects[l.ObjectID]
+		rep, okR := m.Reports[l.ReportID]
+		if okO && okR {
+			out = append(out, struct {
+				Object MeasObject
+				Report EventConfig
+			}{obj, rep})
+		}
+	}
+	return out
+}
+
+// CellConfig is everything one cell broadcasts that governs handoffs: the
+// unit of the paper's dataset D2 ("handoff configurations from 32,000+
+// cells").
+type CellConfig struct {
+	Identity   CellIdentity
+	TxPowerDBm float64 // reference-signal transmit power
+
+	Serving ServingCellConfig
+	Freqs   []FreqRelation // candidate frequencies (SIB5/6/7/8)
+	Meas    MeasConfig     // active-state configuration
+
+	ForbiddenCells []uint32 // SIB4 access-barred neighbor cells
+}
+
+// FreqFor returns the FreqRelation for a channel, if configured.
+func (c *CellConfig) FreqFor(earfcn uint32, rat RAT) (FreqRelation, bool) {
+	for _, f := range c.Freqs {
+		if f.EARFCN == earfcn && f.RAT == rat {
+			return f, true
+		}
+	}
+	return FreqRelation{}, false
+}
+
+// Validation errors.
+var (
+	ErrPriorityRange   = errors.New("config: priority out of range 0..7")
+	ErrThresholdRange  = errors.New("config: threshold out of range")
+	ErrTimerRange      = errors.New("config: timer out of legal set")
+	ErrQuantityInvalid = errors.New("config: invalid quantity")
+	ErrEventInvalid    = errors.New("config: invalid event type")
+	ErrLinkDangling    = errors.New("config: measurement link references missing id")
+)
+
+// Validate checks the serving block against 3GPP domains.
+func (s ServingCellConfig) Validate() error {
+	if s.Priority < 0 || s.Priority > 7 {
+		return fmt.Errorf("%w: Ps=%d", ErrPriorityRange, s.Priority)
+	}
+	for name, v := range map[string]float64{
+		"sIntraSearch":     s.SIntraSearch,
+		"sIntraSearchQ":    s.SIntraSearchQ,
+		"sNonIntraSearch":  s.SNonIntraSearch,
+		"sNonIntraSearchQ": s.SNonIntraSearchQ,
+		"threshServingLow": s.ThreshServingLow,
+	} {
+		if v < 0 || v > 62 {
+			return fmt.Errorf("%w: %s=%g", ErrThresholdRange, name, v)
+		}
+	}
+	if s.QRxLevMin < -140 || s.QRxLevMin > -44 {
+		return fmt.Errorf("%w: qRxLevMin=%g", ErrThresholdRange, s.QRxLevMin)
+	}
+	if s.QHyst < 0 || s.QHyst > 24 {
+		return fmt.Errorf("%w: qHyst=%g", ErrThresholdRange, s.QHyst)
+	}
+	if s.TReselectionSec < 0 || s.TReselectionSec > 7 {
+		return fmt.Errorf("%w: tReselection=%d", ErrTimerRange, s.TReselectionSec)
+	}
+	if err := s.SpeedScaling.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Validate checks a frequency relation.
+func (f FreqRelation) Validate() error {
+	if !f.RAT.Valid() {
+		return fmt.Errorf("config: invalid RAT %d", f.RAT)
+	}
+	if f.Priority < 0 || f.Priority > 7 {
+		return fmt.Errorf("%w: Pc=%d (EARFCN %d)", ErrPriorityRange, f.Priority, f.EARFCN)
+	}
+	if f.ThreshHigh < 0 || f.ThreshHigh > 62 || f.ThreshLow < 0 || f.ThreshLow > 62 {
+		return fmt.Errorf("%w: threshX high=%g low=%g", ErrThresholdRange, f.ThreshHigh, f.ThreshLow)
+	}
+	if f.QRxLevMin < -140 || f.QRxLevMin > -44 {
+		return fmt.Errorf("%w: qRxLevMin=%g", ErrThresholdRange, f.QRxLevMin)
+	}
+	if f.TReselectionSec < 0 || f.TReselectionSec > 7 {
+		return fmt.Errorf("%w: tReselection=%d", ErrTimerRange, f.TReselectionSec)
+	}
+	return nil
+}
+
+// Validate checks an event configuration.
+func (e EventConfig) Validate() error {
+	if !e.Type.Valid() {
+		return fmt.Errorf("%w: %d", ErrEventInvalid, e.Type)
+	}
+	if !e.Quantity.Valid() {
+		return fmt.Errorf("%w: %d", ErrQuantityInvalid, e.Quantity)
+	}
+	if !ValidTimeToTrigger(e.TimeToTriggerMs) {
+		return fmt.Errorf("%w: timeToTrigger=%dms", ErrTimerRange, e.TimeToTriggerMs)
+	}
+	if !e.IsPeriodic() && !ValidReportInterval(e.ReportIntervalMs) {
+		return fmt.Errorf("%w: reportInterval=%dms", ErrTimerRange, e.ReportIntervalMs)
+	}
+	if e.IsPeriodic() && e.ReportIntervalMs <= 0 {
+		return fmt.Errorf("%w: periodic reportInterval=%dms", ErrTimerRange, e.ReportIntervalMs)
+	}
+	if e.Hysteresis < 0 || e.Hysteresis > 15 {
+		return fmt.Errorf("%w: hysteresis=%g", ErrThresholdRange, e.Hysteresis)
+	}
+	if e.Offset < -15 || e.Offset > 15 {
+		return fmt.Errorf("%w: offset=%g", ErrThresholdRange, e.Offset)
+	}
+	check := func(v float64) bool {
+		if e.Quantity == RSRP {
+			return v >= -140 && v <= -44
+		}
+		return v >= -19.5 && v <= -3
+	}
+	needs1 := e.Type == EventA1 || e.Type == EventA2 || e.Type == EventA5 || e.Type == EventB2
+	needs2 := e.Type == EventA4 || e.Type == EventA5 || e.Type == EventB1 || e.Type == EventB2
+	if needs1 && !check(e.Threshold1) {
+		return fmt.Errorf("%w: threshold1=%g (%s)", ErrThresholdRange, e.Threshold1, e.Quantity)
+	}
+	if needs2 && !check(e.Threshold2) {
+		return fmt.Errorf("%w: threshold2=%g (%s)", ErrThresholdRange, e.Threshold2, e.Quantity)
+	}
+	return nil
+}
+
+// Validate checks a measurement configuration, including link integrity.
+func (m MeasConfig) Validate() error {
+	for id, r := range m.Reports {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("report %d: %w", id, err)
+		}
+	}
+	for _, l := range m.Links {
+		if _, ok := m.Objects[l.ObjectID]; !ok {
+			return fmt.Errorf("%w: object %d", ErrLinkDangling, l.ObjectID)
+		}
+		if _, ok := m.Reports[l.ReportID]; !ok {
+			return fmt.Errorf("%w: report %d", ErrLinkDangling, l.ReportID)
+		}
+	}
+	if m.FilterK < 0 || m.FilterK > 19 {
+		return fmt.Errorf("config: filterCoefficient %d out of range 0..19", m.FilterK)
+	}
+	return nil
+}
+
+// Validate checks the whole cell configuration.
+func (c *CellConfig) Validate() error {
+	if !c.Identity.RAT.Valid() {
+		return fmt.Errorf("config: cell %d: invalid RAT", c.Identity.CellID)
+	}
+	if err := c.Serving.Validate(); err != nil {
+		return fmt.Errorf("cell %v: %w", c.Identity, err)
+	}
+	for i, f := range c.Freqs {
+		if err := f.Validate(); err != nil {
+			return fmt.Errorf("cell %v freq[%d]: %w", c.Identity, i, err)
+		}
+	}
+	if err := c.Meas.Validate(); err != nil {
+		return fmt.Errorf("cell %v: %w", c.Identity, err)
+	}
+	return nil
+}

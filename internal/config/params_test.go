@@ -1,0 +1,270 @@
+package config
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// validServing returns a serving block shaped like the paper's common AT&T
+// instance (§4.2): Θintra=62, Θnonintra=28, Δmin=−122, Θ(s)low=6, qHyst=4.
+func validServing() ServingCellConfig {
+	return ServingCellConfig{
+		Priority:         7,
+		QHyst:            4,
+		SIntraSearch:     62,
+		SIntraSearchQ:    8,
+		SNonIntraSearch:  28,
+		SNonIntraSearchQ: 6,
+		QRxLevMin:        -122,
+		QQualMin:         -19.5,
+		ThreshServingLow: 6,
+		TReselectionSec:  2,
+		THigherMeasSec:   60,
+	}
+}
+
+func validFreq() FreqRelation {
+	return FreqRelation{
+		EARFCN: 5780, RAT: RATLTE, Priority: 2,
+		ThreshHigh: 12, ThreshLow: 4, QRxLevMin: -124, QOffsetFreq: 0,
+		TReselectionSec: 1, MeasBandwidthRBs: 50,
+	}
+}
+
+func validA3() EventConfig {
+	return EventConfig{
+		Type: EventA3, Quantity: RSRP, Offset: 3, Hysteresis: 1,
+		TimeToTriggerMs: 320, ReportIntervalMs: 240, ReportAmount: 8, MaxReportCells: 4,
+	}
+}
+
+func validCell() *CellConfig {
+	return &CellConfig{
+		Identity:   CellIdentity{CellID: 101, PCI: 27, EARFCN: 5780, RAT: RATLTE},
+		TxPowerDBm: 15,
+		Serving:    validServing(),
+		Freqs:      []FreqRelation{validFreq()},
+		Meas: MeasConfig{
+			Objects: map[int]MeasObject{1: {EARFCN: 5780, RAT: RATLTE}},
+			Reports: map[int]EventConfig{1: validA3()},
+			Links:   []MeasLink{{ObjectID: 1, ReportID: 1}},
+			FilterK: 4,
+		},
+	}
+}
+
+func TestCellIdentityString(t *testing.T) {
+	id := CellIdentity{CellID: 12345, EARFCN: 5780, RAT: RATLTE}
+	if got := id.String(); got != "LTE/5780#12345" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestValidConfigsPass(t *testing.T) {
+	if err := validServing().Validate(); err != nil {
+		t.Errorf("serving: %v", err)
+	}
+	if err := validFreq().Validate(); err != nil {
+		t.Errorf("freq: %v", err)
+	}
+	if err := validA3().Validate(); err != nil {
+		t.Errorf("event: %v", err)
+	}
+	if err := validCell().Validate(); err != nil {
+		t.Errorf("cell: %v", err)
+	}
+}
+
+func TestServingValidation(t *testing.T) {
+	s := validServing()
+	s.Priority = 8
+	if err := s.Validate(); !errors.Is(err, ErrPriorityRange) {
+		t.Errorf("priority 8: %v", err)
+	}
+	s = validServing()
+	s.SIntraSearch = 63
+	if err := s.Validate(); !errors.Is(err, ErrThresholdRange) {
+		t.Errorf("sIntraSearch 63: %v", err)
+	}
+	s = validServing()
+	s.QRxLevMin = -141
+	if err := s.Validate(); !errors.Is(err, ErrThresholdRange) {
+		t.Errorf("qRxLevMin -141: %v", err)
+	}
+	s = validServing()
+	s.QHyst = 25
+	if err := s.Validate(); !errors.Is(err, ErrThresholdRange) {
+		t.Errorf("qHyst 25: %v", err)
+	}
+	s = validServing()
+	s.TReselectionSec = 8
+	if err := s.Validate(); !errors.Is(err, ErrTimerRange) {
+		t.Errorf("tReselection 8: %v", err)
+	}
+}
+
+func TestFreqValidation(t *testing.T) {
+	f := validFreq()
+	f.RAT = RAT(42)
+	if err := f.Validate(); err == nil {
+		t.Error("invalid RAT should fail")
+	}
+	f = validFreq()
+	f.Priority = -1
+	if err := f.Validate(); !errors.Is(err, ErrPriorityRange) {
+		t.Errorf("priority -1: %v", err)
+	}
+	f = validFreq()
+	f.ThreshHigh = 70
+	if err := f.Validate(); !errors.Is(err, ErrThresholdRange) {
+		t.Errorf("threshHigh 70: %v", err)
+	}
+	f = validFreq()
+	f.QRxLevMin = -30
+	if err := f.Validate(); !errors.Is(err, ErrThresholdRange) {
+		t.Errorf("qRxLevMin -30: %v", err)
+	}
+}
+
+func TestEventValidation(t *testing.T) {
+	e := validA3()
+	e.Type = EventType(99)
+	if err := e.Validate(); !errors.Is(err, ErrEventInvalid) {
+		t.Errorf("bad type: %v", err)
+	}
+	e = validA3()
+	e.Quantity = Quantity(9)
+	if err := e.Validate(); !errors.Is(err, ErrQuantityInvalid) {
+		t.Errorf("bad quantity: %v", err)
+	}
+	e = validA3()
+	e.TimeToTriggerMs = 77
+	if err := e.Validate(); !errors.Is(err, ErrTimerRange) {
+		t.Errorf("bad TTT: %v", err)
+	}
+	e = validA3()
+	e.ReportIntervalMs = 100
+	if err := e.Validate(); !errors.Is(err, ErrTimerRange) {
+		t.Errorf("bad interval: %v", err)
+	}
+	e = validA3()
+	e.Hysteresis = -1
+	if err := e.Validate(); !errors.Is(err, ErrThresholdRange) {
+		t.Errorf("bad hysteresis: %v", err)
+	}
+	e = validA3()
+	e.Offset = 16
+	if err := e.Validate(); !errors.Is(err, ErrThresholdRange) {
+		t.Errorf("bad offset: %v", err)
+	}
+}
+
+func TestEventThresholdDomains(t *testing.T) {
+	// A5 with RSRP thresholds: the paper's AT&T dominant setting
+	// ΘA5,S = −44 dBm (no requirement), ΘA5,C = −114 dBm must validate.
+	a5 := EventConfig{
+		Type: EventA5, Quantity: RSRP, Threshold1: -44, Threshold2: -114,
+		Hysteresis: 1, TimeToTriggerMs: 320, ReportIntervalMs: 240,
+	}
+	if err := a5.Validate(); err != nil {
+		t.Errorf("AT&T A5 setting should validate: %v", err)
+	}
+	// RSRQ-based A5 (ΘA5,S = −11.5, ΘA5,C = −14) must validate too.
+	a5q := a5
+	a5q.Quantity = RSRQ
+	a5q.Threshold1, a5q.Threshold2 = -11.5, -14
+	if err := a5q.Validate(); err != nil {
+		t.Errorf("RSRQ A5 setting should validate: %v", err)
+	}
+	// RSRP value on an RSRQ event is out of domain.
+	a5q.Threshold1 = -114
+	if err := a5q.Validate(); !errors.Is(err, ErrThresholdRange) {
+		t.Errorf("RSRP value on RSRQ event: %v", err)
+	}
+	// Serving-only events don't need Threshold2.
+	a1 := EventConfig{Type: EventA1, Quantity: RSRP, Threshold1: -100,
+		Hysteresis: 0, TimeToTriggerMs: 0, ReportIntervalMs: 240}
+	if err := a1.Validate(); err != nil {
+		t.Errorf("A1 without threshold2: %v", err)
+	}
+}
+
+func TestPeriodicEventValidation(t *testing.T) {
+	p := EventConfig{Type: EventPeriodic, Quantity: RSRP, TimeToTriggerMs: 0, ReportIntervalMs: 5120}
+	if err := p.Validate(); err != nil {
+		t.Errorf("periodic: %v", err)
+	}
+	p.ReportIntervalMs = 0
+	if err := p.Validate(); err == nil {
+		t.Error("periodic with zero interval should fail")
+	}
+}
+
+func TestMeasConfigLinkIntegrity(t *testing.T) {
+	m := validCell().Meas
+	m.Links = append(m.Links, MeasLink{ObjectID: 99, ReportID: 1})
+	if err := m.Validate(); !errors.Is(err, ErrLinkDangling) {
+		t.Errorf("dangling object: %v", err)
+	}
+	m = validCell().Meas
+	m.Links = append(m.Links, MeasLink{ObjectID: 1, ReportID: 99})
+	if err := m.Validate(); !errors.Is(err, ErrLinkDangling) {
+		t.Errorf("dangling report: %v", err)
+	}
+	m = validCell().Meas
+	m.FilterK = 20
+	if err := m.Validate(); err == nil {
+		t.Error("filterK 20 should fail")
+	}
+}
+
+func TestLinkedPairsDeterministic(t *testing.T) {
+	m := MeasConfig{
+		Objects: map[int]MeasObject{1: {EARFCN: 100}, 2: {EARFCN: 200}},
+		Reports: map[int]EventConfig{1: validA3(), 2: validA3()},
+		Links:   []MeasLink{{2, 2}, {1, 1}, {1, 2}},
+	}
+	pairs := m.LinkedPairs()
+	if len(pairs) != 3 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	if pairs[0].Object.EARFCN != 100 || pairs[2].Object.EARFCN != 200 {
+		t.Error("pairs not sorted by object then report")
+	}
+	// Dangling links are dropped, not returned.
+	m.Links = append(m.Links, MeasLink{5, 5})
+	if got := len(m.LinkedPairs()); got != 3 {
+		t.Errorf("dangling link included: %d pairs", got)
+	}
+}
+
+func TestFreqFor(t *testing.T) {
+	c := validCell()
+	if _, ok := c.FreqFor(5780, RATLTE); !ok {
+		t.Error("configured freq not found")
+	}
+	if _, ok := c.FreqFor(5780, RATUMTS); ok {
+		t.Error("RAT mismatch should not match")
+	}
+	if _, ok := c.FreqFor(9999, RATLTE); ok {
+		t.Error("unknown EARFCN should not match")
+	}
+}
+
+func TestCellValidateWrapsContext(t *testing.T) {
+	c := validCell()
+	c.Freqs[0].Priority = 9
+	err := c.Validate()
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "freq[0]") {
+		t.Errorf("error should name the freq entry: %v", err)
+	}
+	c = validCell()
+	c.Identity.RAT = RAT(77)
+	if err := c.Validate(); err == nil {
+		t.Error("invalid identity RAT should fail")
+	}
+}

@@ -1,0 +1,163 @@
+package config
+
+// 3GPP broadcasts most dB-valued parameters in coarse steps; working with
+// the quantized grids keeps our synthetic configurations shaped like the
+// paper's observed ones (discrete "options", Figs. 5, 14) and makes the
+// diversity metrics meaningful.
+
+// timeToTriggerMs is the enumerated TimeToTrigger set of TS 36.331
+// (ReportConfigEUTRA.timeToTrigger), in milliseconds. The paper observes
+// T_reportTrigger spanning [40 ms, 1280 ms] (Fig. 14).
+var timeToTriggerMs = []int{0, 40, 64, 80, 100, 128, 160, 256, 320, 480, 512, 640, 1024, 1280, 2560, 5120}
+
+// TimeToTriggerValues returns a copy of the legal TimeToTrigger set (ms).
+func TimeToTriggerValues() []int {
+	return append([]int(nil), timeToTriggerMs...)
+}
+
+// NearestTimeToTrigger rounds ms to the nearest legal TimeToTrigger value.
+func NearestTimeToTrigger(ms int) int {
+	best, bestDiff := timeToTriggerMs[0], abs(ms-timeToTriggerMs[0])
+	for _, v := range timeToTriggerMs[1:] {
+		if d := abs(ms - v); d < bestDiff {
+			best, bestDiff = v, d
+		}
+	}
+	return best
+}
+
+// ValidTimeToTrigger reports whether ms is in the legal set.
+func ValidTimeToTrigger(ms int) bool {
+	for _, v := range timeToTriggerMs {
+		if v == ms {
+			return true
+		}
+	}
+	return false
+}
+
+// reportIntervalMs is the enumerated ReportInterval set (TS 36.331), ms.
+var reportIntervalMs = []int{120, 240, 480, 640, 1024, 2048, 5120, 10240, 60000, 360000, 720000, 1800000, 3600000}
+
+// ReportIntervalValues returns a copy of the legal ReportInterval set (ms).
+func ReportIntervalValues() []int {
+	return append([]int(nil), reportIntervalMs...)
+}
+
+// ValidReportInterval reports whether ms is a legal report interval.
+func ValidReportInterval(ms int) bool {
+	for _, v := range reportIntervalMs {
+		if v == ms {
+			return true
+		}
+	}
+	return false
+}
+
+// QuantizeHysteresis rounds a hysteresis in dB to the 0.5 dB grid of
+// TS 36.331 (hysteresis ∈ 0..30 half-dB) and clamps to [0, 15] dB.
+func QuantizeHysteresis(db float64) float64 {
+	return clampF(roundHalf(db), 0, 15)
+}
+
+// QuantizeOffset rounds an event offset (a3-Offset etc.) to the 0.5 dB grid
+// and clamps to [−15, 15] dB.
+func QuantizeOffset(db float64) float64 {
+	return clampF(roundHalf(db), -15, 15)
+}
+
+// QuantizeQHyst rounds the reselection hysteresis q-Hyst to the nearest
+// legal value of TS 36.304 {0,1,2,3,4,5,6,8,10,12,14,16,18,20,22,24} dB.
+func QuantizeQHyst(db float64) float64 {
+	legal := []float64{0, 1, 2, 3, 4, 5, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24}
+	best, bestDiff := legal[0], absF(db-legal[0])
+	for _, v := range legal[1:] {
+		if d := absF(db - v); d < bestDiff {
+			best, bestDiff = v, d
+		}
+	}
+	return best
+}
+
+// QuantizeRxLevMin rounds q-RxLevMin (Δmin in the paper) to the 2 dB grid
+// and clamps to [−140, −44] dBm (field is −70..−22 in 2 dB units).
+func QuantizeRxLevMin(dbm float64) float64 {
+	return clampF(2*round(dbm/2), -140, -44)
+}
+
+// QuantizeSearchThresh rounds a reselection search/decision threshold
+// (s-IntraSearch, s-NonIntraSearch, threshServingLow, threshX-High/Low) to
+// the 2 dB grid and clamps to [0, 62] dB per TS 36.331 (0..31 in 2 dB).
+func QuantizeSearchThresh(db float64) float64 {
+	return clampF(2*round(db/2), 0, 62)
+}
+
+// QuantizeEventRSRPThreshold rounds an absolute RSRP event threshold to the
+// 1 dB reporting grid [−140, −44] dBm.
+func QuantizeEventRSRPThreshold(dbm float64) float64 {
+	return clampF(round(dbm), -140, -44)
+}
+
+// QuantizeEventRSRQThreshold rounds an absolute RSRQ event threshold to the
+// 0.5 dB reporting grid [−19.5, −3] dB.
+func QuantizeEventRSRQThreshold(db float64) float64 {
+	return clampF(roundHalf(db), -19.5, -3)
+}
+
+// ClampPriority clamps a cell-reselection priority to 0..7 (paper Table 2:
+// "ranging from 0-7 with 7 being the most preferred").
+func ClampPriority(p int) int {
+	if p < 0 {
+		return 0
+	}
+	if p > 7 {
+		return 7
+	}
+	return p
+}
+
+// ClampTReselection clamps t-Reselection to 0..7 seconds (TS 36.331).
+func ClampTReselection(sec int) int {
+	if sec < 0 {
+		return 0
+	}
+	if sec > 7 {
+		return 7
+	}
+	return sec
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// round rounds half away from zero.
+func round(x float64) float64 {
+	if x >= 0 {
+		return float64(int(x + 0.5))
+	}
+	return -float64(int(-x + 0.5))
+}
+
+// roundHalf rounds to the nearest 0.5.
+func roundHalf(x float64) float64 { return round(x*2) / 2 }

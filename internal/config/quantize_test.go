@@ -1,0 +1,162 @@
+package config
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeToTriggerSet(t *testing.T) {
+	vals := TimeToTriggerValues()
+	if len(vals) != 16 {
+		t.Fatalf("TTT set size = %d, want 16", len(vals))
+	}
+	// Paper Fig. 14: observed TreportTrigger spans [40, 1280] ms — both ends
+	// must be legal values.
+	for _, v := range []int{0, 40, 1280, 5120} {
+		if !ValidTimeToTrigger(v) {
+			t.Errorf("%d ms should be a legal TTT", v)
+		}
+	}
+	if ValidTimeToTrigger(50) || ValidTimeToTrigger(-40) {
+		t.Error("50/-40 ms are not legal TTTs")
+	}
+	// Returned slice is a copy.
+	vals[0] = 999
+	if !ValidTimeToTrigger(0) {
+		t.Error("mutating the returned slice must not affect the set")
+	}
+}
+
+func TestNearestTimeToTrigger(t *testing.T) {
+	tests := []struct{ in, want int }{
+		{0, 0}, {39, 40}, {50, 40}, {90, 80}, {99, 100}, {3000, 2560}, {99999, 5120}, {-10, 0},
+	}
+	for _, tt := range tests {
+		if got := NearestTimeToTrigger(tt.in); got != tt.want {
+			t.Errorf("NearestTimeToTrigger(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestNearestTimeToTriggerAlwaysLegal(t *testing.T) {
+	f := func(ms int16) bool { return ValidTimeToTrigger(NearestTimeToTrigger(int(ms))) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReportIntervals(t *testing.T) {
+	if !ValidReportInterval(120) || !ValidReportInterval(5120) || !ValidReportInterval(3600000) {
+		t.Error("legal report intervals rejected")
+	}
+	if ValidReportInterval(100) || ValidReportInterval(0) {
+		t.Error("illegal report intervals accepted")
+	}
+	vals := ReportIntervalValues()
+	vals[0] = -1
+	if !ValidReportInterval(120) {
+		t.Error("returned slice must be a copy")
+	}
+}
+
+func TestQuantizeHysteresis(t *testing.T) {
+	tests := []struct{ in, want float64 }{
+		{0, 0}, {1.2, 1}, {1.3, 1.5}, {2.75, 3}, {-2, 0}, {20, 15}, {4.5, 4.5},
+	}
+	for _, tt := range tests {
+		if got := QuantizeHysteresis(tt.in); got != tt.want {
+			t.Errorf("QuantizeHysteresis(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestQuantizeOffset(t *testing.T) {
+	tests := []struct{ in, want float64 }{
+		{-1, -1}, {-1.2, -1}, {3.3, 3.5}, {-20, -15}, {20, 15}, {0, 0},
+	}
+	for _, tt := range tests {
+		if got := QuantizeOffset(tt.in); got != tt.want {
+			t.Errorf("QuantizeOffset(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestQuantizeQHyst(t *testing.T) {
+	// 7 is not in the legal set {...6, 8...}; nearest is 6 or 8.
+	got := QuantizeQHyst(7)
+	if got != 6 && got != 8 {
+		t.Errorf("QuantizeQHyst(7) = %v", got)
+	}
+	if QuantizeQHyst(4.2) != 4 {
+		t.Errorf("QuantizeQHyst(4.2) = %v", QuantizeQHyst(4.2))
+	}
+	if QuantizeQHyst(100) != 24 || QuantizeQHyst(-5) != 0 {
+		t.Error("QuantizeQHyst should clamp to set bounds")
+	}
+}
+
+func TestQuantizeRxLevMin(t *testing.T) {
+	tests := []struct{ in, want float64 }{
+		{-122, -122}, {-121, -122}, {-121.5, -122}, {-44, -44}, {-200, -140}, {0, -44},
+	}
+	for _, tt := range tests {
+		got := QuantizeRxLevMin(tt.in)
+		if tt.in == -121 {
+			// Half-away rounding of -60.5 can go either way by convention;
+			// accept either even grid neighbor.
+			if got != -122 && got != -120 {
+				t.Errorf("QuantizeRxLevMin(-121) = %v", got)
+			}
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("QuantizeRxLevMin(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestQuantizeRxLevMinGrid(t *testing.T) {
+	f := func(raw int16) bool {
+		v := QuantizeRxLevMin(float64(raw) / 50)
+		return v >= -140 && v <= -44 && v == 2*float64(int(v/2))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeSearchThresh(t *testing.T) {
+	if QuantizeSearchThresh(63) != 62 || QuantizeSearchThresh(-4) != 0 {
+		t.Error("search threshold should clamp to [0,62]")
+	}
+	if QuantizeSearchThresh(7) != 8 && QuantizeSearchThresh(7) != 6 {
+		t.Errorf("QuantizeSearchThresh(7) = %v", QuantizeSearchThresh(7))
+	}
+	if QuantizeSearchThresh(8.4) != 8 {
+		t.Errorf("QuantizeSearchThresh(8.4) = %v", QuantizeSearchThresh(8.4))
+	}
+}
+
+func TestQuantizeEventThresholds(t *testing.T) {
+	if QuantizeEventRSRPThreshold(-114.4) != -114 {
+		t.Errorf("RSRP threshold = %v", QuantizeEventRSRPThreshold(-114.4))
+	}
+	if QuantizeEventRSRPThreshold(-150) != -140 || QuantizeEventRSRPThreshold(0) != -44 {
+		t.Error("RSRP threshold should clamp")
+	}
+	if QuantizeEventRSRQThreshold(-11.6) != -11.5 {
+		t.Errorf("RSRQ threshold = %v", QuantizeEventRSRQThreshold(-11.6))
+	}
+	if QuantizeEventRSRQThreshold(-25) != -19.5 || QuantizeEventRSRQThreshold(0) != -3 {
+		t.Error("RSRQ threshold should clamp")
+	}
+}
+
+func TestClampPriorityAndTReselection(t *testing.T) {
+	if ClampPriority(-1) != 0 || ClampPriority(8) != 7 || ClampPriority(3) != 3 {
+		t.Error("ClampPriority wrong")
+	}
+	if ClampTReselection(-1) != 0 || ClampTReselection(9) != 7 || ClampTReselection(2) != 2 {
+		t.Error("ClampTReselection wrong")
+	}
+}

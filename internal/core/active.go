@@ -1,0 +1,96 @@
+package core
+
+import (
+	"mmlab/internal/config"
+	"mmlab/internal/radio"
+)
+
+// ActiveMonitor is the UE side of active-state handoff (paper Fig. 1
+// steps 2–3): it L3-filters raw measurements per cell, runs every
+// configured event state machine, honors the s-Measure gate, and emits
+// measurement reports.
+type ActiveMonitor struct {
+	cfg     config.MeasConfig
+	serving config.CellIdentity
+
+	filters map[config.CellIdentity]*filterPair
+	events  []*eventState
+}
+
+type filterPair struct {
+	rsrp *radio.L3Filter
+	rsrq *radio.L3Filter
+}
+
+// NewActiveMonitor builds the monitor for a serving cell's measConfig.
+func NewActiveMonitor(cfg config.MeasConfig, serving config.CellIdentity) *ActiveMonitor {
+	m := &ActiveMonitor{
+		cfg:     cfg,
+		serving: serving,
+		filters: make(map[config.CellIdentity]*filterPair),
+	}
+	for i, pair := range cfg.LinkedPairs() {
+		m.events = append(m.events, newEventState(i+1, pair.Object, pair.Report))
+	}
+	return m
+}
+
+// Serving returns the monitored serving cell.
+func (m *ActiveMonitor) Serving() config.CellIdentity { return m.serving }
+
+// filter applies the configured L3 filter to one cell's raw measurement.
+func (m *ActiveMonitor) filter(raw RawMeas) MeasEntry {
+	fp, ok := m.filters[raw.Cell]
+	if !ok {
+		fp = &filterPair{
+			rsrp: radio.NewL3Filter(m.cfg.FilterK),
+			rsrq: radio.NewL3Filter(m.cfg.FilterK),
+		}
+		m.filters[raw.Cell] = fp
+	}
+	return MeasEntry{
+		Cell: raw.Cell,
+		RSRP: fp.rsrp.Update(raw.RSRP),
+		RSRQ: fp.rsrq.Update(raw.RSRQ),
+	}
+}
+
+// measuresNeighbors applies the s-Measure gate: when set (non-zero), the
+// UE measures neighbors only while the serving RSRP is below it.
+func (m *ActiveMonitor) measuresNeighbors(servingRSRP float64) bool {
+	return m.cfg.SMeasure == 0 || servingRSRP < m.cfg.SMeasure
+}
+
+// Observe feeds one measurement round at time t and returns any reports
+// due. Neighbors the UE cannot measure (s-Measure gate closed) are
+// dropped before event evaluation.
+func (m *ActiveMonitor) Observe(t Clock, serving RawMeas, neighbors []RawMeas) []Report {
+	sv := m.filter(serving)
+	var ns []MeasEntry
+	if m.measuresNeighbors(sv.RSRP) {
+		ns = make([]MeasEntry, 0, len(neighbors))
+		for _, n := range neighbors {
+			if n.Cell == serving.Cell {
+				continue
+			}
+			ns = append(ns, m.filter(n))
+		}
+	}
+	var out []Report
+	for _, ev := range m.events {
+		if rep := ev.step(t, sv, ns); rep != nil {
+			out = append(out, *rep)
+		}
+	}
+	return out
+}
+
+// EventTypes lists the configured event types in link order, for
+// diagnostics and the configuration-audit example.
+func (m *ActiveMonitor) EventTypes() []config.EventType {
+	var out []config.EventType
+	for _, ev := range m.events {
+		out = append(out, ev.ev.Type)
+	}
+	return out
+}

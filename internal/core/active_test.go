@@ -1,0 +1,265 @@
+package core
+
+import (
+	"testing"
+
+	"mmlab/internal/config"
+)
+
+func monitorConfig(primary config.EventConfig) config.MeasConfig {
+	return config.MeasConfig{
+		Objects: map[int]config.MeasObject{1: {EARFCN: 5780, RAT: config.RATLTE}},
+		Reports: map[int]config.EventConfig{
+			1: {Type: config.EventA2, Quantity: config.RSRP, Threshold1: -110, Hysteresis: 1,
+				TimeToTriggerMs: 320, ReportIntervalMs: 240, MaxReportCells: 4},
+			2: primary,
+		},
+		Links:   []config.MeasLink{{ObjectID: 1, ReportID: 1}, {ObjectID: 1, ReportID: 2}},
+		FilterK: 0,
+	}
+}
+
+func a3Primary(offset float64) config.EventConfig {
+	return config.EventConfig{
+		Type: config.EventA3, Quantity: config.RSRP, Offset: offset, Hysteresis: 1,
+		TimeToTriggerMs: 0, ReportIntervalMs: 240, MaxReportCells: 4,
+	}
+}
+
+func TestActiveMonitorEmitsA3(t *testing.T) {
+	m := NewActiveMonitor(monitorConfig(a3Primary(3)), servingID)
+	if m.Serving() != servingID {
+		t.Error("Serving identity wrong")
+	}
+	got := false
+	for ts := Clock(0); ts <= 1000; ts += 40 {
+		reps := m.Observe(ts, RawMeas{Cell: servingID, RSRP: -100, RSRQ: -10},
+			[]RawMeas{{Cell: neighborID, RSRP: -90, RSRQ: -8}})
+		for _, r := range reps {
+			if r.Event == config.EventA3 {
+				got = true
+				if len(r.Neighbors) == 0 || r.Neighbors[0].Cell != neighborID {
+					t.Errorf("A3 report neighbors = %+v", r.Neighbors)
+				}
+			}
+		}
+	}
+	if !got {
+		t.Error("A3 never reported")
+	}
+}
+
+func TestActiveMonitorA2GateReportsToo(t *testing.T) {
+	m := NewActiveMonitor(monitorConfig(a3Primary(3)), servingID)
+	sawA2 := false
+	for ts := Clock(0); ts <= 2000; ts += 40 {
+		reps := m.Observe(ts, RawMeas{Cell: servingID, RSRP: -115, RSRQ: -14},
+			[]RawMeas{{Cell: neighborID, RSRP: -117, RSRQ: -15}})
+		for _, r := range reps {
+			if r.Event == config.EventA2 {
+				sawA2 = true
+			}
+			if r.Event == config.EventA3 {
+				t.Error("A3 fired though neighbor is weaker")
+			}
+		}
+	}
+	if !sawA2 {
+		t.Error("A2 gate never reported despite weak serving cell")
+	}
+	// Multiple reporting events on the same monitor — the paper's "all the
+	// handoffs (99.6%) have multiple reporting events".
+	if len(m.EventTypes()) != 2 {
+		t.Errorf("EventTypes = %v", m.EventTypes())
+	}
+}
+
+func TestActiveMonitorL3FilterSmoothsJitter(t *testing.T) {
+	primary := a3Primary(3)
+	primary.TimeToTriggerMs = 320 // ride out the filter's priming transient
+	cfg := monitorConfig(primary)
+	cfg.FilterK = 8 // heavy smoothing
+	m := NewActiveMonitor(cfg, servingID)
+	// Alternate neighbor between −90 and −108 every sample; raw instants
+	// satisfy A3 half the time but the filtered series stays near −99,
+	// which does not clear rs(−100)+Δ(3)+H(1).
+	fired := false
+	for ts := Clock(0); ts <= 4000; ts += 40 {
+		r := -108.0
+		if (ts/40)%2 == 0 {
+			r = -90
+		}
+		reps := m.Observe(ts, RawMeas{Cell: servingID, RSRP: -100, RSRQ: -10},
+			[]RawMeas{{Cell: neighborID, RSRP: r, RSRQ: -8}})
+		for _, rep := range reps {
+			if rep.Event == config.EventA3 {
+				fired = true
+			}
+		}
+	}
+	if fired {
+		t.Error("L3 filtering should suppress alternating-sample triggers")
+	}
+}
+
+func TestActiveMonitorSMeasureGate(t *testing.T) {
+	cfg := monitorConfig(a3Primary(3))
+	cfg.SMeasure = -95 // only measure neighbors when serving < −95 dBm
+	m := NewActiveMonitor(cfg, servingID)
+	// Strong serving: gate closed, no A3 despite a strong neighbor.
+	for ts := Clock(0); ts <= 1000; ts += 40 {
+		for _, r := range m.Observe(ts, RawMeas{Cell: servingID, RSRP: -80, RSRQ: -6},
+			[]RawMeas{{Cell: neighborID, RSRP: -70, RSRQ: -5}}) {
+			if r.Event == config.EventA3 {
+				t.Fatal("A3 fired with s-Measure gate closed")
+			}
+		}
+	}
+	// Weak serving: gate open.
+	fired := false
+	for ts := Clock(2000); ts <= 3000; ts += 40 {
+		for _, r := range m.Observe(ts, RawMeas{Cell: servingID, RSRP: -100, RSRQ: -10},
+			[]RawMeas{{Cell: neighborID, RSRP: -90, RSRQ: -8}}) {
+			if r.Event == config.EventA3 {
+				fired = true
+			}
+		}
+	}
+	if !fired {
+		t.Error("A3 should fire once the gate opens")
+	}
+}
+
+func TestActiveMonitorIgnoresServingInNeighborList(t *testing.T) {
+	m := NewActiveMonitor(monitorConfig(a3Primary(0)), servingID)
+	// Serving cell accidentally included among neighbors must not trigger
+	// a self-handoff report.
+	for ts := Clock(0); ts <= 500; ts += 40 {
+		for _, r := range m.Observe(ts, RawMeas{Cell: servingID, RSRP: -100, RSRQ: -10},
+			[]RawMeas{{Cell: servingID, RSRP: -100, RSRQ: -10}}) {
+			if r.Event == config.EventA3 {
+				t.Fatal("A3 triggered by the serving cell itself")
+			}
+		}
+	}
+}
+
+func TestDeciderA3HandoffToStrongest(t *testing.T) {
+	d := NewDecider(&config.CellConfig{Identity: servingID})
+	rep := Report{
+		Time: 1000, Event: config.EventA3, Quantity: config.RSRP,
+		Serving:   MeasEntry{Cell: servingID, RSRP: -100},
+		Neighbors: []MeasEntry{{Cell: neighbor2, RSRP: -92}, {Cell: neighborID, RSRP: -95}},
+	}
+	dec := d.OnReport(rep)
+	if !dec.Handoff || dec.Target != neighbor2 {
+		t.Errorf("decision = %+v, want handoff to strongest", dec)
+	}
+	// Execution delay within the paper's observed 80–230 ms window.
+	delay := dec.ExecuteAt - rep.Time
+	if delay < 80 || delay > 230 {
+		t.Errorf("execution delay = %d ms, want 80..230", delay)
+	}
+}
+
+func TestDeciderRespectsForbiddenList(t *testing.T) {
+	cfg := &config.CellConfig{Identity: servingID, ForbiddenCells: []uint32{neighbor2.CellID}}
+	d := NewDecider(cfg)
+	rep := Report{
+		Time: 1000, Event: config.EventA3, Quantity: config.RSRP,
+		Serving:   MeasEntry{Cell: servingID, RSRP: -100},
+		Neighbors: []MeasEntry{{Cell: neighbor2, RSRP: -92}, {Cell: neighborID, RSRP: -95}},
+	}
+	dec := d.OnReport(rep)
+	if !dec.Handoff || dec.Target != neighborID {
+		t.Errorf("decision = %+v, want fallback past forbidden cell", dec)
+	}
+}
+
+func TestDeciderPeriodicMargin(t *testing.T) {
+	d := NewDecider(&config.CellConfig{Identity: servingID})
+	rep := Report{
+		Time: 1, Event: config.EventPeriodic, Quantity: config.RSRP,
+		Serving:   MeasEntry{Cell: servingID, RSRP: -100},
+		Neighbors: []MeasEntry{{Cell: neighborID, RSRP: -99}},
+	}
+	if dec := d.OnReport(rep); dec.Handoff {
+		t.Error("periodic report within margin should not hand off")
+	}
+	rep.Neighbors[0].RSRP = -97
+	if dec := d.OnReport(rep); !dec.Handoff {
+		t.Error("periodic report beyond margin should hand off")
+	}
+}
+
+func TestDeciderA2BlindRedirect(t *testing.T) {
+	d := NewDecider(&config.CellConfig{Identity: servingID})
+	rep := Report{
+		Time: 1, Event: config.EventA2, Quantity: config.RSRP,
+		Serving:   MeasEntry{Cell: servingID, RSRP: -127},
+		Neighbors: []MeasEntry{{Cell: neighborID, RSRP: -112}},
+	}
+	if dec := d.OnReport(rep); !dec.Handoff || dec.Target != neighborID {
+		t.Errorf("A2 with usable neighbor should redirect: %+v", dec)
+	}
+	// Serving not yet dying → no rescue even with a better neighbor.
+	healthy := rep
+	healthy.Serving.RSRP = -120
+	if dec := d.OnReport(healthy); dec.Handoff {
+		t.Error("A2 rescue above the emergency threshold")
+	}
+	// No usable neighbor → stay.
+	rep.Neighbors[0].RSRP = -126
+	if dec := d.OnReport(rep); dec.Handoff {
+		t.Error("A2 without usable neighbor must not hand off")
+	}
+}
+
+func TestDeciderA1NeverHandsOff(t *testing.T) {
+	d := NewDecider(&config.CellConfig{Identity: servingID})
+	rep := Report{
+		Time: 1, Event: config.EventA1, Quantity: config.RSRP,
+		Serving:   MeasEntry{Cell: servingID, RSRP: -70},
+		Neighbors: []MeasEntry{{Cell: neighborID, RSRP: -60}},
+	}
+	if dec := d.OnReport(rep); dec.Handoff {
+		t.Error("A1 must never cause a handoff")
+	}
+}
+
+func TestDeciderNeverHandsOffToServing(t *testing.T) {
+	d := NewDecider(&config.CellConfig{Identity: servingID})
+	rep := Report{
+		Time: 1, Event: config.EventA3, Quantity: config.RSRP,
+		Serving:   MeasEntry{Cell: servingID, RSRP: -100},
+		Neighbors: []MeasEntry{{Cell: servingID, RSRP: -90}},
+	}
+	if dec := d.OnReport(rep); dec.Handoff {
+		t.Error("handoff to the serving cell itself")
+	}
+}
+
+func TestExecDelayDeterministic(t *testing.T) {
+	rep := Report{Time: 12345, Event: config.EventA3,
+		Serving: MeasEntry{Cell: servingID, RSRP: -100}}
+	if execDelay(rep) != execDelay(rep) {
+		t.Error("execDelay must be deterministic")
+	}
+	rep2 := rep
+	rep2.Time = 54321
+	// Different inputs usually give different delays (not strictly
+	// required, but the distribution should span the range).
+	seen := map[Clock]bool{}
+	for ts := Clock(0); ts < 100000; ts += 777 {
+		r := rep
+		r.Time = ts
+		d := execDelay(r)
+		if d < 80 || d > 230 {
+			t.Fatalf("delay %d out of range", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 20 {
+		t.Errorf("delay distribution too narrow: %d distinct values", len(seen))
+	}
+}

@@ -1,0 +1,266 @@
+package core
+
+import "mmlab/internal/config"
+
+// eventState tracks one reporting configuration's trigger machinery for
+// one measurement link: per-cell time-to-trigger timers, the triggered
+// cell set, and the periodic report schedule after triggering.
+type eventState struct {
+	measID int
+	obj    config.MeasObject
+	ev     config.EventConfig
+
+	// enterSince records when each cell's entering condition became (and
+	// stayed) true; zero value means not currently satisfied.
+	enterSince map[config.CellIdentity]Clock
+	// triggered is the set of cells inside the triggered condition.
+	triggered map[config.CellIdentity]bool
+
+	firedAt     Clock // time of first report in the current triggered episode
+	reportsSent int
+	nextReport  Clock
+	active      bool // a triggered episode is ongoing
+}
+
+func newEventState(measID int, obj config.MeasObject, ev config.EventConfig) *eventState {
+	return &eventState{
+		measID:     measID,
+		obj:        obj,
+		ev:         ev,
+		enterSince: make(map[config.CellIdentity]Clock),
+		triggered:  make(map[config.CellIdentity]bool),
+	}
+}
+
+// cellOffset returns Δcell + Δfreq for a neighbor under this measurement
+// object (Table 2's ∆equal family: ∆s,n, ∆freq, ∆cell).
+func (s *eventState) cellOffset(cell config.CellIdentity) float64 {
+	off := s.obj.OffsetFreq
+	if v, ok := s.obj.CellOffsets[cell.PCI]; ok {
+		off += v
+	}
+	return off
+}
+
+// blacklisted reports whether the PCI is excluded from this object.
+func (s *eventState) blacklisted(cell config.CellIdentity) bool {
+	for _, pci := range s.obj.Blacklist {
+		if pci == cell.PCI {
+			return true
+		}
+	}
+	return false
+}
+
+// entering evaluates the event's entering condition for a neighbor (or for
+// the serving cell alone on A1/A2). Conditions follow TS 36.331 §5.5.4 and
+// the paper's Eq. 2 (A3 shown there):
+//
+//	A1: rs − H > Θ1           A2: rs + H < Θ1
+//	A3: rn + Δcell > rs + Δe + H
+//	A4: rn − H > Θ2           A5: rs + H < Θ1 ∧ rn − H > Θ2
+//	B1: rn − H > Θ2           B2: rs + H < Θ1 ∧ rn − H > Θ2
+func (s *eventState) entering(serving MeasEntry, n *MeasEntry) bool {
+	ev := s.ev
+	rs := serving.value(ev.Quantity)
+	var rn float64
+	if n != nil {
+		rn = n.value(ev.Quantity) + s.cellOffset(n.Cell)
+	}
+	switch ev.Type {
+	case config.EventA1:
+		return rs-ev.Hysteresis > ev.Threshold1
+	case config.EventA2:
+		return rs+ev.Hysteresis < ev.Threshold1
+	case config.EventA3, config.EventA6:
+		return n != nil && rn > rs+ev.Offset+ev.Hysteresis
+	case config.EventA4, config.EventB1, config.EventC1:
+		return n != nil && rn-ev.Hysteresis > ev.Threshold2
+	case config.EventA5, config.EventB2:
+		return n != nil && rs+ev.Hysteresis < ev.Threshold1 && rn-ev.Hysteresis > ev.Threshold2
+	default:
+		return false
+	}
+}
+
+// leaving evaluates the event's leaving condition (hysteresis applied the
+// opposite way, per Eq. 2's stopping condition).
+func (s *eventState) leaving(serving MeasEntry, n *MeasEntry) bool {
+	ev := s.ev
+	rs := serving.value(ev.Quantity)
+	var rn float64
+	if n != nil {
+		rn = n.value(ev.Quantity) + s.cellOffset(n.Cell)
+	}
+	switch ev.Type {
+	case config.EventA1:
+		return rs+ev.Hysteresis < ev.Threshold1
+	case config.EventA2:
+		return rs-ev.Hysteresis > ev.Threshold1
+	case config.EventA3, config.EventA6:
+		return n == nil || rn < rs+ev.Offset-ev.Hysteresis
+	case config.EventA4, config.EventB1, config.EventC1:
+		return n == nil || rn+ev.Hysteresis < ev.Threshold2
+	case config.EventA5, config.EventB2:
+		return n == nil || rs-ev.Hysteresis > ev.Threshold1 || rn+ev.Hysteresis < ev.Threshold2
+	default:
+		return true
+	}
+}
+
+// servingOnly reports whether the event ignores neighbors.
+func servingOnly(t config.EventType) bool {
+	return t == config.EventA1 || t == config.EventA2
+}
+
+// step advances the event state machine to time t with the current
+// filtered measurements, returning a report if one is due.
+//
+// The machinery implements the 3GPP trigger lifecycle: the entering
+// condition must hold continuously for TimeToTrigger before the first
+// report; while any cell stays triggered, reports repeat every
+// ReportInterval up to ReportAmount; cells meeting the leaving condition
+// drop out, and the episode ends when the triggered set empties.
+func (s *eventState) step(t Clock, serving MeasEntry, neighbors []MeasEntry) *Report {
+	ev := s.ev
+
+	if ev.IsPeriodic() {
+		return s.stepPeriodic(t, serving, neighbors)
+	}
+
+	// Track per-cell entering/leaving. Serving-only events use a synthetic
+	// nil-neighbor key (the serving identity).
+	consider := func(key config.CellIdentity, n *MeasEntry) {
+		if n != nil && s.blacklisted(n.Cell) {
+			delete(s.enterSince, key)
+			delete(s.triggered, key)
+			return
+		}
+		if s.triggered[key] {
+			if s.leaving(serving, n) {
+				delete(s.triggered, key)
+				delete(s.enterSince, key)
+			}
+			return
+		}
+		if s.entering(serving, n) {
+			if _, ok := s.enterSince[key]; !ok {
+				s.enterSince[key] = t
+			}
+			if t-s.enterSince[key] >= Clock(ev.TimeToTriggerMs) {
+				s.triggered[key] = true
+			}
+		} else {
+			delete(s.enterSince, key)
+		}
+	}
+
+	if servingOnly(ev.Type) {
+		consider(serving.Cell, nil)
+	} else {
+		seen := make(map[config.CellIdentity]bool, len(neighbors))
+		for i := range neighbors {
+			n := neighbors[i]
+			if ev.Type.InterRAT() != (n.Cell.RAT != serving.Cell.RAT) {
+				continue // A-events measure intra-RAT, B-events inter-RAT
+			}
+			if n.Cell.EARFCN != s.obj.EARFCN || n.Cell.RAT != s.obj.RAT {
+				continue // this link only measures its object's carrier
+			}
+			seen[n.Cell] = true
+			consider(n.Cell, &neighbors[i])
+		}
+		// Cells no longer measured leave the triggered set.
+		for key := range s.triggered {
+			if !seen[key] {
+				delete(s.triggered, key)
+				delete(s.enterSince, key)
+			}
+		}
+		for key := range s.enterSince {
+			if !seen[key] && !s.triggered[key] {
+				delete(s.enterSince, key)
+			}
+		}
+	}
+
+	if len(s.triggered) == 0 {
+		s.active = false
+		s.reportsSent = 0
+		return nil
+	}
+
+	if !s.active {
+		s.active = true
+		s.firedAt = t
+		s.reportsSent = 0
+		s.nextReport = t
+	}
+	if t < s.nextReport {
+		return nil
+	}
+	if ev.ReportAmount > 0 && s.reportsSent >= ev.ReportAmount {
+		return nil
+	}
+	s.reportsSent++
+	s.nextReport = t + Clock(ev.ReportIntervalMs)
+
+	rep := &Report{
+		Time:     t,
+		MeasID:   s.measID,
+		Event:    ev.Type,
+		Quantity: ev.Quantity,
+		Serving:  serving,
+	}
+	if !servingOnly(ev.Type) {
+		var trig []MeasEntry
+		for _, n := range neighbors {
+			if s.triggered[n.Cell] {
+				trig = append(trig, n)
+			}
+		}
+		rep.Neighbors = sortNeighbors(trig, ev.Quantity, ev.MaxReportCells)
+	} else {
+		// A1/A2 reports may carry the strongest measured neighbors for the
+		// network's benefit (reportAddNeighMeas); the paper's A2-decisive
+		// handoffs rely on this.
+		all := append([]MeasEntry(nil), neighbors...)
+		rep.Neighbors = sortNeighbors(all, ev.Quantity, ev.MaxReportCells)
+	}
+	return rep
+}
+
+// stepPeriodic emits a report of the strongest cells every interval.
+func (s *eventState) stepPeriodic(t Clock, serving MeasEntry, neighbors []MeasEntry) *Report {
+	if !s.active {
+		s.active = true
+		s.nextReport = t + Clock(s.ev.ReportIntervalMs)
+		return nil
+	}
+	if t < s.nextReport {
+		return nil
+	}
+	s.nextReport = t + Clock(s.ev.ReportIntervalMs)
+	var cand []MeasEntry
+	for _, n := range neighbors {
+		if n.Cell.EARFCN != s.obj.EARFCN || n.Cell.RAT != s.obj.RAT || s.blacklisted(n.Cell) {
+			continue
+		}
+		cand = append(cand, n)
+	}
+	if len(cand) == 0 {
+		return nil
+	}
+	max := s.ev.MaxReportCells
+	if max == 0 {
+		max = 8
+	}
+	return &Report{
+		Time:      t,
+		MeasID:    s.measID,
+		Event:     config.EventPeriodic,
+		Quantity:  s.ev.Quantity,
+		Serving:   serving,
+		Neighbors: sortNeighbors(cand, s.ev.Quantity, max),
+	}
+}

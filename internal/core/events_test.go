@@ -1,0 +1,340 @@
+package core
+
+import (
+	"testing"
+
+	"mmlab/internal/config"
+)
+
+var (
+	servingID  = config.CellIdentity{CellID: 1, PCI: 10, EARFCN: 5780, RAT: config.RATLTE}
+	neighborID = config.CellIdentity{CellID: 2, PCI: 20, EARFCN: 5780, RAT: config.RATLTE}
+	neighbor2  = config.CellIdentity{CellID: 3, PCI: 30, EARFCN: 5780, RAT: config.RATLTE}
+	umtsID     = config.CellIdentity{CellID: 9, PCI: 40, EARFCN: 4435, RAT: config.RATUMTS}
+)
+
+func lteObj() config.MeasObject {
+	return config.MeasObject{EARFCN: 5780, RAT: config.RATLTE}
+}
+
+func sv(rsrp float64) MeasEntry {
+	return MeasEntry{Cell: servingID, RSRP: rsrp, RSRQ: -10}
+}
+
+func nb(id config.CellIdentity, rsrp float64) MeasEntry {
+	return MeasEntry{Cell: id, RSRP: rsrp, RSRQ: -10}
+}
+
+func TestA3EnteringLeavingConditions(t *testing.T) {
+	// Eq. 2: enter when rc > rs + Δ + H; stop when rc < rs + Δ − H.
+	s := newEventState(1, lteObj(), config.EventConfig{
+		Type: config.EventA3, Quantity: config.RSRP, Offset: 3, Hysteresis: 1,
+		TimeToTriggerMs: 0, ReportIntervalMs: 240, MaxReportCells: 4,
+	})
+	serving := sv(-100)
+	n := nb(neighborID, -95.5) // rs+Δ+H = -96; -95.5 > -96 → enter
+	if !s.entering(serving, &n) {
+		t.Error("should enter at rc = rs+Δ+H+0.5")
+	}
+	n = nb(neighborID, -96.5)
+	if s.entering(serving, &n) {
+		t.Error("should not enter below rs+Δ+H")
+	}
+	n = nb(neighborID, -98.5) // rs+Δ−H = -98; -98.5 < -98 → leave
+	if !s.leaving(serving, &n) {
+		t.Error("should leave below rs+Δ−H")
+	}
+	n = nb(neighborID, -97.5) // inside hysteresis band: neither enter nor leave
+	if s.entering(serving, &n) || s.leaving(serving, &n) {
+		t.Error("hysteresis band should be sticky")
+	}
+}
+
+func TestA1A2Conditions(t *testing.T) {
+	a1 := newEventState(1, lteObj(), config.EventConfig{
+		Type: config.EventA1, Quantity: config.RSRP, Threshold1: -90, Hysteresis: 2,
+		ReportIntervalMs: 240,
+	})
+	if !a1.entering(sv(-87), nil) || a1.entering(sv(-89), nil) {
+		t.Error("A1 entering: rs − H > Θ1")
+	}
+	a2 := newEventState(1, lteObj(), config.EventConfig{
+		Type: config.EventA2, Quantity: config.RSRP, Threshold1: -110, Hysteresis: 2,
+		ReportIntervalMs: 240,
+	})
+	if !a2.entering(sv(-113), nil) || a2.entering(sv(-111), nil) {
+		t.Error("A2 entering: rs + H < Θ1")
+	}
+	if !a2.leaving(sv(-107), nil) || a2.leaving(sv(-109), nil) {
+		t.Error("A2 leaving: rs − H > Θ1")
+	}
+}
+
+func TestA4A5Conditions(t *testing.T) {
+	a4 := newEventState(1, lteObj(), config.EventConfig{
+		Type: config.EventA4, Quantity: config.RSRP, Threshold2: -100, Hysteresis: 1,
+		ReportIntervalMs: 240,
+	})
+	n := nb(neighborID, -98.5)
+	if !a4.entering(sv(-80), &n) {
+		t.Error("A4 should enter when rn − H > Θ2")
+	}
+	n = nb(neighborID, -99.5)
+	if a4.entering(sv(-80), &n) {
+		t.Error("A4 should not enter at rn − H = Θ2 + 0.5... wait")
+	}
+
+	a5 := newEventState(1, lteObj(), config.EventConfig{
+		Type: config.EventA5, Quantity: config.RSRP,
+		Threshold1: -105, Threshold2: -100, Hysteresis: 1, ReportIntervalMs: 240,
+	})
+	weak := sv(-107) // rs + H = -106 < -105 ✓
+	strong := nb(neighborID, -98)
+	if !a5.entering(weak, &strong) {
+		t.Error("A5 should enter: serving weak AND neighbor strong")
+	}
+	if a5.entering(sv(-103), &strong) {
+		t.Error("A5 needs the serving condition too")
+	}
+	weakN := nb(neighborID, -101)
+	if a5.entering(weak, &weakN) {
+		t.Error("A5 needs the neighbor condition too")
+	}
+	// A5 with ΘA5,S = −44 (AT&T's "no requirement" setting) fires on the
+	// neighbor condition alone.
+	a5free := newEventState(1, lteObj(), config.EventConfig{
+		Type: config.EventA5, Quantity: config.RSRP,
+		Threshold1: -44, Threshold2: -114, Hysteresis: 1, ReportIntervalMs: 240,
+	})
+	if !a5free.entering(sv(-70), &strong) {
+		t.Error("ΘA5,S=-44 should impose no serving requirement")
+	}
+}
+
+func TestRSRQQuantityEvents(t *testing.T) {
+	// AT&T A5 on RSRQ: ΘS=-11.5, ΘC=-14 (a negative-configuration case:
+	// ΘS > ΘC, so the new cell may be weaker).
+	a5 := newEventState(1, lteObj(), config.EventConfig{
+		Type: config.EventA5, Quantity: config.RSRQ,
+		Threshold1: -11.5, Threshold2: -14, Hysteresis: 0.5, ReportIntervalMs: 240,
+	})
+	serving := MeasEntry{Cell: servingID, RSRP: -90, RSRQ: -13}
+	n := MeasEntry{Cell: neighborID, RSRP: -100, RSRQ: -13}
+	// serving RSRQ −13 + 0.5 < −11.5 ✓; neighbor −13 − 0.5 > −14 ✓ —
+	// fires even though the neighbor's RSRP is 10 dB weaker.
+	if !a5.entering(serving, &n) {
+		t.Error("RSRQ A5 should fire independent of RSRP")
+	}
+}
+
+func TestTimeToTriggerDelaysReport(t *testing.T) {
+	s := newEventState(1, lteObj(), config.EventConfig{
+		Type: config.EventA3, Quantity: config.RSRP, Offset: 3, Hysteresis: 0,
+		TimeToTriggerMs: 320, ReportIntervalMs: 240, MaxReportCells: 4,
+	})
+	serving := sv(-100)
+	strong := []MeasEntry{nb(neighborID, -90)}
+	var firstReport Clock = -1
+	for ts := Clock(0); ts <= 1000; ts += 40 {
+		if rep := s.step(ts, serving, strong); rep != nil && firstReport < 0 {
+			firstReport = ts
+		}
+	}
+	if firstReport != 320 {
+		t.Errorf("first report at %d ms, want 320 (TTT)", firstReport)
+	}
+}
+
+func TestTTTResetsWhenConditionBreaks(t *testing.T) {
+	s := newEventState(1, lteObj(), config.EventConfig{
+		Type: config.EventA3, Quantity: config.RSRP, Offset: 3, Hysteresis: 0,
+		TimeToTriggerMs: 320, ReportIntervalMs: 240, MaxReportCells: 4,
+	})
+	serving := sv(-100)
+	strong := []MeasEntry{nb(neighborID, -90)}
+	weak := []MeasEntry{nb(neighborID, -99)}
+	// Condition holds 0..240, breaks at 280, holds again 320..
+	for ts := Clock(0); ts <= 240; ts += 40 {
+		if rep := s.step(ts, serving, strong); rep != nil {
+			t.Fatalf("premature report at %d", ts)
+		}
+	}
+	s.step(280, serving, weak) // break
+	var firstReport Clock = -1
+	for ts := Clock(320); ts <= 1200; ts += 40 {
+		if rep := s.step(ts, serving, strong); rep != nil {
+			firstReport = ts
+			break
+		}
+	}
+	// Timer restarted at 320: report due at 320+320 = 640.
+	if firstReport != 640 {
+		t.Errorf("report after reset at %d, want 640", firstReport)
+	}
+}
+
+func TestReportIntervalAndAmount(t *testing.T) {
+	s := newEventState(1, lteObj(), config.EventConfig{
+		Type: config.EventA3, Quantity: config.RSRP, Offset: 3, Hysteresis: 0,
+		TimeToTriggerMs: 0, ReportIntervalMs: 240, ReportAmount: 3, MaxReportCells: 4,
+	})
+	serving := sv(-100)
+	strong := []MeasEntry{nb(neighborID, -90)}
+	var times []Clock
+	for ts := Clock(0); ts <= 2000; ts += 40 {
+		if rep := s.step(ts, serving, strong); rep != nil {
+			times = append(times, ts)
+		}
+	}
+	if len(times) != 3 {
+		t.Fatalf("reports = %d, want ReportAmount=3", len(times))
+	}
+	if times[1]-times[0] != 240 || times[2]-times[1] != 240 {
+		t.Errorf("report spacing = %v, want 240 ms", times)
+	}
+}
+
+func TestEpisodeEndsAndRestartsCleanly(t *testing.T) {
+	s := newEventState(1, lteObj(), config.EventConfig{
+		Type: config.EventA3, Quantity: config.RSRP, Offset: 3, Hysteresis: 1,
+		TimeToTriggerMs: 0, ReportIntervalMs: 240, ReportAmount: 1, MaxReportCells: 4,
+	})
+	serving := sv(-100)
+	strong := []MeasEntry{nb(neighborID, -90)}
+	weak := []MeasEntry{nb(neighborID, -105)}
+	if rep := s.step(0, serving, strong); rep == nil {
+		t.Fatal("no initial report")
+	}
+	if rep := s.step(240, serving, strong); rep != nil {
+		t.Fatal("ReportAmount=1 exceeded")
+	}
+	// Leave, then re-enter: a fresh episode reports again.
+	s.step(480, serving, weak)
+	if rep := s.step(720, serving, strong); rep == nil {
+		t.Fatal("no report in fresh episode")
+	}
+}
+
+func TestReportNeighborsSortedAndCapped(t *testing.T) {
+	s := newEventState(1, lteObj(), config.EventConfig{
+		Type: config.EventA3, Quantity: config.RSRP, Offset: 3, Hysteresis: 0,
+		TimeToTriggerMs: 0, ReportIntervalMs: 240, MaxReportCells: 1,
+	})
+	serving := sv(-110)
+	ns := []MeasEntry{nb(neighborID, -100), nb(neighbor2, -95)}
+	rep := s.step(0, serving, ns)
+	if rep == nil {
+		t.Fatal("no report")
+	}
+	if len(rep.Neighbors) != 1 || rep.Neighbors[0].Cell != neighbor2 {
+		t.Errorf("neighbors = %+v, want strongest (cell 3) only", rep.Neighbors)
+	}
+}
+
+func TestBlacklistExcludesCell(t *testing.T) {
+	obj := lteObj()
+	obj.Blacklist = []uint16{neighborID.PCI}
+	s := newEventState(1, obj, config.EventConfig{
+		Type: config.EventA3, Quantity: config.RSRP, Offset: 3, Hysteresis: 0,
+		TimeToTriggerMs: 0, ReportIntervalMs: 240, MaxReportCells: 4,
+	})
+	if rep := s.step(0, sv(-110), []MeasEntry{nb(neighborID, -90)}); rep != nil {
+		t.Error("blacklisted cell should never trigger")
+	}
+	if rep := s.step(40, sv(-110), []MeasEntry{nb(neighbor2, -90)}); rep == nil {
+		t.Error("non-blacklisted cell should trigger")
+	}
+}
+
+func TestCellOffsetApplied(t *testing.T) {
+	obj := lteObj()
+	obj.OffsetFreq = 2
+	obj.CellOffsets = map[uint16]float64{neighborID.PCI: 3}
+	s := newEventState(1, obj, config.EventConfig{
+		Type: config.EventA3, Quantity: config.RSRP, Offset: 3, Hysteresis: 0,
+		TimeToTriggerMs: 0, ReportIntervalMs: 240, MaxReportCells: 4,
+	})
+	// rn + 5 (offsets) must beat rs + 3: rn = −101 vs rs = −100 → −96 > −97 ✓
+	n := nb(neighborID, -101)
+	if !s.entering(sv(-100), &n) {
+		t.Error("positive cell+freq offsets should help the neighbor")
+	}
+	n2 := nb(neighbor2, -101) // only freq offset (+2): −99 > −97 fails
+	if s.entering(sv(-100), &n2) {
+		t.Error("cell without Δcell should not enter")
+	}
+}
+
+func TestInterRATEventFiltering(t *testing.T) {
+	umtsObj := config.MeasObject{EARFCN: 4435, RAT: config.RATUMTS}
+	b1 := newEventState(1, umtsObj, config.EventConfig{
+		Type: config.EventB1, Quantity: config.RSRP, Threshold2: -100, Hysteresis: 0,
+		TimeToTriggerMs: 0, ReportIntervalMs: 240, MaxReportCells: 4,
+	})
+	// LTE neighbor must not trigger an inter-RAT event.
+	if rep := b1.step(0, sv(-110), []MeasEntry{nb(neighborID, -80)}); rep != nil {
+		t.Error("B1 fired on intra-RAT neighbor")
+	}
+	if rep := b1.step(40, sv(-110), []MeasEntry{nb(umtsID, -80)}); rep == nil {
+		t.Error("B1 should fire on UMTS neighbor above threshold")
+	}
+	// Conversely an A3 on the LTE object must ignore UMTS cells.
+	a3 := newEventState(2, lteObj(), config.EventConfig{
+		Type: config.EventA3, Quantity: config.RSRP, Offset: 3, Hysteresis: 0,
+		TimeToTriggerMs: 0, ReportIntervalMs: 240, MaxReportCells: 4,
+	})
+	if rep := a3.step(0, sv(-110), []MeasEntry{nb(umtsID, -80)}); rep != nil {
+		t.Error("A3 fired on inter-RAT neighbor")
+	}
+}
+
+func TestPeriodicReporting(t *testing.T) {
+	s := newEventState(1, lteObj(), config.EventConfig{
+		Type: config.EventPeriodic, Quantity: config.RSRP,
+		ReportIntervalMs: 5120, MaxReportCells: 2,
+	})
+	serving := sv(-100)
+	ns := []MeasEntry{nb(neighborID, -103), nb(neighbor2, -99)}
+	var times []Clock
+	for ts := Clock(0); ts <= 16000; ts += 40 {
+		if rep := s.step(ts, serving, ns); rep != nil {
+			times = append(times, ts)
+			if rep.Neighbors[0].Cell != neighbor2 {
+				t.Error("periodic report should sort strongest first")
+			}
+		}
+	}
+	if len(times) != 3 { // at 5120, 10240, 15360
+		t.Fatalf("periodic reports = %v", times)
+	}
+	if times[1]-times[0] != 5120 {
+		t.Errorf("period = %d", times[1]-times[0])
+	}
+}
+
+func TestPeriodicSkipsEmptyNeighborSets(t *testing.T) {
+	s := newEventState(1, lteObj(), config.EventConfig{
+		Type: config.EventPeriodic, Quantity: config.RSRP, ReportIntervalMs: 1024,
+	})
+	for ts := Clock(0); ts <= 5000; ts += 40 {
+		if rep := s.step(ts, sv(-100), nil); rep != nil {
+			t.Fatal("periodic report with no measurable neighbors")
+		}
+	}
+}
+
+func TestDisappearedNeighborLeavesTriggeredSet(t *testing.T) {
+	s := newEventState(1, lteObj(), config.EventConfig{
+		Type: config.EventA3, Quantity: config.RSRP, Offset: 3, Hysteresis: 0,
+		TimeToTriggerMs: 0, ReportIntervalMs: 240, MaxReportCells: 4,
+	})
+	serving := sv(-110)
+	if rep := s.step(0, serving, []MeasEntry{nb(neighborID, -90)}); rep == nil {
+		t.Fatal("no initial report")
+	}
+	// Neighbor vanishes (out of measurement range): episode must end.
+	s.step(240, serving, nil)
+	if s.active {
+		t.Error("episode should end when the triggered cell disappears")
+	}
+}

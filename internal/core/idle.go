@@ -1,0 +1,205 @@
+package core
+
+import "mmlab/internal/config"
+
+// MeasNeed says which neighbor measurements the idle UE must run at the
+// current serving level, per the paper's Eq. 1 gating: intra-frequency
+// measurement starts when rS ≤ Δmin + Θintra, non-intra-frequency when
+// rS ≤ Δmin + Θnonintra; higher-priority layers are always measured
+// periodically (every THigherMeas seconds).
+type MeasNeed struct {
+	Intra          bool
+	NonIntra       bool
+	HigherPriority bool // periodic, regardless of serving level
+}
+
+// MeasurementNeed evaluates Eq. 1 for a serving cell configuration.
+func MeasurementNeed(s config.ServingCellConfig, servingRSRP float64) MeasNeed {
+	srxlev := servingRSRP - s.QRxLevMin // the paper's calibrated level rS = ṙS − Δmin
+	return MeasNeed{
+		Intra:          srxlev <= s.SIntraSearch,
+		NonIntra:       srxlev <= s.SNonIntraSearch,
+		HigherPriority: true,
+	}
+}
+
+// IdleReselector is the UE side of idle-state handoff (cell reselection,
+// Fig. 1 without step 3): it ranks candidates against the serving cell by
+// priority and calibrated level (Eq. 3) and reselects once a candidate
+// outranks the serving cell continuously for Treselect.
+type IdleReselector struct {
+	cfg *config.CellConfig
+
+	// Tracker, when set, applies TS 36.304 speed-dependent scaling: the
+	// UE-scoped mobility state shortens Treselect and shrinks QHyst for
+	// fast movers. Nil disables scaling.
+	Tracker *MobilityTracker
+
+	// betterSince records when each candidate first outranked the serving
+	// cell (and has continuously since).
+	betterSince map[config.CellIdentity]Clock
+
+	// effQHyst is the per-round effective hysteresis (after scaling).
+	effQHyst float64
+}
+
+// NewIdleReselector builds the reselector for the current serving cell's
+// broadcast configuration.
+func NewIdleReselector(cfg *config.CellConfig) *IdleReselector {
+	return &IdleReselector{cfg: cfg, betterSince: make(map[config.CellIdentity]Clock)}
+}
+
+// candidate describes one neighbor's standing in this evaluation round.
+type candidate struct {
+	meas     RawMeas
+	priority int
+	outranks bool
+}
+
+// outranks evaluates Eq. 3 for one candidate:
+//
+//	(1) Pc > Ps: rc > Θ(c)higher
+//	(2) Pc = Ps: rc > rs + ∆equal          (∆equal = QHyst + ∆freq)
+//	(3) Pc < Ps: rc > Θ(c)lower ∧ rs < Θ(s)lower
+//
+// where rc/rs are calibrated levels (measured − Δmin of the respective
+// frequency).
+func (r *IdleReselector) outranks(serving RawMeas, cand RawMeas, fr config.FreqRelation) (bool, int) {
+	s := r.cfg.Serving
+	rs := serving.RSRP - s.QRxLevMin
+	rc := cand.RSRP - fr.QRxLevMin
+	switch {
+	case fr.Priority > s.Priority:
+		return rc > fr.ThreshHigh, fr.Priority
+	case fr.Priority == s.Priority:
+		return cand.RSRP-fr.QOffsetFreq > serving.RSRP+r.effQHyst, fr.Priority
+	default:
+		return rs < s.ThreshServingLow && rc > fr.ThreshLow, fr.Priority
+	}
+}
+
+// forbidden reports whether a cell is barred.
+func (r *IdleReselector) forbidden(cell config.CellIdentity) bool {
+	for _, id := range r.cfg.ForbiddenCells {
+		if id == cell.CellID {
+			return true
+		}
+	}
+	return false
+}
+
+// SupportedTarget reports whether the device can camp on the candidate's
+// channel. deviceBands lists supported EARFCNs; nil means everything is
+// supported. This models the paper's band-30 lockout case (§5.4.1): when
+// the highest-priority layer is unsupported by the phone, reselection
+// toward it must be skipped by the *device*, but a network-ordered
+// handoff to it simply fails.
+func SupportedTarget(deviceBands []uint32, cell config.CellIdentity) bool {
+	if deviceBands == nil {
+		return true
+	}
+	for _, ch := range deviceBands {
+		if ch == cell.EARFCN {
+			return true
+		}
+	}
+	return false
+}
+
+// Evaluate runs one reselection round at time t. Neighbors not covered by
+// a FreqRelation in the serving cell's broadcast are ignored (the UE has
+// no reselection parameters for them). Intra-frequency neighbors (same
+// EARFCN as serving) are ranked as equal-priority candidates.
+//
+// It returns the reselection target once some candidate has outranked the
+// serving cell continuously for Treselect, preferring higher priority,
+// then stronger calibrated level.
+func (r *IdleReselector) Evaluate(t Clock, serving RawMeas, neighbors []RawMeas) (config.CellIdentity, bool) {
+	s := r.cfg.Serving
+	state := MobilityNormal
+	if r.Tracker != nil {
+		state = r.Tracker.State(t, s.SpeedScaling)
+	}
+	tresel, qHyst := Scaled(s, state)
+	r.effQHyst = qHyst
+	need := MeasurementNeed(s, serving.RSRP)
+
+	var cands []candidate
+	seen := make(map[config.CellIdentity]bool, len(neighbors))
+	for _, n := range neighbors {
+		if n.Cell == serving.Cell || r.forbidden(n.Cell) {
+			continue
+		}
+		var fr config.FreqRelation
+		if n.Cell.EARFCN == serving.Cell.EARFCN && n.Cell.RAT == serving.Cell.RAT {
+			// Intra-frequency: equal priority by construction.
+			fr = config.FreqRelation{
+				EARFCN: n.Cell.EARFCN, RAT: n.Cell.RAT,
+				Priority: s.Priority, QRxLevMin: s.QRxLevMin,
+			}
+			if !need.Intra {
+				continue // not measured (Eq. 1)
+			}
+		} else {
+			var ok bool
+			fr, ok = r.cfg.FreqFor(n.Cell.EARFCN, n.Cell.RAT)
+			if !ok {
+				continue
+			}
+			// Non-intra layers: measured when Eq. 1 says so, or always for
+			// higher-priority layers (periodic).
+			if !need.NonIntra && fr.Priority <= s.Priority {
+				continue
+			}
+		}
+		better, prio := r.outranks(serving, n, fr)
+		seen[n.Cell] = true
+		cands = append(cands, candidate{meas: n, priority: prio, outranks: better})
+	}
+
+	// Maintain persistence timers.
+	for _, c := range cands {
+		if c.outranks {
+			if _, ok := r.betterSince[c.meas.Cell]; !ok {
+				r.betterSince[c.meas.Cell] = t
+			}
+		} else {
+			delete(r.betterSince, c.meas.Cell)
+		}
+	}
+	for cell := range r.betterSince {
+		if !seen[cell] {
+			delete(r.betterSince, cell)
+		}
+	}
+
+	// Pick the best candidate whose timer has matured.
+	bestIdx := -1
+	for i, c := range cands {
+		if !c.outranks {
+			continue
+		}
+		since, ok := r.betterSince[c.meas.Cell]
+		if !ok || t-since < tresel {
+			continue
+		}
+		if bestIdx < 0 {
+			bestIdx = i
+			continue
+		}
+		b := cands[bestIdx]
+		if c.priority > b.priority ||
+			(c.priority == b.priority && c.meas.RSRP > b.meas.RSRP) {
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		return config.CellIdentity{}, false
+	}
+	return cands[bestIdx].meas.Cell, true
+}
+
+// Reset clears persistence timers, as happens after a reselection.
+func (r *IdleReselector) Reset() {
+	r.betterSince = make(map[config.CellIdentity]Clock)
+}

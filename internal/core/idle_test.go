@@ -1,0 +1,252 @@
+package core
+
+import (
+	"testing"
+
+	"mmlab/internal/config"
+)
+
+// idleCell builds a serving cell config matching the paper's §4.2 "common
+// instance": Θintra=62, Θnonintra=28, Δmin=−122, Θ(s)low=6, ∆equal
+// (qHyst)=4, with one lower-priority, one equal-priority and one
+// higher-priority candidate frequency.
+func idleCell() *config.CellConfig {
+	return &config.CellConfig{
+		Identity: servingID, // LTE/5780
+		Serving: config.ServingCellConfig{
+			Priority:         3,
+			QHyst:            4,
+			SIntraSearch:     62,
+			SNonIntraSearch:  28,
+			QRxLevMin:        -122,
+			QQualMin:         -19.5,
+			ThreshServingLow: 6,
+			TReselectionSec:  1,
+			THigherMeasSec:   60,
+		},
+		Freqs: []config.FreqRelation{
+			{EARFCN: 9820, RAT: config.RATLTE, Priority: 5, ThreshHigh: 10, ThreshLow: 4, QRxLevMin: -122},
+			{EARFCN: 2000, RAT: config.RATLTE, Priority: 3, ThreshHigh: 8, ThreshLow: 4, QRxLevMin: -122, QOffsetFreq: 0},
+			{EARFCN: 4435, RAT: config.RATUMTS, Priority: 1, ThreshHigh: 8, ThreshLow: 4, QRxLevMin: -118},
+		},
+	}
+}
+
+func id(cellID uint32, earfcn uint32, rat config.RAT) config.CellIdentity {
+	return config.CellIdentity{CellID: cellID, PCI: uint16(cellID), EARFCN: earfcn, RAT: rat}
+}
+
+func meas(c config.CellIdentity, rsrp float64) RawMeas {
+	return RawMeas{Cell: c, RSRP: rsrp, RSRQ: -10}
+}
+
+// run feeds a constant scene until the reselector decides or the horizon
+// passes, returning the decision and its time.
+func run(r *IdleReselector, serving RawMeas, neighbors []RawMeas, horizonMs Clock) (config.CellIdentity, Clock, bool) {
+	for ts := Clock(0); ts <= horizonMs; ts += 200 {
+		if target, ok := r.Evaluate(ts, serving, neighbors); ok {
+			return target, ts, true
+		}
+	}
+	return config.CellIdentity{}, 0, false
+}
+
+func TestMeasurementNeedEq1(t *testing.T) {
+	s := idleCell().Serving
+	// Srxlev = rs − (−122). Intra measured when Srxlev ≤ 62 → rs ≤ −60:
+	// true almost anywhere — the paper's §4.2 observation that such
+	// configurations keep intra measurements running at all times.
+	n := MeasurementNeed(s, -61)
+	if !n.Intra {
+		t.Error("intra should be measured at −61 dBm")
+	}
+	n = MeasurementNeed(s, -59)
+	if n.Intra {
+		t.Error("intra should stop above −60 dBm")
+	}
+	// Non-intra when Srxlev ≤ 28 → rs ≤ −94.
+	if !MeasurementNeed(s, -95).NonIntra {
+		t.Error("non-intra should be measured at −95")
+	}
+	if MeasurementNeed(s, -93).NonIntra {
+		t.Error("non-intra should stop above −94")
+	}
+	if !MeasurementNeed(s, -50).HigherPriority {
+		t.Error("higher-priority layers are always measured")
+	}
+}
+
+func TestEqualPriorityReselection(t *testing.T) {
+	cfg := idleCell()
+	r := NewIdleReselector(cfg)
+	serving := meas(servingID, -100)
+	// Equal-priority inter-freq (2000): must beat rs + qHyst = −96.
+	weak := meas(id(7, 2000, config.RATLTE), -97)
+	if _, _, ok := run(r, serving, []RawMeas{weak}, 5000); ok {
+		t.Error("candidate below rs+∆equal must not win")
+	}
+	r.Reset()
+	strong := meas(id(7, 2000, config.RATLTE), -94)
+	target, at, ok := run(r, serving, []RawMeas{strong}, 5000)
+	if !ok || target.CellID != 7 {
+		t.Fatalf("equal-priority reselection failed: %v %v", target, ok)
+	}
+	// Treselect = 1 s must have elapsed.
+	if at < 1000 {
+		t.Errorf("reselected at %d ms, before Treselect", at)
+	}
+}
+
+func TestIntraFrequencyReselection(t *testing.T) {
+	cfg := idleCell()
+	r := NewIdleReselector(cfg)
+	serving := meas(servingID, -100)
+	nb := meas(id(8, 5780, config.RATLTE), -94) // same EARFCN: intra
+	target, _, ok := run(r, serving, []RawMeas{nb}, 5000)
+	if !ok || target.CellID != 8 {
+		t.Fatalf("intra-freq reselection failed")
+	}
+	// Intra-freq neighbors are gated by Eq. 1: with a very strong serving
+	// cell (above Θintra), no intra measurement → no reselection.
+	r2 := NewIdleReselector(cfg)
+	strongServing := meas(servingID, -55) // Srxlev 67 > 62
+	if _, _, ok := run(r2, strongServing, []RawMeas{meas(id(8, 5780, config.RATLTE), -50)}, 5000); ok {
+		t.Error("intra reselection despite measurement gate closed")
+	}
+}
+
+func TestHigherPriorityReselection(t *testing.T) {
+	cfg := idleCell()
+	r := NewIdleReselector(cfg)
+	// Strong serving cell: higher-priority candidate still wins on its
+	// absolute threshold (Eq. 3 case 1) — the paper's "it is possible that
+	// it switches to a weaker cell (20% observed)".
+	serving := meas(servingID, -80)
+	weakHigh := meas(id(9, 9820, config.RATLTE), -90) // rc level = −90+122 = 32 > ThreshHigh 10
+	target, _, ok := run(r, serving, []RawMeas{weakHigh}, 5000)
+	if !ok || target.EARFCN != 9820 {
+		t.Fatalf("higher-priority reselection failed: %v %v", target, ok)
+	}
+	// Below ThreshHigh: no.
+	r.Reset()
+	tooWeak := meas(id(9, 9820, config.RATLTE), -114) // level 8 < 10
+	if _, _, ok := run(r, serving, []RawMeas{tooWeak}, 5000); ok {
+		t.Error("higher-priority candidate below ThreshHigh must not win")
+	}
+}
+
+func TestLowerPriorityReselection(t *testing.T) {
+	cfg := idleCell()
+	r := NewIdleReselector(cfg)
+	// Lower-priority (UMTS, prio 1 < 3) needs BOTH rs < Θ(s)low AND
+	// rc > Θ(c)low (Eq. 3 case 3).
+	weakServing := meas(servingID, -117) // level 5 < 6 ✓
+	umts := meas(id(11, 4435, config.RATUMTS), -105)
+	target, _, ok := run(r, weakServing, []RawMeas{umts}, 5000)
+	if !ok || target.RAT != config.RATUMTS {
+		t.Fatalf("lower-priority reselection failed: %v %v", target, ok)
+	}
+	// Healthy serving: no fall to 3G even with strong UMTS.
+	r2 := NewIdleReselector(cfg)
+	healthy := meas(servingID, -100)
+	if _, _, ok := run(r2, healthy, []RawMeas{umts}, 5000); ok {
+		t.Error("fell to lower priority with healthy serving cell")
+	}
+}
+
+func TestTReselectionPersistence(t *testing.T) {
+	cfg := idleCell()
+	cfg.Serving.TReselectionSec = 3
+	r := NewIdleReselector(cfg)
+	serving := meas(servingID, -100)
+	strong := meas(id(7, 2000, config.RATLTE), -90)
+	weak := meas(id(7, 2000, config.RATLTE), -99)
+	// Condition holds for 2 s, breaks, then holds again: the timer must
+	// restart (the paper: decision made only after Tdecision "to avoid
+	// frequent handoffs caused by measurement dynamics").
+	for ts := Clock(0); ts < 2000; ts += 200 {
+		if _, ok := r.Evaluate(ts, serving, []RawMeas{strong}); ok {
+			t.Fatal("reselected before Treselect")
+		}
+	}
+	r.Evaluate(2000, serving, []RawMeas{weak}) // break
+	var decided Clock = -1
+	for ts := Clock(2200); ts <= 12000; ts += 200 {
+		if _, ok := r.Evaluate(ts, serving, []RawMeas{strong}); ok {
+			decided = ts
+			break
+		}
+	}
+	if decided < 2200+3000 {
+		t.Errorf("reselected at %d, want >= %d (timer restart)", decided, 2200+3000)
+	}
+}
+
+func TestPriorityPreferenceAmongCandidates(t *testing.T) {
+	cfg := idleCell()
+	r := NewIdleReselector(cfg)
+	serving := meas(servingID, -117) // weak: every case is live
+	cands := []RawMeas{
+		meas(id(7, 2000, config.RATLTE), -90),  // equal priority, very strong
+		meas(id(9, 9820, config.RATLTE), -100), // higher priority, weaker
+	}
+	target, _, ok := run(r, serving, cands, 8000)
+	if !ok {
+		t.Fatal("no reselection")
+	}
+	// Higher priority wins even though its signal is weaker — finding 2a.
+	if target.EARFCN != 9820 {
+		t.Errorf("reselected %v, want the higher-priority 9820 layer", target)
+	}
+}
+
+func TestForbiddenCellExcluded(t *testing.T) {
+	cfg := idleCell()
+	cfg.ForbiddenCells = []uint32{7}
+	r := NewIdleReselector(cfg)
+	serving := meas(servingID, -100)
+	banned := meas(id(7, 2000, config.RATLTE), -85)
+	if _, _, ok := run(r, serving, []RawMeas{banned}, 5000); ok {
+		t.Error("forbidden cell won reselection")
+	}
+}
+
+func TestUnknownFrequencyIgnored(t *testing.T) {
+	cfg := idleCell()
+	r := NewIdleReselector(cfg)
+	serving := meas(servingID, -110)
+	unknown := meas(id(13, 7777, config.RATLTE), -80)
+	if _, _, ok := run(r, serving, []RawMeas{unknown}, 5000); ok {
+		t.Error("candidate without FreqRelation won reselection")
+	}
+}
+
+func TestSupportedTarget(t *testing.T) {
+	cell := id(1, 9820, config.RATLTE)
+	if !SupportedTarget(nil, cell) {
+		t.Error("nil device bands should support everything")
+	}
+	if SupportedTarget([]uint32{5780, 2000}, cell) {
+		t.Error("unsupported band reported as supported")
+	}
+	if !SupportedTarget([]uint32{5780, 9820}, cell) {
+		t.Error("supported band rejected")
+	}
+}
+
+func TestHigherPriorityMeasuredDespiteStrongServing(t *testing.T) {
+	// Eq. 1: at a strong serving level non-intra measurement is off, but
+	// higher-priority layers are still measured periodically — so a
+	// higher-priority candidate can win while an equal-priority one on the
+	// same conditions cannot.
+	cfg := idleCell()
+	cfg.Serving.SNonIntraSearch = 8 // non-intra gate: rs ≤ −114
+	r := NewIdleReselector(cfg)
+	serving := meas(servingID, -90) // gate closed
+	high := meas(id(9, 9820, config.RATLTE), -95)
+	equal := meas(id(7, 2000, config.RATLTE), -60) // hugely strong but unmeasured
+	target, _, ok := run(r, serving, []RawMeas{high, equal}, 5000)
+	if !ok || target.EARFCN != 9820 {
+		t.Errorf("want higher-priority layer to win (equal-priority unmeasured), got %v ok=%v", target, ok)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import "mmlab/internal/config"
+
+// MobilityState is the TS 36.304 §5.2.4.3 speed state a device derives
+// from its own reselection rate.
+type MobilityState uint8
+
+// Mobility states.
+const (
+	MobilityNormal MobilityState = iota
+	MobilityMedium
+	MobilityHigh
+)
+
+// String implements fmt.Stringer.
+func (s MobilityState) String() string {
+	switch s {
+	case MobilityMedium:
+		return "medium"
+	case MobilityHigh:
+		return "high"
+	default:
+		return "normal"
+	}
+}
+
+// MobilityTracker counts cell changes and derives the mobility state.
+// It is device-scoped (it survives reselections), so the simulator owns
+// one per UE and shares it with each cell's IdleReselector.
+type MobilityTracker struct {
+	changes []Clock
+	state   MobilityState
+}
+
+// NoteCellChange records a performed reselection at time t.
+func (m *MobilityTracker) NoteCellChange(t Clock) {
+	m.changes = append(m.changes, t)
+}
+
+// State evaluates the speed-state criteria at time t under the given
+// broadcast scaling block: high when ≥ NCellChangeHigh changes happened
+// within TEvaluation, medium when ≥ NCellChangeMedium; the state falls
+// back to normal only after THystNormal with fewer than medium-entry
+// changes (the standard's hysteresis on leaving).
+func (m *MobilityTracker) State(t Clock, sc config.SpeedScaling) MobilityState {
+	if !sc.Enabled {
+		return MobilityNormal
+	}
+	evalWin := Clock(sc.TEvaluationSec) * 1000
+	hystWin := Clock(sc.THystNormalSec) * 1000
+	keep := evalWin
+	if hystWin > keep {
+		keep = hystWin
+	}
+	// Prune history outside the longest window.
+	cut := 0
+	for cut < len(m.changes) && m.changes[cut] < t-keep {
+		cut++
+	}
+	m.changes = m.changes[cut:]
+
+	inEval, inHyst := 0, 0
+	for _, c := range m.changes {
+		if c >= t-evalWin {
+			inEval++
+		}
+		if c >= t-hystWin {
+			inHyst++
+		}
+	}
+	switch {
+	case inEval >= sc.NCellChangeHigh:
+		m.state = MobilityHigh
+	case inEval >= sc.NCellChangeMedium:
+		m.state = MobilityMedium
+	default:
+		if inHyst < sc.NCellChangeMedium {
+			m.state = MobilityNormal
+		}
+	}
+	return m.state
+}
+
+// Scaled returns the effective Treselect (ms) and QHyst (dB) for a state.
+func Scaled(s config.ServingCellConfig, state MobilityState) (treselMs Clock, qHyst float64) {
+	treselMs = Clock(s.TReselectionSec) * 1000
+	qHyst = s.QHyst
+	if !s.SpeedScaling.Enabled {
+		return treselMs, qHyst
+	}
+	sc := s.SpeedScaling
+	switch state {
+	case MobilityMedium:
+		treselMs = Clock(float64(treselMs) * sc.TReselectionSFMedium)
+		qHyst += sc.QHystSFMedium
+	case MobilityHigh:
+		treselMs = Clock(float64(treselMs) * sc.TReselectionSFHigh)
+		qHyst += sc.QHystSFHigh
+	}
+	if qHyst < 0 {
+		qHyst = 0
+	}
+	return treselMs, qHyst
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+
+	"mmlab/internal/config"
+)
+
+func scaling() config.SpeedScaling {
+	return config.SpeedScaling{
+		Enabled:              true,
+		NCellChangeMedium:    6,
+		NCellChangeHigh:      10,
+		TEvaluationSec:       60,
+		THystNormalSec:       60,
+		TReselectionSFMedium: 0.75,
+		TReselectionSFHigh:   0.5,
+		QHystSFMedium:        -2,
+		QHystSFHigh:          -4,
+	}
+}
+
+func TestMobilityStateTransitions(t *testing.T) {
+	var m MobilityTracker
+	sc := scaling()
+	if s := m.State(0, sc); s != MobilityNormal {
+		t.Fatalf("fresh tracker = %v", s)
+	}
+	// 6 changes within the window → medium.
+	for i := 0; i < 6; i++ {
+		m.NoteCellChange(Clock(i) * 5000)
+	}
+	if s := m.State(30000, sc); s != MobilityMedium {
+		t.Fatalf("after 6 changes = %v", s)
+	}
+	// 4 more → 10 within window → high.
+	for i := 6; i < 10; i++ {
+		m.NoteCellChange(Clock(i) * 3000)
+	}
+	if s := m.State(30000, sc); s != MobilityHigh {
+		t.Fatalf("after 10 changes = %v", s)
+	}
+	// Quiet: state falls back to normal only after THystNormal.
+	if s := m.State(40000, sc); s != MobilityHigh {
+		t.Fatalf("still within hysteresis window: %v", s)
+	}
+	if s := m.State(200000, sc); s != MobilityNormal {
+		t.Fatalf("after long quiet = %v", s)
+	}
+}
+
+func TestMobilityStateStickyDuringHysteresis(t *testing.T) {
+	var m MobilityTracker
+	sc := scaling()
+	for i := 0; i < 10; i++ {
+		m.NoteCellChange(Clock(i) * 1000)
+	}
+	if s := m.State(10000, sc); s != MobilityHigh {
+		t.Fatal("should be high")
+	}
+	// 65 s later the evaluation window is empty but changes still fall in
+	// the 60 s hysteresis window? No — they are 65 s old, so state drops.
+	if s := m.State(75000, sc); s != MobilityNormal {
+		t.Fatalf("state after both windows = %v", s)
+	}
+}
+
+func TestMobilityStateDisabled(t *testing.T) {
+	var m MobilityTracker
+	for i := 0; i < 50; i++ {
+		m.NoteCellChange(Clock(i) * 100)
+	}
+	if s := m.State(5000, config.SpeedScaling{}); s != MobilityNormal {
+		t.Error("disabled block must always be normal")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := config.ServingCellConfig{TReselectionSec: 2, QHyst: 4, SpeedScaling: scaling()}
+	tr, q := Scaled(s, MobilityNormal)
+	if tr != 2000 || q != 4 {
+		t.Errorf("normal = %v/%v", tr, q)
+	}
+	tr, q = Scaled(s, MobilityMedium)
+	if tr != 1500 || q != 2 {
+		t.Errorf("medium = %v/%v", tr, q)
+	}
+	tr, q = Scaled(s, MobilityHigh)
+	if tr != 1000 || q != 0 {
+		t.Errorf("high = %v/%v", tr, q)
+	}
+	// QHyst never goes negative.
+	s.QHyst = 2
+	if _, q = Scaled(s, MobilityHigh); q != 0 {
+		t.Errorf("clamped qHyst = %v", q)
+	}
+	// Disabled block: no scaling regardless of state.
+	s.SpeedScaling = config.SpeedScaling{}
+	if tr, q = Scaled(s, MobilityHigh); tr != 2000 || q != 2 {
+		t.Errorf("disabled scaling = %v/%v", tr, q)
+	}
+}
+
+func TestSpeedScalingShortensReselection(t *testing.T) {
+	// Two identical reselection scenes; the UE in high-mobility state must
+	// decide earlier than the normal-state one.
+	mkCfg := func() *config.CellConfig {
+		c := idleCell()
+		c.Serving.TReselectionSec = 4
+		c.Serving.SpeedScaling = scaling()
+		return c
+	}
+	serving := meas(servingID, -100)
+	strong := meas(id(7, 2000, config.RATLTE), -90)
+
+	slow := NewIdleReselector(mkCfg())
+	slow.Tracker = &MobilityTracker{} // no history → normal
+	fast := NewIdleReselector(mkCfg())
+	fastTracker := &MobilityTracker{}
+	for i := 0; i < 12; i++ {
+		fastTracker.NoteCellChange(Clock(i) * 1000)
+	}
+	fast.Tracker = fastTracker
+
+	decideAt := func(r *IdleReselector) Clock {
+		for ts := Clock(12000); ts <= 12000+8000; ts += 200 {
+			if _, ok := r.Evaluate(ts, serving, []RawMeas{strong}); ok {
+				return ts
+			}
+		}
+		return -1
+	}
+	tSlow := decideAt(slow)
+	tFast := decideAt(fast)
+	if tSlow < 0 || tFast < 0 {
+		t.Fatalf("no decision: slow=%d fast=%d", tSlow, tFast)
+	}
+	// High state halves Treselect (4 s → 2 s).
+	if tFast >= tSlow {
+		t.Errorf("high-mobility decision at %d not earlier than normal %d", tFast, tSlow)
+	}
+	if gap := tSlow - tFast; gap < 1500 {
+		t.Errorf("scaling gap = %d ms, want ~2000", gap)
+	}
+}
+
+func TestSpeedScalingValidation(t *testing.T) {
+	sc := scaling()
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("valid block rejected: %v", err)
+	}
+	bad := sc
+	bad.NCellChangeHigh = 3 // below medium
+	if err := bad.Validate(); err == nil {
+		t.Error("high < medium should fail")
+	}
+	bad = sc
+	bad.TEvaluationSec = 45
+	if err := bad.Validate(); err == nil {
+		t.Error("off-grid tEvaluation should fail")
+	}
+	bad = sc
+	bad.TReselectionSFHigh = 0.6
+	if err := bad.Validate(); err == nil {
+		t.Error("off-grid SF should fail")
+	}
+	bad = sc
+	bad.QHystSFHigh = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("positive qHystSF should fail")
+	}
+	if err := (config.SpeedScaling{}).Validate(); err != nil {
+		t.Errorf("disabled block must validate: %v", err)
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mmlab/internal/config"
+)
+
+// clampRSRP keeps generated values in the reportable domain.
+func clampRSRP(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return -100
+	}
+	return math.Mod(math.Abs(x), 96) - 140
+}
+
+func TestEventEnterLeaveMutuallyExclusive(t *testing.T) {
+	// With positive hysteresis, the entering and leaving conditions of any
+	// event can never hold simultaneously — the property that makes
+	// triggered state sticky (Eq. 2's start/stop form).
+	f := func(evIdx uint8, rsRaw, rnRaw, t1Raw, t2Raw, offRaw float64, hystRaw uint8) bool {
+		types := []config.EventType{
+			config.EventA1, config.EventA2, config.EventA3,
+			config.EventA4, config.EventA5, config.EventB1, config.EventB2,
+		}
+		ev := config.EventConfig{
+			Type:       types[int(evIdx)%len(types)],
+			Quantity:   config.RSRP,
+			Threshold1: clampRSRP(t1Raw),
+			Threshold2: clampRSRP(t2Raw),
+			Offset:     math.Mod(math.Abs(offRaw), 15),
+			Hysteresis: 0.5 + float64(hystRaw%29)/2, // strictly positive
+		}
+		st := newEventState(1, config.MeasObject{EARFCN: 5780, RAT: config.RATLTE}, ev)
+		serving := MeasEntry{Cell: servingID, RSRP: clampRSRP(rsRaw), RSRQ: -10}
+		nID := neighborID
+		if ev.Type.InterRAT() {
+			nID = umtsID
+		}
+		n := MeasEntry{Cell: nID, RSRP: clampRSRP(rnRaw), RSRQ: -10}
+		var np *MeasEntry
+		if ev.Type.NeedsNeighbor() {
+			np = &n
+		}
+		return !(st.entering(serving, np) && st.leaving(serving, np))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReportNeighborsAlwaysSorted(t *testing.T) {
+	f := func(vals []int8) bool {
+		entries := make([]MeasEntry, 0, len(vals))
+		for i, v := range vals {
+			entries = append(entries, MeasEntry{
+				Cell: config.CellIdentity{CellID: uint32(i + 1), PCI: uint16(i), EARFCN: 5780, RAT: config.RATLTE},
+				RSRP: clampRSRP(float64(v)),
+			})
+		}
+		out := sortNeighbors(entries, config.RSRP, 4)
+		if len(out) > 4 {
+			return false
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i].RSRP > out[i-1].RSRP {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReselectorNeverReturnsServingOrForbidden(t *testing.T) {
+	f := func(rsRaw float64, neigh []uint8) bool {
+		cfg := idleCell()
+		cfg.ForbiddenCells = []uint32{7}
+		r := NewIdleReselector(cfg)
+		serving := meas(servingID, clampRSRP(rsRaw))
+		var ns []RawMeas
+		for i, v := range neigh {
+			if i >= 8 {
+				break
+			}
+			cellID := uint32(5 + i)
+			ch := []uint32{5780, 2000, 9820, 4435}[i%4]
+			rat := config.RATLTE
+			if ch == 4435 {
+				rat = config.RATUMTS
+			}
+			ns = append(ns, meas(id(cellID, ch, rat), clampRSRP(float64(v))))
+		}
+		// Drive the same scene long enough for any timer to mature.
+		for ts := Clock(0); ts <= 4000; ts += 200 {
+			if target, ok := r.Evaluate(ts, serving, ns); ok {
+				if target == serving.Cell || target.CellID == 7 {
+					return false
+				}
+				return true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeciderNeverTargetsForbiddenProperty(t *testing.T) {
+	f := func(evIdx uint8, servRaw float64, neigh []uint8) bool {
+		types := []config.EventType{config.EventA3, config.EventA5, config.EventPeriodic, config.EventA2}
+		cfg := &config.CellConfig{Identity: servingID, ForbiddenCells: []uint32{2}}
+		d := NewDecider(cfg)
+		rep := Report{
+			Time:     1000,
+			Event:    types[int(evIdx)%len(types)],
+			Quantity: config.RSRP,
+			Serving:  MeasEntry{Cell: servingID, RSRP: clampRSRP(servRaw)},
+		}
+		for i, v := range neigh {
+			if i >= 6 {
+				break
+			}
+			rep.Neighbors = append(rep.Neighbors, MeasEntry{
+				Cell: config.CellIdentity{CellID: uint32(i + 2), PCI: uint16(i + 20), EARFCN: 5780, RAT: config.RATLTE},
+				RSRP: clampRSRP(float64(v)),
+			})
+		}
+		dec := d.OnReport(rep)
+		if !dec.Handoff {
+			return true
+		}
+		if dec.Target.CellID == 2 || dec.Target == servingID {
+			return false
+		}
+		// Execution delay stays in the paper's observed window.
+		delay := dec.ExecuteAt - rep.Time
+		return delay >= 80 && delay <= 230
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMobilityTrackerStateMonotoneInChanges(t *testing.T) {
+	// More cell changes in the window can never lower the state.
+	f := func(n uint8) bool {
+		sc := scaling()
+		rank := func(k int) MobilityState {
+			var m MobilityTracker
+			for i := 0; i < k; i++ {
+				m.NoteCellChange(Clock(i) * 100)
+			}
+			return m.State(Clock(k)*100, sc)
+		}
+		k := int(n % 20)
+		return rank(k+1) >= rank(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

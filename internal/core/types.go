@@ -1,0 +1,69 @@
+// Package core implements the policy-based handoff machinery the paper
+// studies (§2): measurement triggering (Eq. 1), the reporting events
+// A1–A5/B1/B2 and periodic reporting with hysteresis and time-to-trigger
+// (Eq. 2), the network-side active-state handoff decision, and the
+// idle-state priority-based cell-reselection ranking (Eq. 3) — all driven
+// by the configuration parameters of internal/config.
+package core
+
+import (
+	"sort"
+
+	"mmlab/internal/config"
+)
+
+// Clock is simulation time in milliseconds.
+type Clock = int64
+
+// RawMeas is one cell's instantaneous measured radio quality as seen by
+// the UE after L1 averaging (before L3 filtering).
+type RawMeas struct {
+	Cell config.CellIdentity
+	RSRP float64 // dBm
+	RSRQ float64 // dB
+}
+
+// Quantity extracts the value for a configured trigger quantity.
+func (m RawMeas) Quantity(q config.Quantity) float64 {
+	if q == config.RSRQ {
+		return m.RSRQ
+	}
+	return m.RSRP
+}
+
+// MeasEntry is one cell's measurement inside a report (filtered values).
+type MeasEntry struct {
+	Cell config.CellIdentity
+	RSRP float64
+	RSRQ float64
+}
+
+// value extracts the configured quantity.
+func (e MeasEntry) value(q config.Quantity) float64 {
+	if q == config.RSRQ {
+		return e.RSRQ
+	}
+	return e.RSRP
+}
+
+// Report is a UE→network measurement report: which configured event fired,
+// the serving cell's quality, and the triggered neighbor cells best-first.
+type Report struct {
+	Time      Clock
+	MeasID    int
+	Event     config.EventType
+	Quantity  config.Quantity
+	Serving   MeasEntry
+	Neighbors []MeasEntry
+}
+
+// sortNeighbors orders entries by descending quantity value and caps them.
+func sortNeighbors(entries []MeasEntry, q config.Quantity, max int) []MeasEntry {
+	sort.SliceStable(entries, func(i, j int) bool {
+		return entries[i].value(q) > entries[j].value(q)
+	})
+	if max > 0 && len(entries) > max {
+		entries = entries[:max]
+	}
+	return entries
+}

@@ -1,0 +1,146 @@
+// Package crawler reproduces MMLab (paper §3): the device-centric tool
+// that crawls runtime handoff configurations out of cellular signaling
+// without operator assistance. It parses chipset diag-log byte streams
+// into per-cell configuration snapshots and observed handoff events
+// (Type-I collection), and simulates the crowdsourced crawl over a
+// carrier fleet — including MMLab's proactive cell switching — to build
+// dataset D2.
+package crawler
+
+import (
+	"fmt"
+	"io"
+
+	"mmlab/internal/config"
+	"mmlab/internal/radio"
+	"mmlab/internal/sib"
+)
+
+// ConfigSnapshot is one cell's reassembled broadcast configuration as
+// decoded from the wire — the crawler's unit of observation.
+type ConfigSnapshot struct {
+	Identity config.CellIdentity
+	TimeMs   uint64
+	Config   config.CellConfig
+}
+
+// HandoffEvent is an observed active-state handoff: the decisive
+// measurement report and the handover command that followed (paper
+// Fig. 3's "measurement report" tail).
+type HandoffEvent struct {
+	ReportTimeMs uint64
+	ExecTimeMs   uint64
+	Event        config.EventType
+	Serving      config.CellIdentity
+	ServingRSRP  float64 // dequantized
+	ServingRSRQ  float64
+	BestNeighbor config.CellIdentity
+	NeighborRSRP float64
+	Target       config.CellIdentity
+}
+
+// LatencyMs returns the report→execution gap.
+func (h HandoffEvent) LatencyMs() uint64 { return h.ExecTimeMs - h.ReportTimeMs }
+
+// ParseDiag consumes a diag stream and returns the configuration
+// snapshots and handoff events it carries. A snapshot opens at each
+// CellInfo stamp and closes at the next stamp (or EOF); SIBs and the RRC
+// reconfiguration seen in between populate it. Records that fail to
+// decode abort the parse — a corrupt capture should be noticed, not
+// silently truncated.
+func ParseDiag(r io.Reader) ([]ConfigSnapshot, []HandoffEvent, error) {
+	var (
+		snaps   []ConfigSnapshot
+		events  []HandoffEvent
+		cur     *ConfigSnapshot
+		lastRep *sib.MeasurementReport
+		repTime uint64
+	)
+	flush := func() {
+		if cur != nil {
+			snaps = append(snaps, *cur)
+			cur = nil
+		}
+	}
+	dr := sib.NewDiagReader(r)
+	err := dr.ForEach(func(rec sib.DiagRecord) error {
+		m, err := rec.Decode()
+		if err != nil {
+			return fmt.Errorf("crawler: record at t=%d: %w", rec.TimestampMs, err)
+		}
+		switch msg := m.(type) {
+		case *sib.CellInfo:
+			flush()
+			cur = &ConfigSnapshot{
+				Identity: msg.Identity,
+				TimeMs:   rec.TimestampMs,
+			}
+			cur.Config.Identity = msg.Identity
+		case *sib.SIB1:
+			if cur != nil {
+				cur.Config.Serving.QRxLevMin = msg.QRxLevMin
+				cur.Config.Serving.QQualMin = msg.QQualMin
+			}
+		case *sib.SIB3:
+			if cur != nil {
+				// SIB1's Δmin legs arrive separately; keep them.
+				qrx, qqual := cur.Config.Serving.QRxLevMin, cur.Config.Serving.QQualMin
+				cur.Config.Serving = msg.Serving
+				if cur.Config.Serving.QRxLevMin == 0 {
+					cur.Config.Serving.QRxLevMin = qrx
+				}
+				if cur.Config.Serving.QQualMin == 0 {
+					cur.Config.Serving.QQualMin = qqual
+				}
+			}
+		case *sib.SIB4:
+			if cur != nil {
+				cur.Config.ForbiddenCells = append(cur.Config.ForbiddenCells, msg.ForbiddenCells...)
+			}
+		case *sib.SIBFreq:
+			if cur != nil {
+				cur.Config.Freqs = append(cur.Config.Freqs, msg.Freqs...)
+			}
+		case *sib.RRCReconfig:
+			if cur != nil {
+				cur.Config.Meas = msg.Meas
+			}
+		case *sib.MeasurementReport:
+			cp := *msg
+			lastRep = &cp
+			repTime = rec.TimestampMs
+		case *sib.HandoverCommand:
+			ev := HandoffEvent{
+				ExecTimeMs: rec.TimestampMs,
+				Target: config.CellIdentity{
+					CellID: msg.TargetCellID,
+					PCI:    msg.TargetPCI,
+					EARFCN: msg.TargetEARFCN,
+					RAT:    msg.TargetRAT,
+				},
+			}
+			if cur != nil {
+				ev.Serving = cur.Identity
+			}
+			if lastRep != nil {
+				ev.ReportTimeMs = repTime
+				ev.Event = lastRep.EventType
+				ev.ServingRSRP = radio.DequantizeRSRP(lastRep.Serving.RSRPIdx)
+				ev.ServingRSRQ = radio.DequantizeRSRQ(lastRep.Serving.RSRQIdx)
+				if len(lastRep.Neighbors) > 0 {
+					n := lastRep.Neighbors[0]
+					ev.BestNeighbor = config.CellIdentity{PCI: n.PCI, EARFCN: n.EARFCN, RAT: n.RAT}
+					ev.NeighborRSRP = radio.DequantizeRSRP(n.RSRPIdx)
+				}
+				lastRep = nil
+			}
+			events = append(events, ev)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	flush()
+	return snaps, events, nil
+}

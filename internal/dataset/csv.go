@@ -1,0 +1,159 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// The paper released its mobility configuration dataset publicly
+// (appendix); CSV export makes ours consumable by the same pandas/R
+// toolchains JSONL-averse analysts use.
+
+// d1Header is the flat D1 schema.
+var d1Header = []string{
+	"carrier", "city", "kind", "event", "t_ms", "report_t_ms",
+	"from_cell", "to_cell", "from_freq", "to_freq", "from_rat", "to_rat",
+	"from_prio", "to_prio", "rsrp_old", "rsrp_new", "rsrq_old", "rsrq_new",
+	"quantity", "offset", "hysteresis", "threshold1", "threshold2", "ttt_ms",
+	"min_thpt_bps",
+}
+
+// WriteD1CSV writes handoff instances as a flat CSV table.
+func WriteD1CSV(w io.Writer, records []D1Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(d1Header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for i := range records {
+		r := &records[i]
+		row := []string{
+			r.Carrier, r.City, r.Kind, r.Event,
+			strconv.FormatInt(r.TimeMs, 10), strconv.FormatInt(r.ReportTimeMs, 10),
+			strconv.FormatUint(uint64(r.FromCellID), 10), strconv.FormatUint(uint64(r.ToCellID), 10),
+			strconv.FormatUint(uint64(r.FromEARFCN), 10), strconv.FormatUint(uint64(r.ToEARFCN), 10),
+			r.FromRAT, r.ToRAT,
+			strconv.Itoa(r.FromPriority), strconv.Itoa(r.ToPriority),
+			f(r.RSRPOld), f(r.RSRPNew), f(r.RSRQOld), f(r.RSRQNew),
+			r.Quantity, f(r.Offset), f(r.Hysteresis), f(r.Threshold1), f(r.Threshold2),
+			strconv.Itoa(r.TTTMs), f(r.MinThptBefore),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// d2Header is the long-format D2 schema: one row per observed parameter
+// value (the paper's per-sample accounting).
+var d2Header = []string{
+	"carrier", "city", "cell", "pci", "freq", "rat", "t_ms", "round",
+	"x", "y", "param", "value",
+}
+
+// WriteD2CSV writes configuration snapshots in long format, one row per
+// parameter sample.
+func WriteD2CSV(w io.Writer, snaps []D2Snapshot) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(d2Header); err != nil {
+		return err
+	}
+	for i := range snaps {
+		s := &snaps[i]
+		base := []string{
+			s.Carrier, s.City,
+			strconv.FormatUint(uint64(s.CellID), 10), strconv.FormatUint(uint64(s.PCI), 10),
+			strconv.FormatUint(uint64(s.EARFCN), 10), s.RAT,
+			strconv.FormatUint(s.TimeMs, 10), strconv.Itoa(s.Round),
+			strconv.FormatFloat(s.PosX, 'f', 1, 64), strconv.FormatFloat(s.PosY, 'f', 1, 64),
+		}
+		params := make([]string, 0, len(s.Params))
+		for p := range s.Params {
+			params = append(params, p)
+		}
+		sort.Strings(params)
+		for _, p := range params {
+			for _, v := range s.Params[p] {
+				row := append(append([]string(nil), base...), p, strconv.FormatFloat(v, 'g', -1, 64))
+				if err := cw.Write(row); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadD1CSV parses the flat D1 CSV back into records.
+func ReadD1CSV(r io.Reader) ([]D1Record, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	if len(rows[0]) != len(d1Header) {
+		return nil, fmt.Errorf("dataset: D1 CSV has %d columns, want %d", len(rows[0]), len(d1Header))
+	}
+	out := make([]D1Record, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		rec, err := parseD1Row(row)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: D1 CSV row %d: %w", i+2, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func parseD1Row(row []string) (D1Record, error) {
+	var r D1Record
+	var err error
+	pf := func(s string) float64 {
+		if err != nil {
+			return 0
+		}
+		var v float64
+		v, err = strconv.ParseFloat(s, 64)
+		return v
+	}
+	pi := func(s string) int {
+		if err != nil {
+			return 0
+		}
+		var v int
+		v, err = strconv.Atoi(s)
+		return v
+	}
+	pu := func(s string) uint32 { return uint32(pi(s)) }
+	p64 := func(s string) int64 {
+		if err != nil {
+			return 0
+		}
+		var v int64
+		v, err = strconv.ParseInt(s, 10, 64)
+		return v
+	}
+	r.Carrier, r.City, r.Kind, r.Event = row[0], row[1], row[2], row[3]
+	r.TimeMs, r.ReportTimeMs = p64(row[4]), p64(row[5])
+	r.FromCellID, r.ToCellID = pu(row[6]), pu(row[7])
+	r.FromEARFCN, r.ToEARFCN = pu(row[8]), pu(row[9])
+	r.FromRAT, r.ToRAT = row[10], row[11]
+	r.FromPriority, r.ToPriority = pi(row[12]), pi(row[13])
+	r.RSRPOld, r.RSRPNew = pf(row[14]), pf(row[15])
+	r.RSRQOld, r.RSRQNew = pf(row[16]), pf(row[17])
+	r.Quantity = row[18]
+	r.Offset, r.Hysteresis = pf(row[19]), pf(row[20])
+	r.Threshold1, r.Threshold2 = pf(row[21]), pf(row[22])
+	r.TTTMs = pi(row[23])
+	r.MinThptBefore = pf(row[24])
+	return r, err
+}

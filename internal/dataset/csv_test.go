@@ -1,0 +1,81 @@
+package dataset
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestD1CSVRoundTrip(t *testing.T) {
+	recs := sampleD1()
+	var buf bytes.Buffer
+	if err := WriteD1CSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadD1CSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, recs)
+	}
+}
+
+func TestD1CSVHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteD1CSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(buf.String(), "\n", 2)[0]
+	if !strings.HasPrefix(first, "carrier,city,kind,event") {
+		t.Errorf("header = %q", first)
+	}
+	got, err := ReadD1CSV(strings.NewReader(buf.String()))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty table read: %v %v", got, err)
+	}
+}
+
+func TestD1CSVRejectsWrongShape(t *testing.T) {
+	if _, err := ReadD1CSV(strings.NewReader("a,b,c\n1,2,3\n")); err == nil {
+		t.Error("wrong column count should fail")
+	}
+	var buf bytes.Buffer
+	WriteD1CSV(&buf, sampleD1()[:1])
+	bad := strings.Replace(buf.String(), ",1000,", ",notanint,", 1)
+	if _, err := ReadD1CSV(strings.NewReader(bad)); err == nil {
+		t.Error("malformed number should fail")
+	}
+	// Completely empty input reads as nil.
+	if recs, err := ReadD1CSV(strings.NewReader("")); err != nil || recs != nil {
+		t.Errorf("empty input: %v %v", recs, err)
+	}
+}
+
+func TestD2CSVLongFormat(t *testing.T) {
+	snaps := []D2Snapshot{
+		snap("A", 1, "LTE", 1, map[string][]float64{
+			"qHyst":             {4},
+			"interFreqPriority": {2, 5},
+		}),
+	}
+	var buf bytes.Buffer
+	if err := WriteD2CSV(&buf, snaps); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Header + 3 sample rows (1 qHyst + 2 interFreqPriority).
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "carrier,city,cell") {
+		t.Errorf("header = %q", lines[0])
+	}
+	// Params emitted in sorted order: interFreqPriority rows first.
+	if !strings.Contains(lines[1], "interFreqPriority,2") ||
+		!strings.Contains(lines[2], "interFreqPriority,5") ||
+		!strings.Contains(lines[3], "qHyst,4") {
+		t.Errorf("rows:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,190 @@
+// Package experiment orchestrates the paper's Type-II measurements on the
+// simulator: the drive campaigns that build dataset D1 (§4: active-state
+// 4G→4G handoffs with speedtest / constant-rate iPerf / ping, plus
+// idle-state drives), the configuration sweeps behind Figs. 7–8, and the
+// ablation runs of DESIGN.md §4.
+package experiment
+
+import (
+	"fmt"
+
+	"mmlab/internal/carrier"
+	"mmlab/internal/config"
+	"mmlab/internal/dataset"
+	"mmlab/internal/geo"
+	"mmlab/internal/netsim"
+	"mmlab/internal/traffic"
+)
+
+// D1Options sizes a D1 campaign.
+type D1Options struct {
+	// Scale 1.0 reproduces the paper's dataset size (14,510 active +
+	// 4,263 idle handoffs); smaller scales shrink proportionally.
+	Scale float64
+	Seed  int64
+	// Cities defaults to the paper's three test cities mapped onto our
+	// region codes: Chicago (C1), Indianapolis (C3), Lafayette (C5).
+	Cities []string
+}
+
+func (o *D1Options) fill() {
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if len(o.Cities) == 0 {
+		o.Cities = []string{"C1", "C3", "C5"}
+	}
+}
+
+// Paper dataset sizes (§4).
+const (
+	PaperActiveHandoffs = 14510
+	PaperIdleHandoffs   = 4263
+)
+
+// activeShare weights the active campaign per carrier: speedtest and
+// constant-rate iPerf ran "primarily in AT&T and T-Mobile only" (§4).
+var activeShare = map[string]float64{"A": 0.4, "T": 0.4, "V": 0.12, "S": 0.08}
+
+// idleShare spreads the idle campaign over all four US carriers.
+var idleShare = map[string]float64{"A": 0.3, "T": 0.3, "V": 0.2, "S": 0.2}
+
+// driveRegion is the standard drive-test arena.
+var driveRegion = geo.NewRect(geo.Pt(0, 0), geo.Pt(7000, 4500))
+
+// appFor rotates the paper's three data services across runs.
+func appFor(run int) traffic.App {
+	switch run % 4 {
+	case 0:
+		return traffic.Speedtest{}
+	case 1:
+		return traffic.NewConstantRate(1e6) // 1 Mbps iPerf
+	case 2:
+		return traffic.NewConstantRate(5e3) // 5 kbps iPerf
+	default:
+		return traffic.NewPing()
+	}
+}
+
+// speedFor alternates local (<50 km/h) and highway (90–120 km/h) runs.
+func speedFor(run int) float64 {
+	if run%2 == 0 {
+		return 45
+	}
+	return 90 + float64(run%4)*10
+}
+
+// convert maps a simulator handoff to a D1 row.
+func convert(h netsim.HandoffRecord, carrierAcr, city string) dataset.D1Record {
+	rec := dataset.D1Record{
+		Carrier:       carrierAcr,
+		City:          city,
+		Kind:          string(h.Kind),
+		TimeMs:        h.Time,
+		ReportTimeMs:  h.ReportTime,
+		FromCellID:    h.From.CellID,
+		ToCellID:      h.To.CellID,
+		FromEARFCN:    h.From.EARFCN,
+		ToEARFCN:      h.To.EARFCN,
+		FromRAT:       h.From.RAT.String(),
+		ToRAT:         h.To.RAT.String(),
+		FromPriority:  h.FromPriority,
+		ToPriority:    h.ToPriority,
+		RSRPOld:       h.RSRPOld,
+		RSRPNew:       h.RSRPNew,
+		RSRQOld:       h.RSRQOld,
+		RSRQNew:       h.RSRQNew,
+		MinThptBefore: h.MinThptBefore,
+	}
+	if h.Kind == netsim.ActiveHandoff {
+		rec.Event = h.Event.String()
+		rec.Quantity = h.EventConfig.Quantity.String()
+		rec.Offset = h.EventConfig.Offset
+		rec.Hysteresis = h.EventConfig.Hysteresis
+		rec.Threshold1 = h.EventConfig.Threshold1
+		rec.Threshold2 = h.EventConfig.Threshold2
+		rec.TTTMs = h.EventConfig.TimeToTriggerMs
+	}
+	return rec
+}
+
+// campaign runs drives for one carrier until quota handoffs accumulate.
+func campaign(acr string, cities []string, quota int, active bool, seed int64) ([]dataset.D1Record, error) {
+	gen, err := carrier.NewGenerator(acr)
+	if err != nil {
+		return nil, err
+	}
+	var out []dataset.D1Record
+	for run := 0; len(out) < quota && run < 4000; run++ {
+		city := cities[run%len(cities)]
+		wopts := netsim.WorldOpts{
+			Seed:      seed + int64(run)*101,
+			City:      city,
+			LTELayers: 3,
+		}
+		if !active {
+			wopts.IncludeNonLTE = true
+		}
+		w := netsim.BuildWorld(gen, driveRegion, wopts)
+		lane := float64((run%5)-2) * 120
+		route := netsim.RowRoute(w, speedFor(run), lane)
+		opts := netsim.UEOpts{Seed: seed*7 + int64(run), Active: active}
+		if active {
+			opts.App = appFor(run)
+		}
+		res := netsim.RunDrive(w, route, route.Duration(), opts)
+		for _, h := range res.Handoffs {
+			if active && (h.From.RAT != config.RATLTE || h.To.RAT != config.RATLTE) {
+				continue // D1 keeps 4G→4G active handoffs only (§4)
+			}
+			out = append(out, convert(h, acr, city))
+			if len(out) >= quota {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// BuildD1 runs the full Type-II campaign and returns the dataset.
+func BuildD1(opts D1Options) (*dataset.D1, error) {
+	opts.fill()
+	d := &dataset.D1{}
+	for _, acr := range []string{"A", "T", "V", "S"} {
+		quotaA := int(float64(PaperActiveHandoffs) * opts.Scale * activeShare[acr])
+		if quotaA < 10 {
+			quotaA = 10
+		}
+		recs, err := campaign(acr, opts.Cities, quotaA, true, opts.Seed+int64(len(acr)))
+		if err != nil {
+			return nil, fmt.Errorf("experiment: active campaign %s: %w", acr, err)
+		}
+		d.Records = append(d.Records, recs...)
+
+		quotaI := int(float64(PaperIdleHandoffs) * opts.Scale * idleShare[acr])
+		if quotaI < 10 {
+			quotaI = 10
+		}
+		recs, err = campaign(acr, opts.Cities, quotaI, false, opts.Seed+1000+int64(len(acr)))
+		if err != nil {
+			return nil, fmt.Errorf("experiment: idle campaign %s: %w", acr, err)
+		}
+		d.Records = append(d.Records, recs...)
+	}
+	return d, nil
+}
+
+// carrierGen builds the generator for a carrier.
+func carrierGen(acr string) (*carrier.Generator, error) {
+	return carrier.NewGenerator(acr)
+}
+
+// worldFor builds a standard single-carrier sweep world (one LTE layer:
+// intra-frequency handoffs, the paper's Fig. 7 scenario).
+func worldFor(acr string, seed int64) (*netsim.World, error) {
+	gen, err := carrierGen(acr)
+	if err != nil {
+		return nil, err
+	}
+	return netsim.BuildWorld(gen, driveRegion, netsim.WorldOpts{Seed: seed, LTELayers: 1}), nil
+}

@@ -1,0 +1,364 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mmlab/internal/config"
+	"mmlab/internal/netsim"
+	"mmlab/internal/stats"
+	"mmlab/internal/traffic"
+)
+
+// Fig7Series is one run's throughput timeline around its first A3
+// handoff, aligned so the decisive report sits at AlignMs.
+type Fig7Series struct {
+	OffsetDB     float64
+	AlignMs      int64 // position of the decisive report in the series
+	Bins100ms    []float64
+	Bins1s       []float64
+	ReportTime   int64
+	HandoffTime  int64
+	MinThptBps   float64 // mean of per-A3-handoff min pre-report throughput over the run
+	HandoffGapMs int64
+	A3Handoffs   int
+}
+
+// Fig7 reproduces the two-timeline experiment: identical route and world,
+// ΔA3 = 5 dB vs 12 dB, throughput traced in 1 s and 100 ms bins (§4.1).
+func Fig7(seed int64) ([2]Fig7Series, error) {
+	var out [2]Fig7Series
+	for i, off := range []float64{5, 12} {
+		w, err := worldFor("T", seed)
+		if err != nil {
+			return out, err
+		}
+		netsim.OverridePrimaryEvent(w, config.EventConfig{
+			Type: config.EventA3, Quantity: config.RSRP, Offset: off, Hysteresis: 1,
+			TimeToTriggerMs: 320, ReportIntervalMs: 240, MaxReportCells: 4,
+		})
+		route := netsim.RowRoute(w, 50, 40)
+		res := netsim.RunDrive(w, route, route.Duration(), netsim.UEOpts{
+			Seed: seed * 13, Active: true, App: traffic.Speedtest{},
+		})
+		s := Fig7Series{OffsetDB: off}
+		sum := 0.0
+		for _, h := range res.Handoffs {
+			if h.Event != config.EventA3 {
+				continue
+			}
+			if s.A3Handoffs == 0 {
+				s.ReportTime = h.ReportTime
+				s.HandoffTime = h.Time
+				s.HandoffGapMs = h.Time - h.ReportTime
+			}
+			s.A3Handoffs++
+			if h.MinThptBefore >= 0 {
+				sum += h.MinThptBefore
+			}
+		}
+		if s.A3Handoffs > 0 {
+			s.MinThptBps = sum / float64(s.A3Handoffs)
+		}
+		// Window: 25 s before the report to 15 s after (the paper aligns
+		// the report at t = 25 s of a 40 s window).
+		lo := s.ReportTime - 25000
+		hi := s.ReportTime + 15000
+		for _, b := range res.Thpt {
+			if b.Time >= lo && b.Time < hi {
+				s.Bins100ms = append(s.Bins100ms, b.Bps)
+			}
+		}
+		for j := 0; j+10 <= len(s.Bins100ms); j += 10 {
+			sum := 0.0
+			for k := 0; k < 10; k++ {
+				sum += s.Bins100ms[j+k]
+			}
+			s.Bins1s = append(s.Bins1s, sum/10)
+		}
+		s.AlignMs = 25000
+		out[i] = s
+	}
+	return out, nil
+}
+
+// ConfigCase labels one reporting configuration of the Fig. 8 comparison.
+type ConfigCase struct {
+	Label   string
+	Carrier string
+	Event   config.EventConfig
+}
+
+// Fig8Cases returns the paper's labeled configurations: AT&T's A5a–A5d
+// and A3 (Fig. 8a), T-Mobile's A3a/A3b/A5a/A5b/P (Fig. 8b).
+func Fig8Cases() []ConfigCase {
+	a5 := func(q config.Quantity, t1, t2 float64) config.EventConfig {
+		return config.EventConfig{Type: config.EventA5, Quantity: q,
+			Threshold1: t1, Threshold2: t2, Hysteresis: 1,
+			TimeToTriggerMs: 320, ReportIntervalMs: 240, MaxReportCells: 4}
+	}
+	a3 := func(off float64) config.EventConfig {
+		return config.EventConfig{Type: config.EventA3, Quantity: config.RSRP,
+			Offset: off, Hysteresis: 1,
+			TimeToTriggerMs: 320, ReportIntervalMs: 240, MaxReportCells: 4}
+	}
+	return []ConfigCase{
+		// AT&T (Fig. 8a): ΘA5,S = −44 relaxes the serving requirement and
+		// enables early handoffs; −118 defers them.
+		{"A5a", "A", a5(config.RSRP, -44, -114)},
+		{"A5b", "A", a5(config.RSRP, -118, -114)},
+		{"A5c", "A", a5(config.RSRQ, -16, -15)},
+		{"A5d", "A", a5(config.RSRQ, -18, -15)},
+		{"A3", "A", a3(3)},
+		// T-Mobile (Fig. 8b).
+		{"A3a", "T", a3(12)},
+		{"A3b", "T", a3(5)},
+		{"A5a", "T", a5(config.RSRP, -87, -110)},
+		{"A5b", "T", a5(config.RSRP, -121, -110)},
+		{"P", "T", config.EventConfig{Type: config.EventPeriodic, Quantity: config.RSRP,
+			ReportIntervalMs: 2048, MaxReportCells: 4}},
+	}
+}
+
+// Fig8Result is one configuration's handoff-quality statistics.
+type Fig8Result struct {
+	Case     ConfigCase
+	Handoffs int
+	MinThpt  stats.Boxplot // bps, min pre-report throughput per handoff
+}
+
+// Fig8 sweeps the labeled configurations over identical drive scenarios.
+// runs controls how many (world, route) pairs each case sees.
+func Fig8(seed int64, runs int) ([]Fig8Result, error) {
+	if runs <= 0 {
+		runs = 3
+	}
+	var out []Fig8Result
+	for _, cs := range Fig8Cases() {
+		var mins []float64
+		n := 0
+		for r := 0; r < runs; r++ {
+			w, err := worldFor(cs.Carrier, seed+int64(r)*271)
+			if err != nil {
+				return nil, err
+			}
+			netsim.OverridePrimaryEvent(w, cs.Event)
+			route := netsim.RowRoute(w, 50, 40)
+			res := netsim.RunDrive(w, route, route.Duration(), netsim.UEOpts{
+				Seed: seed*11 + int64(r), Active: true, App: traffic.Speedtest{},
+			})
+			for _, h := range res.Handoffs {
+				if h.Event != cs.Event.Type {
+					continue
+				}
+				n++
+				if h.MinThptBefore >= 0 {
+					mins = append(mins, h.MinThptBefore)
+				}
+			}
+		}
+		out = append(out, Fig8Result{Case: cs, Handoffs: n, MinThpt: stats.NewBoxplot(mins)})
+	}
+	return out, nil
+}
+
+// AblationResult compares handoff dynamics across one design knob.
+type AblationResult struct {
+	Label    string
+	Handoffs int
+	PingPong int // immediate return to the previous cell within 5 s
+	MeanThpt float64
+}
+
+// ablationRun drives one configured world and counts ping-pongs.
+func ablationRun(label string, seed int64, mutate func(*netsim.World)) (AblationResult, error) {
+	w, err := worldFor("T", seed)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	if mutate != nil {
+		mutate(w)
+	}
+	route := netsim.RowRoute(w, 50, 40)
+	res := netsim.RunDrive(w, route, route.Duration(), netsim.UEOpts{
+		Seed: seed * 3, Active: true, App: traffic.Speedtest{},
+	})
+	r := AblationResult{Label: label, Handoffs: len(res.Handoffs), MeanThpt: res.MeanThpt()}
+	for i := 1; i < len(res.Handoffs); i++ {
+		prev, cur := res.Handoffs[i-1], res.Handoffs[i]
+		if cur.To == prev.From && cur.Time-prev.Time < 5000 {
+			r.PingPong++
+		}
+	}
+	return r, nil
+}
+
+// AblateTTT compares TimeToTrigger = 0 against 320 ms (DESIGN.md §4:
+// removing TTT inflates ping-pong handoffs).
+func AblateTTT(seed int64) ([2]AblationResult, error) {
+	var out [2]AblationResult
+	for i, ttt := range []int{0, 320} {
+		ev := config.EventConfig{Type: config.EventA3, Quantity: config.RSRP,
+			Offset: 3, Hysteresis: 1, TimeToTriggerMs: ttt,
+			ReportIntervalMs: 240, MaxReportCells: 4}
+		r, err := ablationRun(fmt.Sprintf("TTT=%dms", ttt), seed, func(w *netsim.World) {
+			netsim.OverridePrimaryEvent(w, ev)
+		})
+		if err != nil {
+			return out, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// AblateHysteresis compares HA3 = 0 against 2.5 dB.
+func AblateHysteresis(seed int64) ([2]AblationResult, error) {
+	var out [2]AblationResult
+	for i, h := range []float64{0, 2.5} {
+		ev := config.EventConfig{Type: config.EventA3, Quantity: config.RSRP,
+			Offset: 3, Hysteresis: h, TimeToTriggerMs: 0,
+			ReportIntervalMs: 240, MaxReportCells: 4}
+		r, err := ablationRun(fmt.Sprintf("HA3=%.1fdB", h), seed, func(w *netsim.World) {
+			netsim.OverridePrimaryEvent(w, ev)
+		})
+		if err != nil {
+			return out, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// AblateFilterK compares L3 filter coefficients (k = 0 raw vs k = 8
+// heavy smoothing), the "3 dB measurement dynamics" knob.
+func AblateFilterK(seed int64) ([2]AblationResult, error) {
+	var out [2]AblationResult
+	for i, k := range []int{0, 8} {
+		kk := k
+		r, err := ablationRun(fmt.Sprintf("filterK=%d", kk), seed, func(w *netsim.World) {
+			for _, c := range w.Cells {
+				if c.Config.Meas.Reports != nil {
+					c.Config.Meas.FilterK = kk
+				}
+			}
+		})
+		if err != nil {
+			return out, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// PriorityVsStrongest quantifies finding 2a on the idle side: how many
+// reselections under priority rules land on a cell weaker than the best
+// available (a best-RSRP policy would never do that). It uses a
+// multi-layer world so priority cases actually arise.
+func PriorityVsStrongest(seed int64) (weaker, total int, err error) {
+	gen, err := carrierGen("A")
+	if err != nil {
+		return 0, 0, err
+	}
+	w := netsim.BuildWorld(gen, driveRegion, netsim.WorldOpts{Seed: seed, LTELayers: 3, IncludeNonLTE: true})
+	route := netsim.RowRoute(w, 45, 60)
+	res := netsim.RunDrive(w, route, route.Duration(), netsim.UEOpts{Seed: seed, Active: false})
+	for _, h := range res.Handoffs {
+		total++
+		if h.RSRPNew < h.RSRPOld {
+			weaker++
+		}
+	}
+	return weaker, total, nil
+}
+
+// AblateSpeedScaling contrasts idle highway reselection with and without
+// the TS 36.304 speed-scaling block: a fast mover in high mobility state
+// halves Treselect and sheds hysteresis, so it reselects earlier and rides
+// healthier cells.
+func AblateSpeedScaling(seed int64) ([2]AblationResult, error) {
+	var out [2]AblationResult
+	for i, enabled := range []bool{true, false} {
+		gen, err := carrierGen("A")
+		if err != nil {
+			return out, err
+		}
+		// Dense small cells: a highway UE crosses borders every ~13 s, so
+		// the mobility-state criteria actually trigger.
+		w := netsim.BuildWorld(gen, driveRegion, netsim.WorldOpts{Seed: seed, LTELayers: 1, ISD: 400})
+		en := enabled
+		netsim.OverrideServing(w, func(s *config.ServingCellConfig) {
+			s.TReselectionSec = 4
+			if en {
+				s.SpeedScaling = config.SpeedScaling{
+					Enabled: true, NCellChangeMedium: 4, NCellChangeHigh: 7,
+					TEvaluationSec: 120, THystNormalSec: 120,
+					TReselectionSFMedium: 0.5, TReselectionSFHigh: 0.25,
+					QHystSFMedium: -2, QHystSFHigh: -4,
+				}
+			} else {
+				s.SpeedScaling = config.SpeedScaling{}
+			}
+		})
+		route := netsim.RowRoute(w, 110, 40) // highway speed
+		res := netsim.RunDrive(w, route, route.Duration(), netsim.UEOpts{Seed: seed * 5, Active: false})
+		label := "speedScaling=off"
+		if enabled {
+			label = "speedScaling=on"
+		}
+		rsrpOld := 0.0
+		for _, h := range res.Handoffs {
+			rsrpOld += h.RSRPOld
+		}
+		r := AblationResult{Label: label, Handoffs: len(res.Handoffs)}
+		if len(res.Handoffs) > 0 {
+			r.MeanThpt = rsrpOld / float64(len(res.Handoffs)) // mean serving RSRP at reselection (dBm)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// CrossLayerResult quantifies §6's cross-layer connection: how handoffs
+// disturb a congestion-controlled flow.
+type CrossLayerResult struct {
+	Handoffs    int
+	Timeouts    int     // TCP RTO events
+	MeanThptBps float64 // whole-drive average
+	// DipRatio is mean throughput in the second around handoffs divided by
+	// the drive mean: < 1 quantifies the handoff scar.
+	DipRatio float64
+}
+
+// CrossLayerTCP drives a TCP bulk download through a world and measures
+// the interaction between handoffs and the transport layer (the
+// cross-layer study §6 proposes on top of the configuration work).
+func CrossLayerTCP(seed int64) (CrossLayerResult, error) {
+	w, err := worldFor("T", seed)
+	if err != nil {
+		return CrossLayerResult{}, err
+	}
+	route := netsim.RowRoute(w, 50, 40)
+	app := traffic.NewTCPDownload()
+	res := netsim.RunDrive(w, route, route.Duration(), netsim.UEOpts{
+		Seed: seed * 3, Active: true, App: app,
+	})
+	out := CrossLayerResult{
+		Handoffs:    len(res.Handoffs),
+		Timeouts:    app.Timeouts,
+		MeanThptBps: res.MeanThpt(),
+	}
+	// Mean throughput within ±500 ms of each handoff execution.
+	var near, nearN float64
+	for _, h := range res.Handoffs {
+		for _, b := range res.Thpt {
+			if b.Time >= h.Time-500 && b.Time <= h.Time+500 {
+				near += b.Bps
+				nearN++
+			}
+		}
+	}
+	if nearN > 0 && out.MeanThptBps > 0 {
+		out.DipRatio = (near / nearN) / out.MeanThptBps
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package netsim
+
+import (
+	"math"
+
+	"mmlab/internal/geo"
+	"mmlab/internal/mobility"
+)
+
+// RowRoute builds a straight drive route that passes along a row of cell
+// sites (drive-test roads run past towers; a route far from every site
+// never develops the large RSRP differentials that high-offset events
+// need). laneOffset shifts the road sideways from the tower row in meters.
+func RowRoute(w *World, speedKmh float64, laneOffset float64) *mobility.Route {
+	y := w.Region.Center().Y
+	// Find the site row nearest the region's vertical center.
+	best := math.Inf(1)
+	for _, c := range w.Cells {
+		if d := math.Abs(c.Site.Pos.Y - y); d < best {
+			best = d
+			y = c.Site.Pos.Y
+		}
+	}
+	y += laneOffset
+	margin := w.Region.Width() * 0.03
+	return mobility.NewRoute(speedKmh,
+		geo.Pt(w.Region.Min.X+margin, y),
+		geo.Pt(w.Region.Max.X-margin, y))
+}
+
+// SweepResult aggregates handoff-quality numbers over several drives.
+type SweepResult struct {
+	Handoffs  int
+	MinThpts  []float64 // per-handoff min pre-report throughput (bps)
+	DeltaRSRP []float64 // per-handoff RSRP change (dB)
+	RSRPOld   []float64
+	RSRPNew   []float64
+}
+
+// RunSweep performs n drive runs with distinct seeds over the given world
+// builder and collects per-handoff statistics; filter (optional) selects
+// which handoffs count.
+func RunSweep(build func(seed int64) *World, move func(w *World) mobility.Model, n int, opts UEOpts, filter func(HandoffRecord) bool) SweepResult {
+	var out SweepResult
+	for i := 0; i < n; i++ {
+		seed := int64(1000 + i*77)
+		w := build(seed)
+		o := opts
+		o.Seed = seed * 31
+		m := move(w)
+		dur := int64(10 * 60 * 1000)
+		if r, ok := m.(*mobility.Route); ok {
+			dur = r.Duration()
+		}
+		res := RunDrive(w, m, dur, o)
+		for _, h := range res.Handoffs {
+			if filter != nil && !filter(h) {
+				continue
+			}
+			out.Handoffs++
+			if h.MinThptBefore >= 0 {
+				out.MinThpts = append(out.MinThpts, h.MinThptBefore)
+			}
+			out.DeltaRSRP = append(out.DeltaRSRP, h.RSRPNew-h.RSRPOld)
+			out.RSRPOld = append(out.RSRPOld, h.RSRPOld)
+			out.RSRPNew = append(out.RSRPNew, h.RSRPNew)
+		}
+	}
+	return out
+}
+
+// Mean returns the mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

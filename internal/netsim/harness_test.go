@@ -1,0 +1,103 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"mmlab/internal/carrier"
+	"mmlab/internal/geo"
+	"mmlab/internal/mobility"
+	"mmlab/internal/traffic"
+)
+
+func TestRowRoutePassesSites(t *testing.T) {
+	w := testWorld(t, "A", WorldOpts{LTELayers: 1})
+	route := RowRoute(w, 50, 0)
+	if route.Length() < w.Region.Width()*0.8 {
+		t.Errorf("route length %.0f too short for region width %.0f", route.Length(), w.Region.Width())
+	}
+	// The route's y must coincide with some site row.
+	y := route.At(0).Y
+	best := math.Inf(1)
+	for _, c := range w.Cells {
+		if d := math.Abs(c.Site.Pos.Y - y); d < best {
+			best = d
+		}
+	}
+	if best > 1 {
+		t.Errorf("route %.1f m off the nearest site row", best)
+	}
+	// Lane offset shifts the road.
+	lane := RowRoute(w, 50, 120)
+	if math.Abs(lane.At(0).Y-y-120) > 1e-6 {
+		t.Errorf("lane offset not applied: %v vs %v", lane.At(0).Y, y)
+	}
+}
+
+func TestRunSweepAggregates(t *testing.T) {
+	g, err := carrier.NewGenerator("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(5000, 3000))
+	build := func(seed int64) *World {
+		return BuildWorld(g, region, WorldOpts{Seed: seed, LTELayers: 1})
+	}
+	move := func(w *World) mobility.Model { return RowRoute(w, 50, 40) }
+	sweep := RunSweep(build, move, 2, UEOpts{Active: true, App: traffic.Speedtest{}}, nil)
+	if sweep.Handoffs == 0 {
+		t.Fatal("sweep produced no handoffs")
+	}
+	if len(sweep.DeltaRSRP) != sweep.Handoffs ||
+		len(sweep.RSRPOld) != sweep.Handoffs || len(sweep.RSRPNew) != sweep.Handoffs {
+		t.Error("per-handoff slices inconsistent")
+	}
+	for i := range sweep.DeltaRSRP {
+		if math.Abs(sweep.RSRPNew[i]-sweep.RSRPOld[i]-sweep.DeltaRSRP[i]) > 1e-9 {
+			t.Fatal("DeltaRSRP inconsistent with Old/New")
+		}
+	}
+	if len(sweep.MinThpts) == 0 {
+		t.Error("no throughput records despite traffic app")
+	}
+	// A filter that rejects everything yields an empty sweep.
+	empty := RunSweep(build, move, 1, UEOpts{Active: true}, func(HandoffRecord) bool { return false })
+	if empty.Handoffs != 0 {
+		t.Error("filter ignored")
+	}
+}
+
+func TestMeanHelper(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+	if Mean([]float64{2, 4, 6}) != 4 {
+		t.Error("Mean wrong")
+	}
+}
+
+func TestRSRQInWorldSpansPaperRange(t *testing.T) {
+	// The physical RSRQ model must exercise the paper's threshold range:
+	// strong isolated positions near −3, contested borders well below −10.
+	w := testWorld(t, "A", WorldOpts{LTELayers: 1})
+	route := RowRoute(w, 50, 40)
+	res := RunDrive(w, route, route.Duration(), UEOpts{Seed: 2, Active: true, App: traffic.Speedtest{}})
+	lo, hi := 0.0, -30.0
+	for _, h := range res.Handoffs {
+		if h.RSRQOld < lo {
+			lo = h.RSRQOld
+		}
+		if h.RSRQOld > hi {
+			hi = h.RSRQOld
+		}
+	}
+	if len(res.Handoffs) == 0 {
+		t.Skip("no handoffs")
+	}
+	if lo > -8 {
+		t.Errorf("min RSRQ at handoffs = %v, want clearly degraded values", lo)
+	}
+	if hi > -3 || hi < -19.5 {
+		t.Errorf("max RSRQ out of range: %v", hi)
+	}
+}

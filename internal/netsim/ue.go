@@ -1,0 +1,487 @@
+package netsim
+
+import (
+	"mmlab/internal/config"
+	"mmlab/internal/core"
+	"mmlab/internal/geo"
+	"mmlab/internal/mobility"
+	"mmlab/internal/radio"
+	"mmlab/internal/sib"
+	"mmlab/internal/traffic"
+)
+
+// HandoffKind distinguishes the paper's two handoff categories.
+type HandoffKind string
+
+// Handoff kinds.
+const (
+	ActiveHandoff HandoffKind = "active"
+	IdleHandoff   HandoffKind = "idle"
+)
+
+// HandoffRecord is one handoff instance — the unit of dataset D1.
+type HandoffRecord struct {
+	Time       core.Clock // execution time
+	ReportTime core.Clock // decisive measurement report (active only)
+	Kind       HandoffKind
+
+	// Event is the decisive reporting event (active-state; the paper finds
+	// "the last event is decisive").
+	Event       config.EventType
+	EventConfig config.EventConfig // the decisive event's configuration
+
+	From, To                 config.CellIdentity
+	FromPriority, ToPriority int
+
+	RSRPOld, RSRPNew float64
+	RSRQOld, RSRQNew float64
+
+	// MinThptBefore is the minimum 100 ms throughput in the 5 s before the
+	// decisive report (bps); the paper's handoff-quality metric (§4.1).
+	// -1 when no traffic ran.
+	MinThptBefore float64
+}
+
+// IntraFreq reports whether source and target share RAT and channel.
+func (h HandoffRecord) IntraFreq() bool {
+	return h.From.RAT == h.To.RAT && h.From.EARFCN == h.To.EARFCN
+}
+
+// ThptSample is one 100 ms throughput bin.
+type ThptSample struct {
+	Time core.Clock
+	Bps  float64
+}
+
+// UEOpts configures one simulated device run.
+type UEOpts struct {
+	Seed   int64
+	StepMs int64 // measurement period; default 40 ms
+	Active bool  // active-state (traffic + network handoffs) vs idle
+	App    traffic.App
+	Diag   *sib.DiagWriter // optional: capture signaling like a rooted phone
+	// DeviceBands limits which EARFCNs the device supports (nil = all);
+	// models the paper's band-30 lockout case (§5.4.1).
+	DeviceBands []uint32
+	// FadingSigmaDB is residual per-sample fading; default 1.5 dB.
+	FadingSigmaDB float64
+	// MaxNeighbors caps measured neighbors per round; default 10.
+	MaxNeighbors int
+}
+
+func (o *UEOpts) fill() {
+	if o.StepMs == 0 {
+		o.StepMs = 40
+	}
+	if o.FadingSigmaDB == 0 {
+		o.FadingSigmaDB = 1.5
+	}
+	if o.MaxNeighbors == 0 {
+		o.MaxNeighbors = 10
+	}
+}
+
+// DriveResult is everything one run produces.
+type DriveResult struct {
+	Handoffs    []HandoffRecord
+	Thpt        []ThptSample // 100 ms bins (active runs with traffic)
+	Reports     map[config.EventType]int
+	FailedHO    int        // handoffs to unsupported bands (service disruption)
+	OutageMs    core.Clock // accumulated user-plane outage
+	ServingEnds config.CellIdentity
+}
+
+// MeanThpt returns the mean of the 100 ms bins, or 0.
+func (r *DriveResult) MeanThpt() float64 {
+	if len(r.Thpt) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, b := range r.Thpt {
+		s += b.Bps
+	}
+	return s / float64(len(r.Thpt))
+}
+
+// ue is the running state of one simulated device.
+type ue struct {
+	w    *World
+	opts UEOpts
+
+	serving *Cell
+	monitor *core.ActiveMonitor
+	decider *core.Decider
+	resel   *core.IdleReselector
+
+	fading  map[uint32]*radio.FastFading
+	tracker core.MobilityTracker
+
+	pending     *core.Decision
+	decisiveRep core.Report
+
+	interruptUntil core.Clock
+
+	binStart core.Clock
+	binBits  float64
+
+	res *DriveResult
+}
+
+// RunDrive simulates one device moving through the world for durMs.
+func RunDrive(w *World, move mobility.Model, durMs int64, opts UEOpts) *DriveResult {
+	opts.fill()
+	u := &ue{
+		w:      w,
+		opts:   opts,
+		fading: make(map[uint32]*radio.FastFading),
+		res:    &DriveResult{Reports: make(map[config.EventType]int)},
+	}
+	start := w.StrongestLTE(move.At(0))
+	if start == nil {
+		return u.res
+	}
+	u.camp(0, start)
+
+	for t := core.Clock(0); t <= durMs; t += opts.StepMs {
+		u.step(t, move)
+	}
+	u.flushBin(durMs)
+	u.res.ServingEnds = u.serving.Site.Identity
+	return u.res
+}
+
+// camp attaches to a cell: fresh engine state plus broadcast capture, as
+// after any handoff ("Once this round completes, the device is served by T
+// and is ready to repeat the above procedure", §2.1).
+func (u *ue) camp(t core.Clock, c *Cell) {
+	u.serving = c
+	if u.opts.Active {
+		u.monitor = core.NewActiveMonitor(c.Config.Meas, c.Site.Identity)
+		u.decider = core.NewDecider(c.Config)
+		u.resel = nil
+	} else {
+		u.resel = core.NewIdleReselector(c.Config)
+		u.resel.Tracker = &u.tracker
+		u.monitor = nil
+		u.decider = nil
+	}
+	u.pending = nil
+	if u.opts.Diag != nil {
+		for _, raw := range sib.BroadcastSet(c.Config) {
+			u.opts.Diag.Write(sib.DiagRecord{TimestampMs: uint64(t), Dir: sib.Downlink, Raw: raw})
+		}
+	}
+}
+
+// fadingFor returns the per-(UE, cell) fading process.
+func (u *ue) fadingFor(id uint32) *radio.FastFading {
+	f, ok := u.fading[id]
+	if !ok {
+		f = radio.NewFastFading(u.opts.Seed^int64(uint64(id)*0x5DEECE66D), u.opts.FadingSigmaDB, 0.7)
+		u.fading[id] = f
+	}
+	return f
+}
+
+// chKey identifies a carrier frequency for interference accounting.
+type chKey struct {
+	earfcn uint32
+	rat    config.RAT
+}
+
+// ueNoiseMw is the thermal noise per resource element at a 7 dB UE noise
+// figure.
+var ueNoiseMw = radio.NoisePerREMw(7)
+
+// measure produces one cell's raw measurement at pos. intfNoiseMw is the
+// co-channel interference-plus-noise power per RE excluding this cell.
+func (u *ue) measure(c *Cell, pos geo.Point, intfNoiseMw float64) core.RawMeas {
+	rsrp := radio.ClampRSRP(u.w.RSRPAt(c, pos) + u.fadingFor(c.Site.Identity.CellID).Next())
+	return core.RawMeas{
+		Cell: c.Site.Identity,
+		RSRP: rsrp,
+		RSRQ: radio.RSRQ(rsrp, intfNoiseMw),
+	}
+}
+
+func (u *ue) step(t core.Clock, move mobility.Model) {
+	pos := move.At(t)
+	audible := u.w.Audible(pos)
+
+	// Per-channel co-channel power (load-weighted, deterministic RSRP):
+	// the interference substrate behind RSRQ and SINR.
+	chPow := map[chKey]float64{}
+	det := make(map[*Cell]float64, len(audible)+1)
+	account := func(c *Cell) {
+		if _, ok := det[c]; ok {
+			return
+		}
+		p := u.w.RSRPAt(c, pos)
+		det[c] = p
+		k := chKey{c.Site.Identity.EARFCN, c.Site.Identity.RAT}
+		chPow[k] += c.Load * radio.DBmToMw(p)
+	}
+	for _, c := range audible {
+		account(c)
+	}
+	account(u.serving)
+	intfFor := func(c *Cell) float64 {
+		k := chKey{c.Site.Identity.EARFCN, c.Site.Identity.RAT}
+		intf := chPow[k] - c.Load*radio.DBmToMw(det[c])
+		if intf < 0 {
+			intf = 0
+		}
+		return intf + ueNoiseMw
+	}
+
+	servingIntf := intfFor(u.serving)
+	servingMeas := u.measure(u.serving, pos, servingIntf)
+
+	var neighbors []core.RawMeas
+	for _, c := range audible {
+		if c == u.serving {
+			continue
+		}
+		if len(neighbors) >= u.opts.MaxNeighbors {
+			break
+		}
+		m := u.measure(c, pos, intfFor(c))
+		if m.RSRP <= radio.RSRPMin+1 {
+			continue // below the noise floor: undetectable
+		}
+		neighbors = append(neighbors, m)
+	}
+
+	if u.opts.Active {
+		u.stepActive(t, servingMeas, servingIntf, neighbors)
+	} else {
+		u.stepIdle(t, servingMeas, neighbors)
+	}
+}
+
+// stepActive runs one active-state round: traffic, measurement/reporting,
+// network decision, and handoff execution.
+func (u *ue) stepActive(t core.Clock, servingMeas core.RawMeas, servingIntfMw float64, neighbors []core.RawMeas) {
+	// --- data plane ---
+	if u.opts.App != nil {
+		linkBps := 0.0
+		if t >= u.interruptUntil {
+			sinr := radio.SINRdB(servingMeas.RSRP, servingIntfMw)
+			linkBps = u.w.Link.Throughput(sinr, 1)
+		}
+		bits := u.opts.App.Step(t, u.opts.StepMs, linkBps)
+		u.accumulate(t, bits)
+	}
+
+	// --- control plane ---
+	// While a handoff is being prepared the source eNB has already decided
+	// and the UE's measurement configuration is about to be replaced, so
+	// no further reports go out. This is also what makes the paper's
+	// observation hold on the wire: the decisive report is the *last*
+	// report before the handover command (§4.1).
+	if u.pending == nil {
+		for _, rep := range u.monitor.Observe(t, servingMeas, neighbors) {
+			u.res.Reports[rep.Event]++
+			if u.opts.Diag != nil {
+				u.opts.Diag.WriteMsg(uint64(t), sib.Uplink, reportToWire(rep))
+			}
+			if dec := u.decider.OnReport(rep); dec.Handoff {
+				d := dec
+				u.pending = &d
+				u.decisiveRep = rep
+				break // preparation starts; later reports never leave the UE
+			}
+		}
+	}
+
+	if u.pending != nil && t >= u.pending.ExecuteAt {
+		u.executeActive(t, servingMeas, neighbors)
+	}
+}
+
+// executeActive performs the pending network-ordered handoff.
+func (u *ue) executeActive(t core.Clock, servingMeas core.RawMeas, neighbors []core.RawMeas) {
+	dec := *u.pending
+	u.pending = nil
+	target, ok := u.w.CellByID(dec.Target.CellID)
+	if !ok {
+		return
+	}
+	if !core.SupportedTarget(u.opts.DeviceBands, dec.Target) {
+		// The paper's band-lockout failure: the network orders a handoff
+		// the phone cannot perform; service is disrupted (§5.4.1).
+		u.res.FailedHO++
+		u.res.OutageMs += 1000
+		u.interruptUntil = t + 1000
+		return
+	}
+	// The target's radio quality as last measured this round.
+	var newMeas core.RawMeas
+	newMeas.Cell = target.Site.Identity
+	newMeas.RSRP = radio.RSRPMin
+	newMeas.RSRQ = radio.RSRQMin
+	for _, n := range neighbors {
+		if n.Cell == target.Site.Identity {
+			newMeas = n
+			break
+		}
+	}
+	rec := HandoffRecord{
+		Time:          t,
+		ReportTime:    u.decisiveRep.Time,
+		Kind:          ActiveHandoff,
+		Event:         u.decisiveRep.Event,
+		EventConfig:   findEventConfig(u.serving.Config.Meas, u.decisiveRep.Event),
+		From:          u.serving.Site.Identity,
+		To:            target.Site.Identity,
+		FromPriority:  u.serving.Config.Serving.Priority,
+		ToPriority:    targetPriority(u.serving.Config, target),
+		RSRPOld:       servingMeas.RSRP,
+		RSRPNew:       newMeas.RSRP,
+		RSRQOld:       servingMeas.RSRQ,
+		RSRQNew:       newMeas.RSRQ,
+		MinThptBefore: u.minThptBefore(u.decisiveRep.Time),
+	}
+	u.res.Handoffs = append(u.res.Handoffs, rec)
+	if u.opts.Diag != nil {
+		u.opts.Diag.WriteMsg(uint64(t), sib.Downlink, &sib.HandoverCommand{
+			TargetCellID: target.Site.Identity.CellID,
+			TargetPCI:    target.Site.Identity.PCI,
+			TargetEARFCN: target.Site.Identity.EARFCN,
+			TargetRAT:    target.Site.Identity.RAT,
+		})
+	}
+	u.interruptUntil = t + core.InterruptionMs
+	u.res.OutageMs += core.InterruptionMs
+	u.camp(t, target)
+}
+
+// stepIdle runs one idle-state reselection round.
+func (u *ue) stepIdle(t core.Clock, servingMeas core.RawMeas, neighbors []core.RawMeas) {
+	targetID, ok := u.resel.Evaluate(t, servingMeas, neighbors)
+	if !ok {
+		return
+	}
+	if !core.SupportedTarget(u.opts.DeviceBands, targetID) {
+		// Device cannot camp on the winning layer: it stays, and because
+		// the ranking keeps selecting the unsupported layer, service on
+		// better cells is lost (the paper's complaint case).
+		u.res.FailedHO++
+		u.resel.Reset()
+		return
+	}
+	target, found := u.w.CellByID(targetID.CellID)
+	if !found {
+		return
+	}
+	var newMeas core.RawMeas
+	for _, n := range neighbors {
+		if n.Cell == targetID {
+			newMeas = n
+			break
+		}
+	}
+	rec := HandoffRecord{
+		Time:          t,
+		Kind:          IdleHandoff,
+		From:          u.serving.Site.Identity,
+		To:            targetID,
+		FromPriority:  u.serving.Config.Serving.Priority,
+		ToPriority:    targetPriority(u.serving.Config, target),
+		RSRPOld:       servingMeas.RSRP,
+		RSRPNew:       newMeas.RSRP,
+		RSRQOld:       servingMeas.RSRQ,
+		RSRQNew:       newMeas.RSRQ,
+		MinThptBefore: -1,
+	}
+	u.res.Handoffs = append(u.res.Handoffs, rec)
+	u.tracker.NoteCellChange(t)
+	u.camp(t, target)
+}
+
+// accumulate adds transferred bits into 100 ms bins.
+func (u *ue) accumulate(t core.Clock, bits float64) {
+	const bin = 100
+	for t-u.binStart >= bin {
+		u.res.Thpt = append(u.res.Thpt, ThptSample{Time: u.binStart, Bps: u.binBits * 1000 / bin})
+		u.binStart += bin
+		u.binBits = 0
+	}
+	u.binBits += bits
+}
+
+// flushBin closes the final partial bin.
+func (u *ue) flushBin(t core.Clock) {
+	if t > u.binStart && u.binBits > 0 {
+		dur := float64(t - u.binStart)
+		u.res.Thpt = append(u.res.Thpt, ThptSample{Time: u.binStart, Bps: u.binBits * 1000 / dur})
+	}
+}
+
+// minThptBefore scans the 5 s of 100 ms bins preceding a report.
+func (u *ue) minThptBefore(reportTime core.Clock) float64 {
+	if u.opts.App == nil {
+		return -1
+	}
+	min := -1.0
+	for i := len(u.res.Thpt) - 1; i >= 0; i-- {
+		b := u.res.Thpt[i]
+		if b.Time > reportTime {
+			continue
+		}
+		if b.Time < reportTime-5000 {
+			break
+		}
+		if min < 0 || b.Bps < min {
+			min = b.Bps
+		}
+	}
+	return min
+}
+
+// targetPriority resolves the target's reselection priority as the serving
+// cell's broadcast defines it (intra-frequency targets are equal-priority
+// by construction).
+func targetPriority(serving *config.CellConfig, target *Cell) int {
+	tid := target.Site.Identity
+	if tid.EARFCN == serving.Identity.EARFCN && tid.RAT == serving.Identity.RAT {
+		return serving.Serving.Priority
+	}
+	if fr, ok := serving.FreqFor(tid.EARFCN, tid.RAT); ok {
+		return fr.Priority
+	}
+	// Not in the serving cell's SIBs: fall back to the target's own claim.
+	return target.Config.Serving.Priority
+}
+
+// findEventConfig locates the report configuration matching an event type.
+func findEventConfig(mc config.MeasConfig, t config.EventType) config.EventConfig {
+	for _, pair := range mc.LinkedPairs() {
+		if pair.Report.Type == t {
+			return pair.Report
+		}
+	}
+	return config.EventConfig{Type: t}
+}
+
+// reportToWire converts an engine report to its wire message.
+func reportToWire(rep core.Report) *sib.MeasurementReport {
+	toRes := func(e core.MeasEntry) sib.MeasResult {
+		return sib.MeasResult{
+			PCI:     e.Cell.PCI,
+			EARFCN:  e.Cell.EARFCN,
+			RAT:     e.Cell.RAT,
+			RSRPIdx: radio.QuantizeRSRP(e.RSRP),
+			RSRQIdx: radio.QuantizeRSRQ(e.RSRQ),
+		}
+	}
+	m := &sib.MeasurementReport{
+		MeasID:    rep.MeasID,
+		EventType: rep.Event,
+		Serving:   toRes(rep.Serving),
+	}
+	for _, n := range rep.Neighbors {
+		m.Neighbors = append(m.Neighbors, toRes(n))
+	}
+	return m
+}

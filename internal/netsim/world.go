@@ -1,0 +1,242 @@
+// Package netsim is the discrete-time system simulator that binds the
+// substrates together: carrier-generated cell deployments, the radio
+// model, the UE-side handoff engine, network-side decisions, traffic
+// apps, and diag-log emission. It produces the paper's two datasets —
+// handoff instances (D1) from drive runs and configuration crawls (D2)
+// via the crawler package reading the diag bytes this package writes.
+package netsim
+
+import (
+	"math"
+	"sort"
+
+	"mmlab/internal/carrier"
+	"mmlab/internal/config"
+	"mmlab/internal/geo"
+	"mmlab/internal/radio"
+)
+
+// Cell is one deployed cell instantiated with radio state.
+type Cell struct {
+	Site    carrier.CellSite
+	Config  *config.CellConfig
+	FreqMHz float64
+	Shadow  *radio.ShadowField
+	Load    float64 // downlink activity factor in [0,1]
+}
+
+// World is a drive-test arena: one carrier's cells in one region.
+type World struct {
+	Gen      *carrier.Generator
+	Region   geo.Rect
+	Cells    []*Cell
+	byID     map[uint32]*Cell
+	PathLoss radio.PathLossModel
+	Link     radio.LinkModel
+	Seed     int64
+	Epoch    int
+
+	measureRadius float64
+}
+
+// WorldOpts controls world construction.
+type WorldOpts struct {
+	Seed  int64
+	Epoch int
+	// LTELayers is how many LTE channel layers to deploy (top deployment
+	// weights first). Default 3.
+	LTELayers int
+	// ISD is the inter-site distance per layer in meters. Default 700.
+	ISD float64
+	// IncludeNonLTE adds one layer per non-LTE RAT of the carrier.
+	IncludeNonLTE bool
+	// City tags the sites (affects city-scoped configuration draws).
+	City string
+	// ShadowSigmaDB/ShadowCorrDist control shadowing realism. Defaults
+	// 6 dB / 60 m.
+	ShadowSigmaDB  float64
+	ShadowCorrDist float64
+	// MeasureRadius bounds which cells a UE can hear, in meters. Default
+	// 4×ISD.
+	MeasureRadius float64
+}
+
+func (o *WorldOpts) fill() {
+	if o.LTELayers == 0 {
+		o.LTELayers = 3
+	}
+	if o.ISD == 0 {
+		o.ISD = 700
+	}
+	if o.City == "" {
+		o.City = "C3"
+	}
+	if o.ShadowSigmaDB == 0 {
+		o.ShadowSigmaDB = 6
+	}
+	if o.ShadowCorrDist == 0 {
+		o.ShadowCorrDist = 60
+	}
+	if o.MeasureRadius == 0 {
+		o.MeasureRadius = 4 * o.ISD
+	}
+}
+
+// BuildWorld deploys the carrier's top channel layers over the region.
+func BuildWorld(gen *carrier.Generator, region geo.Rect, opts WorldOpts) *World {
+	opts.fill()
+	w := &World{
+		Gen:      gen,
+		Region:   region,
+		byID:     make(map[uint32]*Cell),
+		PathLoss: radio.DefaultCOST231(),
+		Link:     radio.DefaultLinkModel(),
+		Seed:     opts.Seed,
+		Epoch:    opts.Epoch,
+	}
+
+	type layer struct {
+		earfcn uint32
+		rat    config.RAT
+	}
+	var layers []layer
+	lte := append([]carrier.ChannelUse(nil), gen.Plan.Channels[config.RATLTE]...)
+	sort.Slice(lte, func(i, j int) bool {
+		if lte[i].Weight != lte[j].Weight {
+			return lte[i].Weight > lte[j].Weight
+		}
+		return lte[i].EARFCN < lte[j].EARFCN
+	})
+	for i := 0; i < opts.LTELayers && i < len(lte); i++ {
+		layers = append(layers, layer{lte[i].EARFCN, config.RATLTE})
+	}
+	if opts.IncludeNonLTE {
+		for _, rat := range gen.Carrier.RATs {
+			if rat == config.RATLTE {
+				continue
+			}
+			chans := gen.Plan.Channels[rat]
+			if len(chans) == 0 {
+				continue
+			}
+			best := chans[0]
+			for _, cu := range chans[1:] {
+				if cu.Weight > best.Weight {
+					best = cu
+				}
+			}
+			layers = append(layers, layer{best.EARFCN, rat})
+		}
+	}
+
+	id := uint32(1)
+	for li, ly := range layers {
+		off := geo.Pt(float64(li)*opts.ISD/3.1, float64(li)*opts.ISD/4.7)
+		for _, p := range geo.HexLattice(region, opts.ISD, off) {
+			site := carrier.CellSite{
+				Carrier: gen.Carrier.Acronym,
+				City:    opts.City,
+				Pos:     p,
+				Identity: config.CellIdentity{
+					CellID: id,
+					PCI:    uint16(id % 504),
+					EARFCN: ly.earfcn,
+					RAT:    ly.rat,
+				},
+			}
+			cell := &Cell{
+				Site:    site,
+				Config:  gen.Config(site, opts.Epoch),
+				FreqMHz: carrier.FreqMHz(ly.rat, ly.earfcn),
+				Shadow: radio.NewShadowField(
+					opts.Seed^int64(uint64(id)*0x9E3779B97F4A7C15),
+					opts.ShadowSigmaDB, opts.ShadowCorrDist),
+				Load: 0.2 + 0.6*hashFrac(opts.Seed, id),
+			}
+			w.Cells = append(w.Cells, cell)
+			w.byID[id] = cell
+			id++
+		}
+	}
+	w.measureRadius = opts.MeasureRadius
+	return w
+}
+
+// CellByID finds a cell by identifier.
+func (w *World) CellByID(id uint32) (*Cell, bool) {
+	c, ok := w.byID[id]
+	return c, ok
+}
+
+// hashFrac maps (seed, id) to a stable fraction in [0,1).
+func hashFrac(seed int64, id uint32) float64 {
+	x := uint64(seed) ^ uint64(id)*0x9E3779B97F4A7C15
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	return float64(x%1e9) / 1e9
+}
+
+// RSRPAt computes a cell's RSRP at a position (path loss + shadowing, no
+// fast fading — the caller adds per-UE fading).
+func (w *World) RSRPAt(c *Cell, pos geo.Point) float64 {
+	d := pos.Dist(c.Site.Pos)
+	return radio.RSRPAt(c.Config.TxPowerDBm, w.PathLoss, d, c.FreqMHz, c.Shadow.At(pos.X, pos.Y))
+}
+
+// Audible returns the cells within measurement radius of pos, strongest
+// first by deterministic RSRP.
+func (w *World) Audible(pos geo.Point) []*Cell {
+	type scored struct {
+		c    *Cell
+		rsrp float64
+	}
+	var out []scored
+	for _, c := range w.Cells {
+		if pos.Dist(c.Site.Pos) <= w.measureRadius {
+			out = append(out, scored{c, w.RSRPAt(c, pos)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].rsrp != out[j].rsrp {
+			return out[i].rsrp > out[j].rsrp
+		}
+		return out[i].c.Site.Identity.CellID < out[j].c.Site.Identity.CellID
+	})
+	cells := make([]*Cell, len(out))
+	for i, s := range out {
+		cells[i] = s.c
+	}
+	return cells
+}
+
+// StrongestLTE returns the best audible LTE cell at pos, or nil.
+func (w *World) StrongestLTE(pos geo.Point) *Cell {
+	for _, c := range w.Audible(pos) {
+		if c.Site.Identity.RAT == config.RATLTE {
+			return c
+		}
+	}
+	return nil
+}
+
+// StrongestCoChannel returns the strongest audible cell sharing the
+// serving cell's channel (the dominant interferer), or nil.
+func (w *World) StrongestCoChannel(pos geo.Point, serving *Cell) *Cell {
+	var best *Cell
+	bestRSRP := math.Inf(-1)
+	for _, c := range w.Cells {
+		if c == serving ||
+			c.Site.Identity.EARFCN != serving.Site.Identity.EARFCN ||
+			c.Site.Identity.RAT != serving.Site.Identity.RAT {
+			continue
+		}
+		if pos.Dist(c.Site.Pos) > w.measureRadius {
+			continue
+		}
+		if r := w.RSRPAt(c, pos); r > bestRSRP {
+			best, bestRSRP = c, r
+		}
+	}
+	return best
+}

@@ -1,0 +1,158 @@
+package predict
+
+import (
+	"bytes"
+	"testing"
+
+	"mmlab/internal/carrier"
+	"mmlab/internal/config"
+	"mmlab/internal/geo"
+	"mmlab/internal/netsim"
+	"mmlab/internal/radio"
+	"mmlab/internal/sib"
+	"mmlab/internal/traffic"
+)
+
+func report(ev config.EventType, servingRSRP, bestRSRP float64, bestPCI uint16) *sib.MeasurementReport {
+	return &sib.MeasurementReport{
+		MeasID:    1,
+		EventType: ev,
+		Serving:   sib.MeasResult{PCI: 1, EARFCN: 100, RAT: config.RATLTE, RSRPIdx: radio.QuantizeRSRP(servingRSRP), RSRQIdx: radio.QuantizeRSRQ(-10)},
+		Neighbors: []sib.MeasResult{{PCI: bestPCI, EARFCN: 100, RAT: config.RATLTE, RSRPIdx: radio.QuantizeRSRP(bestRSRP), RSRQIdx: radio.QuantizeRSRQ(-9)}},
+	}
+}
+
+func TestPredictPerEvent(t *testing.T) {
+	p := New()
+	// A3 always predicts a handoff to the best reported cell.
+	pr, ok := p.Observe(100, report(config.EventA3, -100, -95, 7))
+	if !ok || !pr.Handoff || pr.TargetPCI != 7 {
+		t.Errorf("A3 prediction = %+v ok=%v", pr, ok)
+	}
+	// A5 within the sanity margin → handoff; far below → no.
+	pr, _ = p.Observe(200, report(config.EventA5, -100, -103, 8))
+	if !pr.Handoff {
+		t.Error("A5 within margin should predict handoff")
+	}
+	pr, _ = p.Observe(300, report(config.EventA5, -90, -110, 8))
+	if pr.Handoff {
+		t.Error("A5 far below serving should not predict handoff")
+	}
+	// Periodic needs the vendor margin.
+	pr, _ = p.Observe(400, report(config.EventPeriodic, -100, -99, 9))
+	if pr.Handoff {
+		t.Error("periodic within margin should not predict")
+	}
+	pr, _ = p.Observe(500, report(config.EventPeriodic, -100, -96, 9))
+	if !pr.Handoff {
+		t.Error("periodic beyond margin should predict")
+	}
+	// A2 only near radio-link failure.
+	pr, _ = p.Observe(600, report(config.EventA2, -110, -100, 10))
+	if pr.Handoff {
+		t.Error("healthy A2 should not predict")
+	}
+	pr, _ = p.Observe(700, report(config.EventA2, -128, -115, 10))
+	if !pr.Handoff {
+		t.Error("dying A2 with rescue neighbor should predict")
+	}
+	// A1 never.
+	pr, _ = p.Observe(800, report(config.EventA1, -70, -60, 11))
+	if pr.Handoff {
+		t.Error("A1 must never predict a handoff")
+	}
+	// Empty neighbor list: no handoff.
+	empty := report(config.EventA3, -100, -95, 7)
+	empty.Neighbors = nil
+	pr, _ = p.Observe(900, empty)
+	if pr.Handoff {
+		t.Error("report without neighbors should not predict")
+	}
+}
+
+func TestObserveNonReports(t *testing.T) {
+	p := New()
+	if _, ok := p.Observe(1, &sib.SIB4{}); ok {
+		t.Error("SIB4 should not yield a prediction")
+	}
+	// RRCReconfig updates the tracked measConfig (quantity-aware A5).
+	mc := config.MeasConfig{
+		Objects: map[int]config.MeasObject{1: {EARFCN: 100, RAT: config.RATLTE}},
+		Reports: map[int]config.EventConfig{1: {Type: config.EventA5, Quantity: config.RSRQ,
+			Threshold1: -12, Threshold2: -15, TimeToTriggerMs: 0, ReportIntervalMs: 240}},
+		Links: []config.MeasLink{{ObjectID: 1, ReportID: 1}},
+	}
+	if _, ok := p.Observe(2, &sib.RRCReconfig{Meas: mc}); ok {
+		t.Error("reconfig should not yield a prediction")
+	}
+	if q := quantityOf(p.meas, config.EventA5); q != config.RSRQ {
+		t.Errorf("tracked quantity = %v", q)
+	}
+	if q := quantityOf(p.meas, config.EventA3); q != config.RSRP {
+		t.Errorf("unconfigured event quantity = %v, want RSRP default", q)
+	}
+}
+
+func TestScoreMath(t *testing.T) {
+	s := Score{TruePositive: 8, FalsePositive: 2, FalseNegative: 2, TargetCorrect: 7}
+	if s.Precision() != 0.8 || s.Recall() != 0.8 {
+		t.Errorf("precision/recall = %v/%v", s.Precision(), s.Recall())
+	}
+	if s.TargetAccuracy() != 7.0/8 {
+		t.Errorf("target accuracy = %v", s.TargetAccuracy())
+	}
+	var zero Score
+	if zero.Precision() != 0 || zero.Recall() != 0 || zero.TargetAccuracy() != 0 {
+		t.Error("zero score should divide safely")
+	}
+}
+
+func TestEvaluateOnRealDrive(t *testing.T) {
+	// The paper's claim: "such predictions can be highly accurate".
+	gen, err := carrier.NewGenerator("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(6000, 4000))
+	w := netsim.BuildWorld(gen, region, netsim.WorldOpts{Seed: 5})
+	var buf bytes.Buffer
+	dw := sib.NewDiagWriter(&buf)
+	route := netsim.RowRoute(w, 50, 80)
+	res := netsim.RunDrive(w, route, route.Duration(), netsim.UEOpts{
+		Seed: 15, Active: true, App: traffic.Speedtest{}, Diag: dw,
+	})
+	if err := dw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Handoffs) < 10 {
+		t.Fatalf("drive too quiet: %d handoffs", len(res.Handoffs))
+	}
+	score, err := Evaluate(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score.Reports == 0 {
+		t.Fatal("no reports replayed")
+	}
+	if p := score.Precision(); p < 0.9 {
+		t.Errorf("precision = %.2f, want ≥ 0.9", p)
+	}
+	if r := score.Recall(); r < 0.9 {
+		t.Errorf("recall = %.2f, want ≥ 0.9", r)
+	}
+	if a := score.TargetAccuracy(); a < 0.9 {
+		t.Errorf("target accuracy = %.2f, want ≥ 0.9", a)
+	}
+}
+
+func TestEvaluateCorruptStream(t *testing.T) {
+	var buf bytes.Buffer
+	dw := sib.NewDiagWriter(&buf)
+	dw.WriteMsg(1, sib.Downlink, &sib.SIB4{ForbiddenCells: []uint32{1}})
+	dw.Flush()
+	data := buf.Bytes()
+	data[len(data)-2] ^= 0xFF
+	if _, err := Evaluate(bytes.NewReader(data)); err == nil {
+		t.Error("corrupt stream should error")
+	}
+}

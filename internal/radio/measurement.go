@@ -1,0 +1,96 @@
+package radio
+
+import "math"
+
+// L3Filter is the 3GPP layer-3 measurement filter (TS 36.331 §5.5.3.2):
+//
+//	F_n = (1 − a)·F_{n−1} + a·M_n,   a = (1/2)^(k/4)
+//
+// applied to each cell's RSRP/RSRQ before event evaluation. k is the
+// filterCoefficient broadcast in measConfig; k=4 gives a=0.5. The filter is
+// what turns raw fading into the smoother series handoff events evaluate,
+// and is an ablation knob (DESIGN.md §4).
+type L3Filter struct {
+	a      float64
+	value  float64
+	primed bool
+}
+
+// NewL3Filter creates a filter with coefficient k (k=0 disables filtering).
+func NewL3Filter(k int) *L3Filter {
+	if k < 0 {
+		k = 0
+	}
+	return &L3Filter{a: math.Pow(0.5, float64(k)/4)}
+}
+
+// Update feeds one raw measurement and returns the filtered value.
+func (f *L3Filter) Update(m float64) float64 {
+	if !f.primed {
+		f.value = m
+		f.primed = true
+		return m
+	}
+	f.value = (1-f.a)*f.value + f.a*m
+	return f.value
+}
+
+// Value returns the current filtered value (NaN before the first update).
+func (f *L3Filter) Value() float64 {
+	if !f.primed {
+		return math.NaN()
+	}
+	return f.value
+}
+
+// Reset clears filter state, as happens on handoff when the measurement
+// configuration is replaced.
+func (f *L3Filter) Reset() { f.primed = false; f.value = 0 }
+
+// QuantizeRSRP maps an RSRP in dBm to the integer reporting range 0..97
+// used on the wire (TS 36.133 §9.1.4): 0 ≤ −140 dBm, 97 ≥ −44 dBm.
+func QuantizeRSRP(dBm float64) int {
+	v := int(math.Floor(dBm + 141))
+	if v < 0 {
+		v = 0
+	}
+	if v > 97 {
+		v = 97
+	}
+	return v
+}
+
+// DequantizeRSRP is the inverse mapping, returning the lower edge in dBm.
+func DequantizeRSRP(idx int) float64 {
+	if idx < 0 {
+		idx = 0
+	}
+	if idx > 97 {
+		idx = 97
+	}
+	return float64(idx) - 141
+}
+
+// QuantizeRSRQ maps RSRQ in dB to the integer range 0..34
+// (TS 36.133 §9.1.7): 0 ≤ −19.5 dB, 34 ≥ −3 dB, half-dB steps.
+func QuantizeRSRQ(dB float64) int {
+	v := int(math.Floor((dB + 20) * 2))
+	if v < 0 {
+		v = 0
+	}
+	if v > 34 {
+		v = 34
+	}
+	return v
+}
+
+// DequantizeRSRQ is the inverse mapping, returning the lower edge in dB.
+func DequantizeRSRQ(idx int) float64 {
+	if idx < 0 {
+		idx = 0
+	}
+	if idx > 34 {
+		idx = 34
+	}
+	return float64(idx)/2 - 20
+}

@@ -1,0 +1,144 @@
+// Package radio models the radio layer the paper's handoff machinery
+// observes: path loss, correlated log-normal shadowing, fast fading,
+// RSRP/RSRQ measurement with 3GPP quantization and L3 filtering, and the
+// SINR→throughput mapping used by the Type-II performance experiments.
+//
+// All signal strengths follow the paper's conventions: RSRP in dBm within
+// [−140, −44], RSRQ in dB within [−19.5, −3] (§2.2).
+package radio
+
+import "math"
+
+// RSRP and RSRQ bounds per 3GPP TS 36.133 and paper §2.2.
+const (
+	RSRPMin = -140.0 // dBm
+	RSRPMax = -44.0  // dBm
+	RSRQMin = -19.5  // dB
+	RSRQMax = -3.0   // dB
+)
+
+// ClampRSRP limits v to the reportable RSRP range.
+func ClampRSRP(v float64) float64 { return clamp(v, RSRPMin, RSRPMax) }
+
+// ClampRSRQ limits v to the reportable RSRQ range.
+func ClampRSRQ(v float64) float64 { return clamp(v, RSRQMin, RSRQMax) }
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// PathLossModel computes propagation loss in dB for a link of d meters at
+// freqMHz carrier frequency.
+type PathLossModel interface {
+	// Loss returns the path loss in dB (positive). Implementations must be
+	// monotonically non-decreasing in distance.
+	Loss(d float64, freqMHz float64) float64
+}
+
+// FreeSpace is the free-space path loss model, FSPL(dB) =
+// 20·log10(d_km) + 20·log10(f_MHz) + 32.45. Used for line-of-sight rural
+// and highway macro links.
+type FreeSpace struct{}
+
+// Loss implements PathLossModel.
+func (FreeSpace) Loss(d, freqMHz float64) float64 {
+	if d < 1 {
+		d = 1 // avoid -inf at the antenna
+	}
+	return 20*math.Log10(d/1000) + 20*math.Log10(freqMHz) + 32.45
+}
+
+// COST231Hata is the COST-231 Hata urban macro model, the standard
+// planning model for the 150–2000 MHz cellular bands; we extend it to the
+// 2.3/2.6 GHz LTE bands as planning tools commonly do. Heights are in
+// meters.
+type COST231Hata struct {
+	BaseHeight   float64 // base-station antenna height, e.g. 30 m
+	MobileHeight float64 // UE antenna height, e.g. 1.5 m
+	Metropolitan bool    // true adds the 3 dB metropolitan-center correction
+}
+
+// DefaultCOST231 returns the model with typical macro-cell heights.
+func DefaultCOST231() COST231Hata {
+	return COST231Hata{BaseHeight: 30, MobileHeight: 1.5}
+}
+
+// Loss implements PathLossModel.
+func (m COST231Hata) Loss(d, freqMHz float64) float64 {
+	if d < 10 {
+		d = 10 // model validity floor; also avoids -inf
+	}
+	hb := m.BaseHeight
+	if hb <= 0 {
+		hb = 30
+	}
+	hm := m.MobileHeight
+	if hm <= 0 {
+		hm = 1.5
+	}
+	// Mobile antenna correction for medium cities.
+	a := (1.1*math.Log10(freqMHz)-0.7)*hm - (1.56*math.Log10(freqMHz) - 0.8)
+	c := 0.0
+	if m.Metropolitan {
+		c = 3
+	}
+	return 46.3 + 33.9*math.Log10(freqMHz) - 13.82*math.Log10(hb) - a +
+		(44.9-6.55*math.Log10(hb))*math.Log10(d/1000) + c
+}
+
+// RSRPAt converts a link budget to RSRP: transmit reference-signal power
+// txPowerDBm minus path loss minus extra attenuation (shadowing+fading, dB,
+// positive attenuates). The result is clamped to the reportable range.
+func RSRPAt(txPowerDBm float64, model PathLossModel, d, freqMHz, extraLossDB float64) float64 {
+	return ClampRSRP(txPowerDBm - model.Loss(d, freqMHz) - extraLossDB)
+}
+
+// RSRQFromRSRP derives an RSRQ figure from RSRP and a cell-load factor in
+// [0,1]. RSRQ = N·RSRP/RSSI; with rising load the interference floor grows
+// and RSRQ drops. This compact model keeps RSRQ consistent with RSRP (as
+// the paper notes, "conceptually interchangeable [but] no 1:1 mapping",
+// §4.1) because load varies independently of RSRP. Prefer RSRQ when the
+// co-channel interference power is actually known.
+func RSRQFromRSRP(rsrp float64, load float64) float64 {
+	load = clamp(load, 0, 1)
+	// At zero load RSRQ ≈ −3 dB (only reference symbols), at full load the
+	// subcarriers are all occupied and RSRQ degrades toward −19.5 dB as
+	// RSRP approaches the noise floor.
+	weak := (rsrp - RSRPMax) / (RSRPMin - RSRPMax) // 0 strong .. 1 weak
+	q := RSRQMax - 7*load - 9.5*weak*load
+	return ClampRSRQ(q)
+}
+
+// NoisePerREMw returns thermal noise power per 15 kHz resource element in
+// milliwatts, for a UE noise figure in dB.
+func NoisePerREMw(noiseFigureDB float64) float64 {
+	return dbmToMw(-174 + 10*math.Log10(15000) + noiseFigureDB)
+}
+
+// RSRQ computes reference signal received quality from the serving cell's
+// per-RE RSRP and the co-channel interference-plus-noise power per RE
+// (mW): RSRQ ≈ −3 dB + 10·log10(x/(x+1)) with x the per-RE SIR. The −3 dB
+// ceiling is the unloaded-cell bound; as interference dominates, RSRQ
+// tracks SINR and reaches the −19.5 dB floor near −16.5 dB SINR — so the
+// paper's full RSRQ threshold range [−19.5, −3] is actually exercised.
+func RSRQ(rsrpDBm float64, intfNoiseMw float64) float64 {
+	if intfNoiseMw <= 0 {
+		return RSRQMax
+	}
+	x := dbmToMw(rsrpDBm) / intfNoiseMw
+	return ClampRSRQ(-3 + 10*math.Log10(x/(x+1)))
+}
+
+// SINRdB converts the same per-RE powers to SINR in dB.
+func SINRdB(rsrpDBm float64, intfNoiseMw float64) float64 {
+	if intfNoiseMw <= 0 {
+		intfNoiseMw = NoisePerREMw(7)
+	}
+	return rsrpDBm - 10*math.Log10(intfNoiseMw)
+}

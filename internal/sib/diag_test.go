@@ -1,0 +1,166 @@
+package sib
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"mmlab/internal/config"
+)
+
+func TestDiagRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewDiagWriter(&buf)
+
+	msgs := []struct {
+		ts  uint64
+		dir Direction
+		m   Message
+	}{
+		{100, Downlink, &CellInfo{Identity: config.CellIdentity{CellID: 1, RAT: config.RATLTE}}},
+		{150, Downlink, &SIB3{Serving: sampleServing()}},
+		{220, Uplink, &MeasurementReport{MeasID: 1, EventType: config.EventA3}},
+		{300, Downlink, &HandoverCommand{TargetCellID: 2}},
+	}
+	for _, m := range msgs {
+		if err := w.WriteMsg(m.ts, m.dir, m.m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewDiagReader(&buf)
+	for i := 0; ; i++ {
+		rec, err := r.Next()
+		if err == io.EOF {
+			if i != len(msgs) {
+				t.Fatalf("got %d records, want %d", i, len(msgs))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.TimestampMs != msgs[i].ts || rec.Dir != msgs[i].dir {
+			t.Errorf("record %d: ts=%d dir=%v", i, rec.TimestampMs, rec.Dir)
+		}
+		m, err := rec.Decode()
+		if err != nil {
+			t.Fatalf("record %d decode: %v", i, err)
+		}
+		if m.Type() != msgs[i].m.Type() {
+			t.Errorf("record %d type = %v, want %v", i, m.Type(), msgs[i].m.Type())
+		}
+	}
+}
+
+func TestDiagForEach(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewDiagWriter(&buf)
+	for i := 0; i < 10; i++ {
+		if err := w.WriteMsg(uint64(i), Downlink, &SIB4{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	n := 0
+	err := NewDiagReader(&buf).ForEach(func(rec DiagRecord) error {
+		n++
+		return nil
+	})
+	if err != nil || n != 10 {
+		t.Errorf("n=%d err=%v", n, err)
+	}
+}
+
+func TestDiagForEachPropagatesCallbackError(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewDiagWriter(&buf)
+	w.WriteMsg(1, Downlink, &SIB4{})
+	w.Flush()
+	sentinel := errors.New("stop")
+	err := NewDiagReader(&buf).ForEach(func(DiagRecord) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDiagTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewDiagWriter(&buf)
+	w.WriteMsg(1, Downlink, &SIB3{Serving: sampleServing()})
+	w.Flush()
+	data := buf.Bytes()
+
+	// Truncated inside the message body.
+	r := NewDiagReader(bytes.NewReader(data[:len(data)-3]))
+	if _, err := r.Next(); !errors.Is(err, ErrDiagCorrupt) {
+		t.Errorf("truncated body: %v", err)
+	}
+
+	// Truncated inside the header.
+	r = NewDiagReader(bytes.NewReader(data[:5]))
+	if _, err := r.Next(); !errors.Is(err, ErrDiagCorrupt) {
+		t.Errorf("truncated header: %v", err)
+	}
+
+	// Clean EOF on empty stream.
+	r = NewDiagReader(bytes.NewReader(nil))
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("empty stream: %v", err)
+	}
+}
+
+func TestDiagOversizeLengthRejected(t *testing.T) {
+	// Hand-craft a header claiming a 2 MB message.
+	hdr := make([]byte, 13)
+	hdr[9] = 0
+	hdr[10] = 0
+	hdr[11] = 0x20 // 0x200000 = 2 MiB
+	r := NewDiagReader(bytes.NewReader(hdr))
+	if _, err := r.Next(); !errors.Is(err, ErrDiagCorrupt) {
+		t.Errorf("oversize: %v", err)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Downlink.String() != "DL" || Uplink.String() != "UL" {
+		t.Error("direction strings wrong")
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+func TestDiagWriterStickyError(t *testing.T) {
+	fw := &failWriter{n: 4} // fails quickly once the bufio buffer drains
+	w := NewDiagWriter(fw)
+	// Write enough to force a flush failure eventually.
+	var firstErr error
+	for i := 0; i < 10000 && firstErr == nil; i++ {
+		firstErr = w.WriteMsg(uint64(i), Downlink, &SIB3{Serving: sampleServing()})
+	}
+	if firstErr == nil {
+		firstErr = w.Flush()
+	}
+	if firstErr == nil {
+		t.Fatal("expected write failure")
+	}
+	// Subsequent writes keep failing.
+	if err := w.WriteMsg(1, Downlink, &SIB4{}); err == nil {
+		t.Error("sticky error not preserved")
+	}
+	if err := w.Flush(); err == nil {
+		t.Error("sticky error not preserved on flush")
+	}
+}

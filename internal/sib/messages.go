@@ -1,0 +1,845 @@
+package sib
+
+import (
+	"fmt"
+
+	"mmlab/internal/config"
+)
+
+// Message is a decodable signaling message.
+type Message interface {
+	// Type returns the wire message type.
+	Type() MsgType
+	// payload encodes the message body (without envelope).
+	payload() []byte
+	// decode parses the message body.
+	decode(payload []byte) error
+}
+
+// Marshal encodes a message with its envelope (header + CRC).
+func Marshal(m Message) []byte { return Seal(m.Type(), m.payload()) }
+
+// Unmarshal validates the envelope and decodes the message.
+func Unmarshal(data []byte) (Message, error) {
+	t, payload, err := Open(data)
+	if err != nil {
+		return nil, err
+	}
+	var m Message
+	switch t {
+	case MsgSIB1:
+		m = &SIB1{}
+	case MsgSIB3:
+		m = &SIB3{}
+	case MsgSIB4:
+		m = &SIB4{}
+	case MsgSIB5, MsgSIB6, MsgSIB7, MsgSIB8:
+		m = &SIBFreq{Kind: t}
+	case MsgRRCReconfig:
+		m = &RRCReconfig{}
+	case MsgMeasReport:
+		m = &MeasurementReport{}
+	case MsgHandoverCmd:
+		m = &HandoverCommand{}
+	case MsgCellIdentity:
+		m = &CellInfo{}
+	default:
+		return nil, fmt.Errorf("sib: unknown message type %d", t)
+	}
+	if err := m.decode(payload); err != nil {
+		return nil, fmt.Errorf("sib: decoding %s: %w", t, err)
+	}
+	return m, nil
+}
+
+// --- CellInfo (diag-log serving-cell stamp) ---
+
+// CellInfo stamps the serving cell's identity into the diag stream so the
+// crawler can attribute subsequent SIBs, as MobileInsight derives from RRC
+// serving-cell info messages.
+type CellInfo struct {
+	Identity config.CellIdentity
+	TAC      uint16
+}
+
+// Type implements Message.
+func (*CellInfo) Type() MsgType { return MsgCellIdentity }
+
+func (m *CellInfo) payload() []byte {
+	var w Writer
+	w.PutUint(1, uint64(m.Identity.CellID))
+	w.PutUint(2, uint64(m.Identity.PCI))
+	w.PutUint(3, uint64(m.Identity.EARFCN))
+	w.PutUint(4, uint64(m.Identity.RAT))
+	w.PutUint(5, uint64(m.TAC))
+	return w.Bytes()
+}
+
+func (m *CellInfo) decode(payload []byte) error {
+	return NewReader(payload).ForEach(func(f Field) error {
+		switch f.Tag {
+		case 1:
+			v, err := f.Uint()
+			m.Identity.CellID = uint32(v)
+			return err
+		case 2:
+			v, err := f.Uint()
+			m.Identity.PCI = uint16(v)
+			return err
+		case 3:
+			v, err := f.Uint()
+			m.Identity.EARFCN = uint32(v)
+			return err
+		case 4:
+			v, err := f.Uint()
+			m.Identity.RAT = config.RAT(v)
+			return err
+		case 5:
+			v, err := f.Uint()
+			m.TAC = uint16(v)
+			return err
+		}
+		return nil // skip unknown fields
+	})
+}
+
+// --- SIB1 ---
+
+// SIB1 carries the cell's identity and minimum-level calibration parameters
+// (Δmin legs), the first message a device reads on a new cell.
+type SIB1 struct {
+	CellID    uint32
+	TAC       uint16
+	QRxLevMin float64
+	QQualMin  float64
+	Barred    bool
+}
+
+// Type implements Message.
+func (*SIB1) Type() MsgType { return MsgSIB1 }
+
+func (m *SIB1) payload() []byte {
+	var w Writer
+	w.PutUint(1, uint64(m.CellID))
+	w.PutUint(2, uint64(m.TAC))
+	w.PutDB(3, m.QRxLevMin)
+	w.PutDB(4, m.QQualMin)
+	w.PutBool(5, m.Barred)
+	return w.Bytes()
+}
+
+func (m *SIB1) decode(payload []byte) error {
+	return NewReader(payload).ForEach(func(f Field) error {
+		var err error
+		switch f.Tag {
+		case 1:
+			var v uint64
+			v, err = f.Uint()
+			m.CellID = uint32(v)
+		case 2:
+			var v uint64
+			v, err = f.Uint()
+			m.TAC = uint16(v)
+		case 3:
+			m.QRxLevMin, err = f.DB()
+		case 4:
+			m.QQualMin, err = f.DB()
+		case 5:
+			m.Barred, err = f.Bool()
+		}
+		return err
+	})
+}
+
+// --- SIB3 ---
+
+// SIB3 carries the serving-cell reselection block (paper Table 2, SIB 3
+// rows; the example trace in Fig. 3 shows priority, s_intraP, s_NonIntraP,
+// q_Hyst from this message).
+type SIB3 struct {
+	Serving config.ServingCellConfig
+}
+
+// Type implements Message.
+func (*SIB3) Type() MsgType { return MsgSIB3 }
+
+func (m *SIB3) payload() []byte {
+	var w Writer
+	s := m.Serving
+	w.PutUint(1, uint64(s.Priority))
+	w.PutDB(2, s.QHyst)
+	w.PutDB(3, s.SIntraSearch)
+	w.PutDB(4, s.SIntraSearchQ)
+	w.PutDB(5, s.SNonIntraSearch)
+	w.PutDB(6, s.SNonIntraSearchQ)
+	w.PutDB(7, s.QRxLevMin)
+	w.PutDB(8, s.QQualMin)
+	w.PutDB(9, s.ThreshServingLow)
+	w.PutDB(10, s.ThreshServingLowQ)
+	w.PutUint(11, uint64(s.TReselectionSec))
+	w.PutUint(12, uint64(s.THigherMeasSec))
+	if s.SpeedScaling.Enabled {
+		sc := s.SpeedScaling
+		var sw Writer
+		sw.PutUint(1, uint64(sc.NCellChangeMedium))
+		sw.PutUint(2, uint64(sc.NCellChangeHigh))
+		sw.PutUint(3, uint64(sc.TEvaluationSec))
+		sw.PutUint(4, uint64(sc.THystNormalSec))
+		sw.PutUint(5, uint64(sc.TReselectionSFMedium*4)) // quarters
+		sw.PutUint(6, uint64(sc.TReselectionSFHigh*4))
+		sw.PutDB(7, sc.QHystSFMedium)
+		sw.PutDB(8, sc.QHystSFHigh)
+		w.PutBytes(13, sw.Bytes())
+	}
+	return w.Bytes()
+}
+
+func (m *SIB3) decode(payload []byte) error {
+	s := &m.Serving
+	return NewReader(payload).ForEach(func(f Field) error {
+		var err error
+		switch f.Tag {
+		case 1:
+			var v uint64
+			v, err = f.Uint()
+			s.Priority = int(v)
+		case 2:
+			s.QHyst, err = f.DB()
+		case 3:
+			s.SIntraSearch, err = f.DB()
+		case 4:
+			s.SIntraSearchQ, err = f.DB()
+		case 5:
+			s.SNonIntraSearch, err = f.DB()
+		case 6:
+			s.SNonIntraSearchQ, err = f.DB()
+		case 7:
+			s.QRxLevMin, err = f.DB()
+		case 8:
+			s.QQualMin, err = f.DB()
+		case 9:
+			s.ThreshServingLow, err = f.DB()
+		case 10:
+			s.ThreshServingLowQ, err = f.DB()
+		case 11:
+			var v uint64
+			v, err = f.Uint()
+			s.TReselectionSec = int(v)
+		case 12:
+			var v uint64
+			v, err = f.Uint()
+			s.THigherMeasSec = int(v)
+		case 13:
+			sc := config.SpeedScaling{Enabled: true}
+			err = NewReader(f.Val).ForEach(func(sf Field) error {
+				var err error
+				var v uint64
+				switch sf.Tag {
+				case 1:
+					v, err = sf.Uint()
+					sc.NCellChangeMedium = int(v)
+				case 2:
+					v, err = sf.Uint()
+					sc.NCellChangeHigh = int(v)
+				case 3:
+					v, err = sf.Uint()
+					sc.TEvaluationSec = int(v)
+				case 4:
+					v, err = sf.Uint()
+					sc.THystNormalSec = int(v)
+				case 5:
+					v, err = sf.Uint()
+					sc.TReselectionSFMedium = float64(v) / 4
+				case 6:
+					v, err = sf.Uint()
+					sc.TReselectionSFHigh = float64(v) / 4
+				case 7:
+					sc.QHystSFMedium, err = sf.DB()
+				case 8:
+					sc.QHystSFHigh, err = sf.DB()
+				}
+				return err
+			})
+			if err == nil {
+				s.SpeedScaling = sc
+			}
+		}
+		return err
+	})
+}
+
+// --- SIB4 ---
+
+// SIB4 carries the access-forbidden neighbor list (Listforbid in Table 2).
+type SIB4 struct {
+	ForbiddenCells []uint32
+}
+
+// Type implements Message.
+func (*SIB4) Type() MsgType { return MsgSIB4 }
+
+func (m *SIB4) payload() []byte {
+	var w Writer
+	for _, c := range m.ForbiddenCells {
+		w.PutUint(1, uint64(c))
+	}
+	return w.Bytes()
+}
+
+func (m *SIB4) decode(payload []byte) error {
+	return NewReader(payload).ForEach(func(f Field) error {
+		if f.Tag == 1 {
+			v, err := f.Uint()
+			if err != nil {
+				return err
+			}
+			m.ForbiddenCells = append(m.ForbiddenCells, uint32(v))
+		}
+		return nil
+	})
+}
+
+// --- SIB5/6/7/8 (frequency relations) ---
+
+// SIBFreq carries candidate-frequency relations: SIB5 for LTE
+// inter-frequency neighbors, SIB6 UMTS, SIB7 GERAN, SIB8 CDMA2000 (the
+// Fig. 3 trace shows dl_CarrierFreq in SIB5 and CarrierFreq in SIB6).
+type SIBFreq struct {
+	Kind  MsgType // MsgSIB5..MsgSIB8
+	Freqs []config.FreqRelation
+}
+
+// Type implements Message.
+func (m *SIBFreq) Type() MsgType { return m.Kind }
+
+func encodeFreq(f config.FreqRelation) []byte {
+	var w Writer
+	w.PutUint(1, uint64(f.EARFCN))
+	w.PutUint(2, uint64(f.RAT))
+	w.PutUint(3, uint64(f.Priority))
+	w.PutDB(4, f.ThreshHigh)
+	w.PutDB(5, f.ThreshLow)
+	w.PutDB(6, f.QRxLevMin)
+	w.PutDB(7, f.QOffsetFreq)
+	w.PutUint(8, uint64(f.TReselectionSec))
+	w.PutUint(9, uint64(f.MeasBandwidthRBs))
+	return w.Bytes()
+}
+
+func decodeFreq(b []byte) (config.FreqRelation, error) {
+	var f config.FreqRelation
+	err := NewReader(b).ForEach(func(fl Field) error {
+		var err error
+		switch fl.Tag {
+		case 1:
+			var v uint64
+			v, err = fl.Uint()
+			f.EARFCN = uint32(v)
+		case 2:
+			var v uint64
+			v, err = fl.Uint()
+			f.RAT = config.RAT(v)
+		case 3:
+			var v uint64
+			v, err = fl.Uint()
+			f.Priority = int(v)
+		case 4:
+			f.ThreshHigh, err = fl.DB()
+		case 5:
+			f.ThreshLow, err = fl.DB()
+		case 6:
+			f.QRxLevMin, err = fl.DB()
+		case 7:
+			f.QOffsetFreq, err = fl.DB()
+		case 8:
+			var v uint64
+			v, err = fl.Uint()
+			f.TReselectionSec = int(v)
+		case 9:
+			var v uint64
+			v, err = fl.Uint()
+			f.MeasBandwidthRBs = int(v)
+		}
+		return err
+	})
+	return f, err
+}
+
+func (m *SIBFreq) payload() []byte {
+	var w Writer
+	for _, f := range m.Freqs {
+		w.PutBytes(1, encodeFreq(f))
+	}
+	return w.Bytes()
+}
+
+func (m *SIBFreq) decode(payload []byte) error {
+	return NewReader(payload).ForEach(func(f Field) error {
+		if f.Tag == 1 {
+			fr, err := decodeFreq(f.Val)
+			if err != nil {
+				return err
+			}
+			m.Freqs = append(m.Freqs, fr)
+		}
+		return nil
+	})
+}
+
+// SIBForRAT returns which SIB type carries relations toward the given RAT.
+func SIBForRAT(r config.RAT) MsgType {
+	switch r {
+	case config.RATLTE:
+		return MsgSIB5
+	case config.RATUMTS:
+		return MsgSIB6
+	case config.RATGSM:
+		return MsgSIB7
+	default:
+		return MsgSIB8
+	}
+}
+
+// --- RRCConnectionReconfiguration ---
+
+// RRCReconfig delivers the active-state measurement configuration.
+type RRCReconfig struct {
+	Meas config.MeasConfig
+}
+
+// Type implements Message.
+func (*RRCReconfig) Type() MsgType { return MsgRRCReconfig }
+
+func encodeEvent(e config.EventConfig) []byte {
+	var w Writer
+	w.PutUint(1, uint64(e.Type))
+	w.PutUint(2, uint64(e.Quantity))
+	w.PutDB(3, e.Threshold1)
+	w.PutDB(4, e.Threshold2)
+	w.PutDB(5, e.Offset)
+	w.PutDB(6, e.Hysteresis)
+	w.PutUint(7, uint64(e.TimeToTriggerMs))
+	w.PutUint(8, uint64(e.ReportIntervalMs))
+	w.PutUint(9, uint64(e.ReportAmount))
+	w.PutUint(10, uint64(e.MaxReportCells))
+	return w.Bytes()
+}
+
+func decodeEvent(b []byte) (config.EventConfig, error) {
+	var e config.EventConfig
+	err := NewReader(b).ForEach(func(f Field) error {
+		var err error
+		switch f.Tag {
+		case 1:
+			var v uint64
+			v, err = f.Uint()
+			e.Type = config.EventType(v)
+		case 2:
+			var v uint64
+			v, err = f.Uint()
+			e.Quantity = config.Quantity(v)
+		case 3:
+			e.Threshold1, err = f.DB()
+		case 4:
+			e.Threshold2, err = f.DB()
+		case 5:
+			e.Offset, err = f.DB()
+		case 6:
+			e.Hysteresis, err = f.DB()
+		case 7:
+			var v uint64
+			v, err = f.Uint()
+			e.TimeToTriggerMs = int(v)
+		case 8:
+			var v uint64
+			v, err = f.Uint()
+			e.ReportIntervalMs = int(v)
+		case 9:
+			var v uint64
+			v, err = f.Uint()
+			e.ReportAmount = int(v)
+		case 10:
+			var v uint64
+			v, err = f.Uint()
+			e.MaxReportCells = int(v)
+		}
+		return err
+	})
+	return e, err
+}
+
+func encodeObject(id int, o config.MeasObject) []byte {
+	var w Writer
+	w.PutUint(1, uint64(id))
+	w.PutUint(2, uint64(o.EARFCN))
+	w.PutUint(3, uint64(o.RAT))
+	w.PutDB(4, o.OffsetFreq)
+	for _, pci := range sortedPCIs(o.CellOffsets) {
+		var cw Writer
+		cw.PutUint(1, uint64(pci))
+		cw.PutDB(2, o.CellOffsets[pci])
+		w.PutBytes(5, cw.Bytes())
+	}
+	for _, pci := range o.Blacklist {
+		w.PutUint(6, uint64(pci))
+	}
+	return w.Bytes()
+}
+
+func sortedPCIs(m map[uint16]float64) []uint16 {
+	out := make([]uint16, 0, len(m))
+	for pci := range m {
+		out = append(out, pci)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func decodeObject(b []byte) (int, config.MeasObject, error) {
+	var o config.MeasObject
+	id := 0
+	err := NewReader(b).ForEach(func(f Field) error {
+		var err error
+		switch f.Tag {
+		case 1:
+			var v uint64
+			v, err = f.Uint()
+			id = int(v)
+		case 2:
+			var v uint64
+			v, err = f.Uint()
+			o.EARFCN = uint32(v)
+		case 3:
+			var v uint64
+			v, err = f.Uint()
+			o.RAT = config.RAT(v)
+		case 4:
+			o.OffsetFreq, err = f.DB()
+		case 5:
+			var pci uint64
+			var off float64
+			err = NewReader(f.Val).ForEach(func(cf Field) error {
+				var err error
+				switch cf.Tag {
+				case 1:
+					pci, err = cf.Uint()
+				case 2:
+					off, err = cf.DB()
+				}
+				return err
+			})
+			if err == nil {
+				if o.CellOffsets == nil {
+					o.CellOffsets = make(map[uint16]float64)
+				}
+				o.CellOffsets[uint16(pci)] = off
+			}
+		case 6:
+			var v uint64
+			v, err = f.Uint()
+			o.Blacklist = append(o.Blacklist, uint16(v))
+		}
+		return err
+	})
+	return id, o, err
+}
+
+func (m *RRCReconfig) payload() []byte {
+	var w Writer
+	mc := m.Meas
+	for _, id := range sortedIntKeysObj(mc.Objects) {
+		w.PutBytes(1, encodeObject(id, mc.Objects[id]))
+	}
+	for _, id := range sortedIntKeysRep(mc.Reports) {
+		var rw Writer
+		rw.PutUint(1, uint64(id))
+		rw.PutBytes(2, encodeEvent(mc.Reports[id]))
+		w.PutBytes(2, rw.Bytes())
+	}
+	for _, l := range mc.Links {
+		var lw Writer
+		lw.PutUint(1, uint64(l.ObjectID))
+		lw.PutUint(2, uint64(l.ReportID))
+		w.PutBytes(3, lw.Bytes())
+	}
+	w.PutUint(4, uint64(mc.FilterK))
+	w.PutDB(5, mc.SMeasure)
+	return w.Bytes()
+}
+
+func sortedIntKeysObj(m map[int]config.MeasObject) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	insertionSortInts(out)
+	return out
+}
+
+func sortedIntKeysRep(m map[int]config.EventConfig) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	insertionSortInts(out)
+	return out
+}
+
+func insertionSortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func (m *RRCReconfig) decode(payload []byte) error {
+	mc := &m.Meas
+	return NewReader(payload).ForEach(func(f Field) error {
+		switch f.Tag {
+		case 1:
+			id, o, err := decodeObject(f.Val)
+			if err != nil {
+				return err
+			}
+			if mc.Objects == nil {
+				mc.Objects = make(map[int]config.MeasObject)
+			}
+			mc.Objects[id] = o
+		case 2:
+			var id int
+			var ev config.EventConfig
+			err := NewReader(f.Val).ForEach(func(rf Field) error {
+				var err error
+				switch rf.Tag {
+				case 1:
+					var v uint64
+					v, err = rf.Uint()
+					id = int(v)
+				case 2:
+					ev, err = decodeEvent(rf.Val)
+				}
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			if mc.Reports == nil {
+				mc.Reports = make(map[int]config.EventConfig)
+			}
+			mc.Reports[id] = ev
+		case 3:
+			var l config.MeasLink
+			err := NewReader(f.Val).ForEach(func(lf Field) error {
+				var err error
+				switch lf.Tag {
+				case 1:
+					var v uint64
+					v, err = lf.Uint()
+					l.ObjectID = int(v)
+				case 2:
+					var v uint64
+					v, err = lf.Uint()
+					l.ReportID = int(v)
+				}
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			mc.Links = append(mc.Links, l)
+		case 4:
+			v, err := f.Uint()
+			if err != nil {
+				return err
+			}
+			mc.FilterK = int(v)
+		case 5:
+			v, err := f.DB()
+			if err != nil {
+				return err
+			}
+			mc.SMeasure = v
+		}
+		return nil
+	})
+}
+
+// --- MeasurementReport ---
+
+// MeasResult is one cell's measured radio quality, quantized as on the
+// wire (RSRP index 0..97, RSRQ index 0..34).
+type MeasResult struct {
+	PCI     uint16
+	EARFCN  uint32
+	RAT     config.RAT
+	RSRPIdx int
+	RSRQIdx int
+}
+
+// MeasurementReport is the UE→network report that, per the paper's
+// finding, decisively precedes active-state handoffs ("all the handoffs
+// happen immediately (within 80-230 ms) once the last measurement report
+// is sent", §4.1).
+type MeasurementReport struct {
+	MeasID    int
+	EventType config.EventType // which configured event fired (or periodic)
+	Serving   MeasResult
+	Neighbors []MeasResult
+}
+
+// Type implements Message.
+func (*MeasurementReport) Type() MsgType { return MsgMeasReport }
+
+func encodeResult(r MeasResult) []byte {
+	var w Writer
+	w.PutUint(1, uint64(r.PCI))
+	w.PutUint(2, uint64(r.EARFCN))
+	w.PutUint(3, uint64(r.RAT))
+	w.PutUint(4, uint64(r.RSRPIdx))
+	w.PutUint(5, uint64(r.RSRQIdx))
+	return w.Bytes()
+}
+
+func decodeResult(b []byte) (MeasResult, error) {
+	var r MeasResult
+	err := NewReader(b).ForEach(func(f Field) error {
+		v, err := f.Uint()
+		if err != nil {
+			return err
+		}
+		switch f.Tag {
+		case 1:
+			r.PCI = uint16(v)
+		case 2:
+			r.EARFCN = uint32(v)
+		case 3:
+			r.RAT = config.RAT(v)
+		case 4:
+			r.RSRPIdx = int(v)
+		case 5:
+			r.RSRQIdx = int(v)
+		}
+		return nil
+	})
+	return r, err
+}
+
+func (m *MeasurementReport) payload() []byte {
+	var w Writer
+	w.PutUint(1, uint64(m.MeasID))
+	w.PutUint(2, uint64(m.EventType))
+	w.PutBytes(3, encodeResult(m.Serving))
+	for _, n := range m.Neighbors {
+		w.PutBytes(4, encodeResult(n))
+	}
+	return w.Bytes()
+}
+
+func (m *MeasurementReport) decode(payload []byte) error {
+	return NewReader(payload).ForEach(func(f Field) error {
+		switch f.Tag {
+		case 1:
+			v, err := f.Uint()
+			if err != nil {
+				return err
+			}
+			m.MeasID = int(v)
+		case 2:
+			v, err := f.Uint()
+			if err != nil {
+				return err
+			}
+			m.EventType = config.EventType(v)
+		case 3:
+			r, err := decodeResult(f.Val)
+			if err != nil {
+				return err
+			}
+			m.Serving = r
+		case 4:
+			r, err := decodeResult(f.Val)
+			if err != nil {
+				return err
+			}
+			m.Neighbors = append(m.Neighbors, r)
+		}
+		return nil
+	})
+}
+
+// --- HandoverCommand ---
+
+// HandoverCommand is the network→UE order to execute a handoff
+// (mobilityControlInfo in a reconfiguration message).
+type HandoverCommand struct {
+	TargetCellID uint32
+	TargetPCI    uint16
+	TargetEARFCN uint32
+	TargetRAT    config.RAT
+}
+
+// Type implements Message.
+func (*HandoverCommand) Type() MsgType { return MsgHandoverCmd }
+
+func (m *HandoverCommand) payload() []byte {
+	var w Writer
+	w.PutUint(1, uint64(m.TargetCellID))
+	w.PutUint(2, uint64(m.TargetPCI))
+	w.PutUint(3, uint64(m.TargetEARFCN))
+	w.PutUint(4, uint64(m.TargetRAT))
+	return w.Bytes()
+}
+
+func (m *HandoverCommand) decode(payload []byte) error {
+	return NewReader(payload).ForEach(func(f Field) error {
+		v, err := f.Uint()
+		if err != nil {
+			return err
+		}
+		switch f.Tag {
+		case 1:
+			m.TargetCellID = uint32(v)
+		case 2:
+			m.TargetPCI = uint16(v)
+		case 3:
+			m.TargetEARFCN = uint32(v)
+		case 4:
+			m.TargetRAT = config.RAT(v)
+		}
+		return nil
+	})
+}
+
+// BroadcastSet encodes the full idle-state broadcast of a cell — SIB1,
+// SIB3, SIB4 (when a forbidden list exists) and one frequency SIB per
+// neighbor RAT present — as the sequence of sealed messages a camped
+// device receives (paper Fig. 1, step 1).
+func BroadcastSet(c *config.CellConfig) [][]byte {
+	var out [][]byte
+	out = append(out, Marshal(&CellInfo{Identity: c.Identity}))
+	out = append(out, Marshal(&SIB1{
+		CellID:    c.Identity.CellID,
+		QRxLevMin: c.Serving.QRxLevMin,
+		QQualMin:  c.Serving.QQualMin,
+	}))
+	out = append(out, Marshal(&SIB3{Serving: c.Serving}))
+	if len(c.ForbiddenCells) > 0 {
+		out = append(out, Marshal(&SIB4{ForbiddenCells: c.ForbiddenCells}))
+	}
+	byKind := map[MsgType][]config.FreqRelation{}
+	for _, f := range c.Freqs {
+		k := SIBForRAT(f.RAT)
+		byKind[k] = append(byKind[k], f)
+	}
+	for _, k := range []MsgType{MsgSIB5, MsgSIB6, MsgSIB7, MsgSIB8} {
+		if fs := byKind[k]; len(fs) > 0 {
+			out = append(out, Marshal(&SIBFreq{Kind: k, Freqs: fs}))
+		}
+	}
+	return out
+}

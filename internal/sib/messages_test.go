@@ -1,0 +1,281 @@
+package sib
+
+import (
+	"reflect"
+	"testing"
+
+	"mmlab/internal/config"
+)
+
+func sampleServing() config.ServingCellConfig {
+	return config.ServingCellConfig{
+		Priority:          3,
+		QHyst:             4,
+		SIntraSearch:      62,
+		SIntraSearchQ:     8,
+		SNonIntraSearch:   28,
+		SNonIntraSearchQ:  6,
+		QRxLevMin:         -122,
+		QQualMin:          -19.5,
+		ThreshServingLow:  6,
+		ThreshServingLowQ: 2,
+		TReselectionSec:   2,
+		THigherMeasSec:    60,
+	}
+}
+
+func sampleMeasConfig() config.MeasConfig {
+	return config.MeasConfig{
+		Objects: map[int]config.MeasObject{
+			1: {EARFCN: 5780, RAT: config.RATLTE, OffsetFreq: 2,
+				CellOffsets: map[uint16]float64{17: -1.5, 44: 3},
+				Blacklist:   []uint16{100, 200}},
+			2: {EARFCN: 2000, RAT: config.RATLTE},
+		},
+		Reports: map[int]config.EventConfig{
+			1: {Type: config.EventA3, Quantity: config.RSRP, Offset: 3, Hysteresis: 1,
+				TimeToTriggerMs: 320, ReportIntervalMs: 240, ReportAmount: 8, MaxReportCells: 4},
+			2: {Type: config.EventA5, Quantity: config.RSRQ, Threshold1: -11.5, Threshold2: -14,
+				Hysteresis: 0.5, TimeToTriggerMs: 640, ReportIntervalMs: 480, MaxReportCells: 2},
+		},
+		Links:    []config.MeasLink{{ObjectID: 1, ReportID: 1}, {ObjectID: 1, ReportID: 2}, {ObjectID: 2, ReportID: 1}},
+		FilterK:  4,
+		SMeasure: -97,
+	}
+}
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	data := Marshal(m)
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("unmarshal %s: %v", m.Type(), err)
+	}
+	return got
+}
+
+func TestCellInfoRoundTrip(t *testing.T) {
+	m := &CellInfo{
+		Identity: config.CellIdentity{CellID: 9001, PCI: 321, EARFCN: 5780, RAT: config.RATLTE},
+		TAC:      777,
+	}
+	got := roundTrip(t, m).(*CellInfo)
+	if !reflect.DeepEqual(m, got) {
+		t.Errorf("got %+v, want %+v", got, m)
+	}
+}
+
+func TestSIB1RoundTrip(t *testing.T) {
+	m := &SIB1{CellID: 42, TAC: 11, QRxLevMin: -124, QQualMin: -18.5, Barred: true}
+	got := roundTrip(t, m).(*SIB1)
+	if !reflect.DeepEqual(m, got) {
+		t.Errorf("got %+v, want %+v", got, m)
+	}
+}
+
+func TestSIB3RoundTrip(t *testing.T) {
+	m := &SIB3{Serving: sampleServing()}
+	got := roundTrip(t, m).(*SIB3)
+	if !reflect.DeepEqual(m, got) {
+		t.Errorf("got %+v, want %+v", got, m)
+	}
+}
+
+func TestSIB4RoundTrip(t *testing.T) {
+	m := &SIB4{ForbiddenCells: []uint32{1, 5, 900000}}
+	got := roundTrip(t, m).(*SIB4)
+	if !reflect.DeepEqual(m, got) {
+		t.Errorf("got %+v, want %+v", got, m)
+	}
+	// Empty list round-trips to nil.
+	empty := roundTrip(t, &SIB4{}).(*SIB4)
+	if len(empty.ForbiddenCells) != 0 {
+		t.Errorf("empty SIB4 = %+v", empty)
+	}
+}
+
+func TestSIBFreqRoundTripAllKinds(t *testing.T) {
+	freqsByKind := map[MsgType][]config.FreqRelation{
+		MsgSIB5: {{EARFCN: 5780, RAT: config.RATLTE, Priority: 2, ThreshHigh: 12, ThreshLow: 4, QRxLevMin: -124, QOffsetFreq: -2, TReselectionSec: 1, MeasBandwidthRBs: 50}},
+		MsgSIB6: {{EARFCN: 4435, RAT: config.RATUMTS, Priority: 1, ThreshHigh: 8, ThreshLow: 2, QRxLevMin: -115, TReselectionSec: 2}},
+		MsgSIB7: {{EARFCN: 128, RAT: config.RATGSM, Priority: 0, ThreshHigh: 6, ThreshLow: 2, QRxLevMin: -110, TReselectionSec: 1}},
+		MsgSIB8: {{EARFCN: 283, RAT: config.RATEVDO, Priority: 1, ThreshHigh: 10, ThreshLow: 4, QRxLevMin: -118, TReselectionSec: 2}},
+	}
+	for kind, fs := range freqsByKind {
+		m := &SIBFreq{Kind: kind, Freqs: fs}
+		got := roundTrip(t, m).(*SIBFreq)
+		if got.Kind != kind {
+			t.Errorf("kind = %v, want %v", got.Kind, kind)
+		}
+		if !reflect.DeepEqual(got.Freqs, fs) {
+			t.Errorf("%v freqs = %+v, want %+v", kind, got.Freqs, fs)
+		}
+	}
+}
+
+func TestSIBFreqMultipleEntries(t *testing.T) {
+	m := &SIBFreq{Kind: MsgSIB5, Freqs: []config.FreqRelation{
+		{EARFCN: 1975, RAT: config.RATLTE, Priority: 4, QRxLevMin: -120},
+		{EARFCN: 9820, RAT: config.RATLTE, Priority: 5, QRxLevMin: -122},
+		{EARFCN: 5110, RAT: config.RATLTE, Priority: 2, QRxLevMin: -124},
+	}}
+	got := roundTrip(t, m).(*SIBFreq)
+	if len(got.Freqs) != 3 || got.Freqs[1].EARFCN != 9820 || got.Freqs[1].Priority != 5 {
+		t.Errorf("got %+v", got.Freqs)
+	}
+}
+
+func TestSIBForRAT(t *testing.T) {
+	tests := map[config.RAT]MsgType{
+		config.RATLTE:    MsgSIB5,
+		config.RATUMTS:   MsgSIB6,
+		config.RATGSM:    MsgSIB7,
+		config.RATEVDO:   MsgSIB8,
+		config.RATCDMA1x: MsgSIB8,
+	}
+	for rat, want := range tests {
+		if got := SIBForRAT(rat); got != want {
+			t.Errorf("SIBForRAT(%s) = %v, want %v", rat, got, want)
+		}
+	}
+}
+
+func TestRRCReconfigRoundTrip(t *testing.T) {
+	m := &RRCReconfig{Meas: sampleMeasConfig()}
+	got := roundTrip(t, m).(*RRCReconfig)
+	if !reflect.DeepEqual(m.Meas.Objects, got.Meas.Objects) {
+		t.Errorf("objects:\n got %+v\nwant %+v", got.Meas.Objects, m.Meas.Objects)
+	}
+	if !reflect.DeepEqual(m.Meas.Reports, got.Meas.Reports) {
+		t.Errorf("reports:\n got %+v\nwant %+v", got.Meas.Reports, m.Meas.Reports)
+	}
+	if !reflect.DeepEqual(m.Meas.Links, got.Meas.Links) {
+		t.Errorf("links: got %+v want %+v", got.Meas.Links, m.Meas.Links)
+	}
+	if got.Meas.FilterK != 4 || got.Meas.SMeasure != -97 {
+		t.Errorf("filterK=%d sMeasure=%v", got.Meas.FilterK, got.Meas.SMeasure)
+	}
+}
+
+func TestRRCReconfigEmpty(t *testing.T) {
+	got := roundTrip(t, &RRCReconfig{}).(*RRCReconfig)
+	if len(got.Meas.Objects) != 0 || len(got.Meas.Reports) != 0 || len(got.Meas.Links) != 0 {
+		t.Errorf("empty reconfig decoded non-empty: %+v", got.Meas)
+	}
+}
+
+func TestMeasurementReportRoundTrip(t *testing.T) {
+	m := &MeasurementReport{
+		MeasID:    3,
+		EventType: config.EventA3,
+		Serving:   MeasResult{PCI: 17, EARFCN: 5780, RAT: config.RATLTE, RSRPIdx: 41, RSRQIdx: 20},
+		Neighbors: []MeasResult{
+			{PCI: 44, EARFCN: 5780, RAT: config.RATLTE, RSRPIdx: 50, RSRQIdx: 22},
+			{PCI: 9, EARFCN: 2000, RAT: config.RATLTE, RSRPIdx: 35, RSRQIdx: 15},
+		},
+	}
+	got := roundTrip(t, m).(*MeasurementReport)
+	if !reflect.DeepEqual(m, got) {
+		t.Errorf("got %+v, want %+v", got, m)
+	}
+}
+
+func TestHandoverCommandRoundTrip(t *testing.T) {
+	m := &HandoverCommand{TargetCellID: 5000, TargetPCI: 88, TargetEARFCN: 9820, TargetRAT: config.RATLTE}
+	got := roundTrip(t, m).(*HandoverCommand)
+	if !reflect.DeepEqual(m, got) {
+		t.Errorf("got %+v, want %+v", got, m)
+	}
+}
+
+func TestUnmarshalUnknownType(t *testing.T) {
+	data := Seal(MsgType(99), []byte{1})
+	if _, err := Unmarshal(data); err == nil {
+		t.Error("unknown type should fail")
+	}
+}
+
+func TestUnknownFieldsSkipped(t *testing.T) {
+	// A future sender adds tag 99 to SIB1; an old decoder must ignore it.
+	var w Writer
+	w.PutUint(1, 7)    // CellID
+	w.PutUint(99, 123) // unknown
+	w.PutDB(3, -120)   // QRxLevMin
+	data := Seal(MsgSIB1, w.Bytes())
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := got.(*SIB1)
+	if s.CellID != 7 || s.QRxLevMin != -120 {
+		t.Errorf("got %+v", s)
+	}
+}
+
+func TestBroadcastSet(t *testing.T) {
+	c := &config.CellConfig{
+		Identity: config.CellIdentity{CellID: 101, PCI: 27, EARFCN: 5780, RAT: config.RATLTE},
+		Serving:  sampleServing(),
+		Freqs: []config.FreqRelation{
+			{EARFCN: 2000, RAT: config.RATLTE, Priority: 4, QRxLevMin: -120},
+			{EARFCN: 4435, RAT: config.RATUMTS, Priority: 1, QRxLevMin: -115},
+			{EARFCN: 128, RAT: config.RATGSM, Priority: 0, QRxLevMin: -110},
+		},
+		ForbiddenCells: []uint32{666},
+	}
+	msgs := BroadcastSet(c)
+	var types []MsgType
+	for _, raw := range msgs {
+		m, err := Unmarshal(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		types = append(types, m.Type())
+	}
+	want := []MsgType{MsgCellIdentity, MsgSIB1, MsgSIB3, MsgSIB4, MsgSIB5, MsgSIB6, MsgSIB7}
+	if !reflect.DeepEqual(types, want) {
+		t.Errorf("broadcast types = %v, want %v", types, want)
+	}
+}
+
+func TestBroadcastSetOmitsEmptySIBs(t *testing.T) {
+	c := &config.CellConfig{
+		Identity: config.CellIdentity{CellID: 1, RAT: config.RATLTE},
+		Serving:  sampleServing(),
+	}
+	msgs := BroadcastSet(c)
+	for _, raw := range msgs {
+		m, err := Unmarshal(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch m.Type() {
+		case MsgSIB4, MsgSIB5, MsgSIB6, MsgSIB7, MsgSIB8:
+			t.Errorf("unexpected %s for cell without neighbors/forbidden list", m.Type())
+		}
+	}
+}
+
+func TestSIB3SpeedScalingRoundTrip(t *testing.T) {
+	sv := sampleServing()
+	sv.SpeedScaling = config.SpeedScaling{
+		Enabled:              true,
+		NCellChangeMedium:    6,
+		NCellChangeHigh:      10,
+		TEvaluationSec:       60,
+		THystNormalSec:       120,
+		TReselectionSFMedium: 0.75,
+		TReselectionSFHigh:   0.25,
+		QHystSFMedium:        -2,
+		QHystSFHigh:          -4.5,
+	}
+	got := roundTrip(t, &SIB3{Serving: sv}).(*SIB3)
+	if !reflect.DeepEqual(got.Serving, sv) {
+		t.Errorf("speed scaling:\n got %+v\nwant %+v", got.Serving.SpeedScaling, sv.SpeedScaling)
+	}
+	// Disabled block stays disabled.
+	got = roundTrip(t, &SIB3{Serving: sampleServing()}).(*SIB3)
+	if got.Serving.SpeedScaling.Enabled {
+		t.Error("disabled block round-tripped as enabled")
+	}
+}

@@ -1,0 +1,186 @@
+// Package traffic models the data services of the paper's Type-II
+// experiments (§4): continuous speedtest (greedy download), constant-rate
+// iPerf at 5 kbps and 1 Mbps, and a 5-second ping — each consuming the
+// instantaneous link rate the simulator offers and recording what it
+// achieved.
+package traffic
+
+// App consumes link capacity step by step.
+type App interface {
+	// Step offers the app linkBps of capacity for dtMs milliseconds and
+	// returns the bits actually transferred. A zero linkBps models a
+	// handoff interruption or outage.
+	Step(tMs int64, dtMs int64, linkBps float64) (bits float64)
+	// Name identifies the app in records.
+	Name() string
+}
+
+// Speedtest is a greedy downloader: it uses everything the link offers
+// ("continuous speedtest", §4).
+type Speedtest struct{}
+
+// Name implements App.
+func (Speedtest) Name() string { return "speedtest" }
+
+// Step implements App.
+func (Speedtest) Step(_ int64, dtMs int64, linkBps float64) float64 {
+	if linkBps < 0 {
+		linkBps = 0
+	}
+	return linkBps * float64(dtMs) / 1000
+}
+
+// ConstantRate is an iPerf-style constant-bit-rate flow (the paper uses
+// 5 kbps and 1 Mbps). Undelivered bits queue up and drain when capacity
+// returns, like a UDP socket buffer followed by retransmissions.
+type ConstantRate struct {
+	RateBps float64
+	backlog float64 // bits waiting
+	// MaxBacklogBits caps the queue; excess is dropped (counted as Lost).
+	MaxBacklogBits float64
+	Lost           float64
+}
+
+// NewConstantRate builds a CBR flow with a 2-second buffer.
+func NewConstantRate(rateBps float64) *ConstantRate {
+	return &ConstantRate{RateBps: rateBps, MaxBacklogBits: rateBps * 2}
+}
+
+// Name implements App.
+func (c *ConstantRate) Name() string { return "iperf" }
+
+// Step implements App.
+func (c *ConstantRate) Step(_ int64, dtMs int64, linkBps float64) float64 {
+	offered := c.RateBps * float64(dtMs) / 1000
+	c.backlog += offered
+	if c.backlog > c.MaxBacklogBits {
+		c.Lost += c.backlog - c.MaxBacklogBits
+		c.backlog = c.MaxBacklogBits
+	}
+	cap := linkBps * float64(dtMs) / 1000
+	sent := c.backlog
+	if sent > cap {
+		sent = cap
+	}
+	if sent < 0 {
+		sent = 0
+	}
+	c.backlog -= sent
+	return sent
+}
+
+// Ping sends a probe every IntervalMs ("ping (Google) every five
+// seconds") and records RTT samples; a probe in flight during an outage
+// is lost.
+type Ping struct {
+	IntervalMs int64
+	BaseRTTMs  float64
+
+	nextProbe int64
+	RTTs      []float64
+	Losses    int
+}
+
+// NewPing builds the paper's 5-second ping probe.
+func NewPing() *Ping { return &Ping{IntervalMs: 5000, BaseRTTMs: 40} }
+
+// Name implements App.
+func (p *Ping) Name() string { return "ping" }
+
+// Step implements App.
+func (p *Ping) Step(tMs int64, dtMs int64, linkBps float64) float64 {
+	if tMs < p.nextProbe {
+		return 0
+	}
+	p.nextProbe = tMs + p.IntervalMs
+	if linkBps <= 1000 { // effectively no usable uplink/downlink
+		p.Losses++
+		return 0
+	}
+	// RTT inflates as the link thins: serialization + HARQ retries.
+	rtt := p.BaseRTTMs + 2e6/linkBps*8
+	p.RTTs = append(p.RTTs, rtt)
+	return 64 * 8 // one echo's worth of bits
+}
+
+// TCPDownload models a congestion-controlled bulk transfer — the
+// cross-layer view the paper's related work measures ("data performance
+// indeed declines due to handoffs", §7): slow start, AIMD congestion
+// avoidance, and an RTO collapse when a handoff outage starves the flow.
+type TCPDownload struct {
+	RTTMs       float64 // base round-trip time
+	MSSBits     float64 // segment size in bits
+	InitCwnd    float64 // segments
+	RTOMs       int64   // retransmission timeout
+	ssthresh    float64 // segments
+	cwnd        float64 // segments
+	lastRxMs    int64
+	Timeouts    int
+	initialized bool
+}
+
+// NewTCPDownload builds a flow with conventional defaults
+// (RTT 50 ms, MSS 1500 B, IW 10, RTO 1 s).
+func NewTCPDownload() *TCPDownload {
+	return &TCPDownload{RTTMs: 50, MSSBits: 1500 * 8, InitCwnd: 10, RTOMs: 1000}
+}
+
+// Name implements App.
+func (c *TCPDownload) Name() string { return "tcp" }
+
+// Step implements App. The window paces delivery: the flow transfers at
+// most cwnd·MSS per RTT, capped by link capacity. Full windows grow the
+// window (slow start below ssthresh, +1 MSS/RTT above); capacity-limited
+// rounds multiplicatively back off; an outage longer than the RTO resets
+// to slow start — so each handoff interruption leaves a visible scar in
+// the throughput series.
+func (c *TCPDownload) Step(tMs int64, dtMs int64, linkBps float64) float64 {
+	if !c.initialized {
+		c.initialized = true
+		c.cwnd = c.InitCwnd
+		c.ssthresh = 64
+		c.lastRxMs = tMs
+	}
+	if linkBps <= 0 {
+		if tMs-c.lastRxMs >= c.RTOMs {
+			// Timeout: collapse to slow start.
+			c.ssthresh = c.cwnd / 2
+			if c.ssthresh < 2 {
+				c.ssthresh = 2
+			}
+			c.cwnd = c.InitCwnd
+			c.Timeouts++
+			c.lastRxMs = tMs
+		}
+		return 0
+	}
+	c.lastRxMs = tMs
+	wndBps := c.cwnd * c.MSSBits / (c.RTTMs / 1000)
+	sentBps := wndBps
+	limited := false
+	if sentBps > linkBps {
+		sentBps = linkBps
+		limited = true
+	}
+	// Window evolution per RTT, applied fractionally per step.
+	rttFrac := float64(dtMs) / c.RTTMs
+	if limited {
+		// Loss signal: multiplicative decrease, at most once per RTT.
+		c.ssthresh = c.cwnd / 2
+		if c.ssthresh < 2 {
+			c.ssthresh = 2
+		}
+		c.cwnd -= c.cwnd / 2 * rttFrac
+		if c.cwnd < c.InitCwnd {
+			c.cwnd = c.InitCwnd
+		}
+	} else if c.cwnd < c.ssthresh {
+		c.cwnd *= 1 + rttFrac // slow start: doubles per RTT
+	} else {
+		c.cwnd += rttFrac // congestion avoidance: +1 MSS per RTT
+	}
+	return sentBps * float64(dtMs) / 1000
+}
+
+// Cwnd exposes the current congestion window in segments (diagnostics).
+func (c *TCPDownload) Cwnd() float64 { return c.cwnd }

@@ -1,0 +1,166 @@
+package traffic
+
+import (
+	"testing"
+)
+
+func TestSpeedtestGreedy(t *testing.T) {
+	var s Speedtest
+	if got := s.Step(0, 1000, 5e6); got != 5e6 {
+		t.Errorf("Step = %v, want full capacity", got)
+	}
+	if got := s.Step(0, 100, 5e6); got != 5e5 {
+		t.Errorf("Step(100ms) = %v", got)
+	}
+	if got := s.Step(0, 100, -1); got != 0 {
+		t.Errorf("negative capacity = %v", got)
+	}
+	if s.Name() != "speedtest" {
+		t.Error("name")
+	}
+}
+
+func TestConstantRateUnderProvisioned(t *testing.T) {
+	c := NewConstantRate(1e6)
+	// Plenty of capacity: achieves exactly the configured rate.
+	total := 0.0
+	for ts := int64(0); ts < 10000; ts += 100 {
+		total += c.Step(ts, 100, 10e6)
+	}
+	if got := total / 10; got != 1e6 {
+		t.Errorf("achieved %v bps, want 1e6", got)
+	}
+}
+
+func TestConstantRateBacklogDrains(t *testing.T) {
+	c := NewConstantRate(1e6)
+	// 1 s outage accumulates 1e6 bits of backlog.
+	for ts := int64(0); ts < 1000; ts += 100 {
+		if sent := c.Step(ts, 100, 0); sent != 0 {
+			t.Fatal("sent during outage")
+		}
+	}
+	// Recovery at 10 Mbps drains the backlog fast: first step can carry
+	// backlog plus new offered load.
+	sent := c.Step(1000, 100, 10e6)
+	if sent <= 1e6*0.1 {
+		t.Errorf("post-outage burst = %v, want > offered rate", sent)
+	}
+	if c.Lost != 0 {
+		t.Errorf("lost %v bits within buffer budget", c.Lost)
+	}
+}
+
+func TestConstantRateDropsBeyondBuffer(t *testing.T) {
+	c := NewConstantRate(1e6) // 2 s buffer
+	for ts := int64(0); ts < 5000; ts += 100 {
+		c.Step(ts, 100, 0)
+	}
+	if c.Lost <= 0 {
+		t.Error("5 s outage should overflow the 2 s buffer")
+	}
+}
+
+func TestPingRTTAndLoss(t *testing.T) {
+	p := NewPing()
+	// 20 s of good link: probes at 0,5,10,15,20 s → 5 RTTs.
+	for ts := int64(0); ts <= 20000; ts += 100 {
+		p.Step(ts, 100, 20e6)
+	}
+	if len(p.RTTs) != 5 || p.Losses != 0 {
+		t.Fatalf("RTTs=%d losses=%d", len(p.RTTs), p.Losses)
+	}
+	if p.RTTs[0] < p.BaseRTTMs {
+		t.Errorf("RTT %v below base", p.RTTs[0])
+	}
+	// Next probe during outage is lost.
+	p2 := NewPing()
+	p2.Step(0, 100, 0)
+	if p2.Losses != 1 || len(p2.RTTs) != 0 {
+		t.Errorf("outage probe: losses=%d rtts=%d", p2.Losses, len(p2.RTTs))
+	}
+}
+
+func TestPingRTTInflatesOnThinLink(t *testing.T) {
+	fat := NewPing()
+	fat.Step(0, 100, 50e6)
+	thin := NewPing()
+	thin.Step(0, 100, 2e5)
+	if thin.RTTs[0] <= fat.RTTs[0] {
+		t.Errorf("thin-link RTT %v should exceed fat-link %v", thin.RTTs[0], fat.RTTs[0])
+	}
+}
+
+func TestTCPSlowStartGrowth(t *testing.T) {
+	c := NewTCPDownload()
+	if c.Name() != "tcp" {
+		t.Error("name")
+	}
+	first := c.Step(0, 100, 100e6)
+	var last float64
+	for ts := int64(100); ts < 2000; ts += 100 {
+		last = c.Step(ts, 100, 100e6)
+	}
+	if last <= first {
+		t.Errorf("no growth: first=%v last=%v", first, last)
+	}
+	if c.Cwnd() <= 10 {
+		t.Errorf("cwnd = %v, should have grown", c.Cwnd())
+	}
+}
+
+func TestTCPOutageCausesTimeoutCollapse(t *testing.T) {
+	c := NewTCPDownload()
+	for ts := int64(0); ts < 5000; ts += 100 {
+		c.Step(ts, 100, 50e6)
+	}
+	grown := c.Cwnd()
+	if grown < 20 {
+		t.Fatalf("cwnd after 5s = %v", grown)
+	}
+	// 1.5 s outage (longer than RTO) collapses the window.
+	for ts := int64(5000); ts < 6500; ts += 100 {
+		if got := c.Step(ts, 100, 0); got != 0 {
+			t.Fatal("transferred during outage")
+		}
+	}
+	if c.Timeouts == 0 {
+		t.Fatal("no RTO fired")
+	}
+	if c.Cwnd() >= grown/2 {
+		t.Errorf("cwnd %v did not collapse from %v", c.Cwnd(), grown)
+	}
+}
+
+func TestTCPShortOutageNoTimeout(t *testing.T) {
+	c := NewTCPDownload()
+	for ts := int64(0); ts < 3000; ts += 100 {
+		c.Step(ts, 100, 50e6)
+	}
+	// 300 ms outage (a handoff interruption) — below the RTO.
+	for ts := int64(3000); ts < 3300; ts += 100 {
+		c.Step(ts, 100, 0)
+	}
+	if c.Timeouts != 0 {
+		t.Error("handoff-scale outage should not trigger RTO")
+	}
+}
+
+func TestTCPCapacityLimitBacksOff(t *testing.T) {
+	c := NewTCPDownload()
+	// Grow on a fat link, then hit a thin one.
+	for ts := int64(0); ts < 5000; ts += 100 {
+		c.Step(ts, 100, 100e6)
+	}
+	fat := c.Cwnd()
+	for ts := int64(5000); ts < 8000; ts += 100 {
+		c.Step(ts, 100, 1e6)
+	}
+	if c.Cwnd() >= fat {
+		t.Errorf("cwnd %v should back off from %v on a thin link", c.Cwnd(), fat)
+	}
+	// Throughput is capacity-bound on the thin link.
+	if got := c.Step(8000, 1000, 1e6); got > 1e6+1 {
+		t.Errorf("transferred %v bits in 1s over a 1 Mbps link", got)
+	}
+}

@@ -1,0 +1,59 @@
+package verify
+
+import (
+	"sort"
+
+	"mmlab/internal/geo"
+	"mmlab/internal/mobility"
+	"mmlab/internal/netsim"
+)
+
+// OscillationFinding is a location where a stationary device keeps
+// reselecting — dynamic evidence of configuration instability (the
+// paper's [22, 24]: "unstable mobility management"). A correct
+// configuration must let a static device settle.
+type OscillationFinding struct {
+	Pos          geo.Point
+	Reselections int
+	// Cells visited in order (trimmed to the first few).
+	Path []uint32
+}
+
+// CheckStability parks stationary devices on a grid across the world and
+// runs idle-state reselection for durMs. Positions with more than
+// tolerance reselections are reported, worst first.
+//
+// tolerance 2 allows the initial camp correction plus one legitimate
+// reselection; anything beyond that at a fixed position is ping-ponging.
+func CheckStability(w *netsim.World, gridStep float64, durMs int64, tolerance int) []OscillationFinding {
+	if gridStep <= 0 {
+		gridStep = 1000
+	}
+	if tolerance <= 0 {
+		tolerance = 2
+	}
+	var out []OscillationFinding
+	r := w.Region
+	for x := r.Min.X + gridStep/2; x < r.Max.X; x += gridStep {
+		for y := r.Min.Y + gridStep/2; y < r.Max.Y; y += gridStep {
+			pos := geo.Pt(x, y)
+			res := netsim.RunDrive(w, mobility.Static{Pos: pos}, durMs, netsim.UEOpts{
+				Seed:   int64(x)*31 + int64(y),
+				Active: false,
+				StepMs: 200,
+			})
+			if len(res.Handoffs) > tolerance {
+				f := OscillationFinding{Pos: pos, Reselections: len(res.Handoffs)}
+				for i, h := range res.Handoffs {
+					if i >= 6 {
+						break
+					}
+					f.Path = append(f.Path, h.To.CellID)
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Reselections > out[j].Reselections })
+	return out
+}

@@ -1,0 +1,209 @@
+// Package verify is the paper's §6 proposal made executable: "an
+// automated solution to configuration verification ... leverag[ing]
+// runtime configurations collected from the device [and] the formal
+// models for handoffs specified by the 3GPP standards". It checks
+// *multi-cell structural* properties that no single-cell audit can see —
+// the priority loops and instability of the paper's prior work [22, 27]
+// — both statically over a set of crawled configurations and dynamically
+// by placing stationary devices in a simulated world and watching for
+// oscillation.
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"mmlab/internal/config"
+)
+
+// ChannelKey identifies a frequency layer.
+type ChannelKey struct {
+	EARFCN uint32
+	RAT    config.RAT
+}
+
+func (k ChannelKey) String() string { return fmt.Sprintf("%s/%d", k.RAT, k.EARFCN) }
+
+// PriorityView is how cells on one channel see another channel.
+type PriorityView struct {
+	From ChannelKey
+	To   ChannelKey
+	// OwnPriorities are the serving priorities cells on From claim.
+	OwnPriorities map[int][]uint32 // priority → cell ids
+	// AdvertisedTo are the priorities those cells advertise for To.
+	AdvertisedTo map[int][]uint32
+}
+
+// LoopFinding is one mutually-higher channel pair: some cell on A ranks B
+// above itself while some cell on B ranks A above itself. An idle device
+// hearing both layers above their entry thresholds reselects forever —
+// the instability of [22] ("Consider a case where two cells believe the
+// other has a higher priority. It is prone to a handoff loop", §5.4.1).
+type LoopFinding struct {
+	ChannelA, ChannelB ChannelKey
+	// Witnesses: one (cell on A, cell on B) pair exhibiting the conflict.
+	CellA, CellB uint32
+	// The conflicting priority claims.
+	AOwn, AToB, BOwn, BToA int
+}
+
+func (l LoopFinding) String() string {
+	return fmt.Sprintf("loop %v(own %d → %v at %d) vs %v(own %d → %v at %d): cells %d, %d",
+		l.ChannelA, l.AOwn, l.ChannelB, l.AToB,
+		l.ChannelB, l.BOwn, l.ChannelA, l.BToA,
+		l.CellA, l.CellB)
+}
+
+// upView records one cell claiming a target channel outranks its own.
+type upView struct {
+	cell uint32
+	own  int
+	adv  int
+}
+
+// FindPriorityLoops scans a set of crawled configurations for
+// mutually-higher channel pairs.
+func FindPriorityLoops(cfgs []*config.CellConfig) []LoopFinding {
+	// For each ordered channel pair (from, to): the cells on `from` that
+	// advertise `to` strictly above their own priority.
+	up := map[[2]ChannelKey]upView{}
+	for _, c := range cfgs {
+		from := ChannelKey{c.Identity.EARFCN, c.Identity.RAT}
+		for _, fr := range c.Freqs {
+			to := ChannelKey{fr.EARFCN, fr.RAT}
+			if fr.Priority > c.Serving.Priority {
+				key := [2]ChannelKey{from, to}
+				if _, ok := up[key]; !ok {
+					up[key] = upView{cell: c.Identity.CellID, own: c.Serving.Priority, adv: fr.Priority}
+				}
+			}
+		}
+	}
+	var out []LoopFinding
+	seen := map[[2]ChannelKey]bool{}
+	for key, a := range up {
+		rev := [2]ChannelKey{key[1], key[0]}
+		b, ok := up[rev]
+		if !ok {
+			continue
+		}
+		// Canonical order so each pair is reported once.
+		canon := key
+		if rev[0].EARFCN < key[0].EARFCN || (rev[0].EARFCN == key[0].EARFCN && rev[0].RAT < key[0].RAT) {
+			canon = rev
+			a, b = b, a
+		}
+		if seen[canon] {
+			continue
+		}
+		seen[canon] = true
+		out = append(out, LoopFinding{
+			ChannelA: canon[0], ChannelB: canon[1],
+			CellA: a.cell, CellB: b.cell,
+			AOwn: a.own, AToB: a.adv, BOwn: b.own, BToA: b.adv,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ChannelA.EARFCN != out[j].ChannelA.EARFCN {
+			return out[i].ChannelA.EARFCN < out[j].ChannelA.EARFCN
+		}
+		return out[i].ChannelB.EARFCN < out[j].ChannelB.EARFCN
+	})
+	return out
+}
+
+// ConflictFinding is a channel whose cells disagree on its own priority
+// (the paper's 6.3 %-of-cells case, §5.4.1). Disagreement within one area
+// means two neighboring cells rank the same layer differently, so the
+// ranking a device applies depends on which cell it camps on.
+type ConflictFinding struct {
+	Channel    ChannelKey
+	Area       string
+	Priorities map[int][]uint32 // priority → cells claiming it
+}
+
+func (c ConflictFinding) String() string {
+	ps := make([]int, 0, len(c.Priorities))
+	for p := range c.Priorities {
+		ps = append(ps, p)
+	}
+	sort.Ints(ps)
+	return fmt.Sprintf("conflict on %v in %s: priorities %v", c.Channel, c.Area, ps)
+}
+
+// CellArea ties a configuration to the area it was crawled in.
+type CellArea struct {
+	Config *config.CellConfig
+	Area   string // city/region code
+}
+
+// FindPriorityConflicts reports channels with multiple serving-priority
+// values within one area.
+func FindPriorityConflicts(cells []CellArea) []ConflictFinding {
+	type key struct {
+		ch   ChannelKey
+		area string
+	}
+	views := map[key]map[int][]uint32{}
+	for _, ca := range cells {
+		c := ca.Config
+		k := key{ChannelKey{c.Identity.EARFCN, c.Identity.RAT}, ca.Area}
+		if views[k] == nil {
+			views[k] = map[int][]uint32{}
+		}
+		views[k][c.Serving.Priority] = append(views[k][c.Serving.Priority], c.Identity.CellID)
+	}
+	var out []ConflictFinding
+	for k, m := range views {
+		if len(m) > 1 {
+			out = append(out, ConflictFinding{Channel: k.ch, Area: k.area, Priorities: m})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Channel.EARFCN != out[j].Channel.EARFCN {
+			return out[i].Channel.EARFCN < out[j].Channel.EARFCN
+		}
+		return out[i].Area < out[j].Area
+	})
+	return out
+}
+
+// UnreachableFinding is a layer a device can never enter from a given
+// serving configuration: advertised as higher priority but with an entry
+// threshold no real measurement can satisfy.
+type UnreachableFinding struct {
+	Cell   uint32
+	Target ChannelKey
+	Reason string
+}
+
+func (u UnreachableFinding) String() string {
+	return fmt.Sprintf("cell %d → %v unreachable: %s", u.Cell, u.Target, u.Reason)
+}
+
+// FindUnreachable flags frequency relations whose entry condition cannot
+// be met: ThreshHigh above the physically reportable level
+// (QRxLevMin + Thresh > −44 dBm means rc > ThreshHigh is impossible), or
+// a lower-priority layer requiring the serving cell to be weaker than its
+// own minimum.
+func FindUnreachable(cfgs []*config.CellConfig) []UnreachableFinding {
+	var out []UnreachableFinding
+	for _, c := range cfgs {
+		for _, fr := range c.Freqs {
+			target := ChannelKey{fr.EARFCN, fr.RAT}
+			if fr.Priority > c.Serving.Priority && fr.QRxLevMin+fr.ThreshHigh > -44 {
+				out = append(out, UnreachableFinding{
+					Cell: c.Identity.CellID, Target: target,
+					Reason: fmt.Sprintf("entry needs RSRP > %g dBm (above the reportable ceiling)", fr.QRxLevMin+fr.ThreshHigh),
+				})
+			}
+			if fr.Priority < c.Serving.Priority && c.Serving.QRxLevMin+c.Serving.ThreshServingLow < -140 {
+				out = append(out, UnreachableFinding{
+					Cell: c.Identity.CellID, Target: target,
+					Reason: "leaving needs serving RSRP below the reportable floor",
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"mmlab/internal/carrier"
+	"mmlab/internal/config"
+	"mmlab/internal/geo"
+	"mmlab/internal/netsim"
+)
+
+// cellOn builds a minimal LTE cell config on a channel with a serving
+// priority and one advertised relation.
+func cellOn(id uint32, ch uint32, ownPrio int, advCh uint32, advPrio int) *config.CellConfig {
+	return &config.CellConfig{
+		Identity: config.CellIdentity{CellID: id, EARFCN: ch, RAT: config.RATLTE},
+		Serving: config.ServingCellConfig{
+			Priority: ownPrio, QRxLevMin: -122, SIntraSearch: 62, SNonIntraSearch: 28,
+			ThreshServingLow: 6, QHyst: 4, TReselectionSec: 1,
+		},
+		Freqs: []config.FreqRelation{{
+			EARFCN: advCh, RAT: config.RATLTE, Priority: advPrio,
+			ThreshHigh: 8, ThreshLow: 4, QRxLevMin: -122, TReselectionSec: 1,
+		}},
+	}
+}
+
+func TestFindPriorityLoops(t *testing.T) {
+	// Cells on 1000 say 2000 is higher; cells on 2000 say 1000 is higher:
+	// the classic [22] instability.
+	cfgs := []*config.CellConfig{
+		cellOn(1, 1000, 3, 2000, 5),
+		cellOn(2, 2000, 3, 1000, 5),
+	}
+	loops := FindPriorityLoops(cfgs)
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.ChannelA.EARFCN != 1000 || l.ChannelB.EARFCN != 2000 {
+		t.Errorf("loop channels = %v/%v", l.ChannelA, l.ChannelB)
+	}
+	if l.AToB <= l.AOwn || l.BToA <= l.BOwn {
+		t.Errorf("loop priorities inconsistent: %+v", l)
+	}
+	if s := l.String(); !strings.Contains(s, "loop") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestNoLoopInConsistentPlan(t *testing.T) {
+	// A consistent plan: 2000 is globally higher than 1000.
+	cfgs := []*config.CellConfig{
+		cellOn(1, 1000, 3, 2000, 5),
+		cellOn(2, 2000, 5, 1000, 3),
+		cellOn(3, 1000, 3, 2000, 5),
+	}
+	if loops := FindPriorityLoops(cfgs); len(loops) != 0 {
+		t.Errorf("consistent plan flagged: %v", loops)
+	}
+}
+
+func TestLoopReportedOncePerPair(t *testing.T) {
+	cfgs := []*config.CellConfig{
+		cellOn(1, 1000, 3, 2000, 5),
+		cellOn(2, 1000, 3, 2000, 5),
+		cellOn(3, 2000, 3, 1000, 5),
+		cellOn(4, 2000, 3, 1000, 5),
+	}
+	if loops := FindPriorityLoops(cfgs); len(loops) != 1 {
+		t.Errorf("pair reported %d times", len(loops))
+	}
+}
+
+func TestFindPriorityConflicts(t *testing.T) {
+	cells := []CellArea{
+		{cellOn(1, 1000, 3, 2000, 5), "C1"},
+		{cellOn(2, 1000, 4, 2000, 5), "C1"}, // disagrees with cell 1 in C1
+		{cellOn(3, 1000, 4, 2000, 5), "C2"}, // alone in C2: no conflict
+	}
+	got := FindPriorityConflicts(cells)
+	if len(got) != 1 {
+		t.Fatalf("conflicts = %d, want 1", len(got))
+	}
+	if got[0].Area != "C1" || len(got[0].Priorities) != 2 {
+		t.Errorf("conflict = %+v", got[0])
+	}
+	if got[0].String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestFindUnreachable(t *testing.T) {
+	// Entry threshold above the reportable ceiling: QRxLevMin −60 with
+	// ThreshHigh 40 needs RSRP > −20 dBm.
+	c := cellOn(1, 1000, 3, 2000, 5)
+	c.Freqs[0].QRxLevMin = -60
+	c.Freqs[0].ThreshHigh = 40
+	got := FindUnreachable([]*config.CellConfig{c})
+	if len(got) != 1 {
+		t.Fatalf("unreachable = %d, want 1", len(got))
+	}
+	if got[0].Cell != 1 || got[0].Target.EARFCN != 2000 {
+		t.Errorf("finding = %+v", got[0])
+	}
+	if got[0].String() == "" {
+		t.Error("empty String")
+	}
+	// A sane relation is not flagged.
+	if got := FindUnreachable([]*config.CellConfig{cellOn(2, 1000, 3, 2000, 5)}); len(got) != 0 {
+		t.Errorf("sane relation flagged: %v", got)
+	}
+}
+
+func TestCheckStabilityOnSaneWorld(t *testing.T) {
+	gen, err := carrier.NewGenerator("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(3000, 2000))
+	w := netsim.BuildWorld(gen, region, netsim.WorldOpts{Seed: 4})
+	findings := CheckStability(w, 900, 60000, 3)
+	// A production-calibrated plan should leave stationary devices mostly
+	// settled; a few fade-margin ping-pongs are tolerable.
+	if len(findings) > 3 {
+		t.Errorf("sane world oscillates at %d positions: %+v", len(findings), findings)
+	}
+}
+
+func TestCheckStabilityDetectsLoop(t *testing.T) {
+	gen, err := carrier.NewGenerator("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(3000, 2000))
+	w := netsim.BuildWorld(gen, region, netsim.WorldOpts{Seed: 4, LTELayers: 2})
+	// Sabotage: every cell claims the OTHER channel is higher priority
+	// with a trivially met entry threshold — the [22] loop.
+	chans := map[uint32]bool{}
+	for _, c := range w.Cells {
+		chans[c.Site.Identity.EARFCN] = true
+	}
+	if len(chans) < 2 {
+		t.Skip("need two layers")
+	}
+	for _, c := range w.Cells {
+		c.Config.Serving.Priority = 3
+		for i := range c.Config.Freqs {
+			if c.Config.Freqs[i].RAT == config.RATLTE && c.Config.Freqs[i].EARFCN != c.Site.Identity.EARFCN {
+				c.Config.Freqs[i].Priority = 5
+				c.Config.Freqs[i].ThreshHigh = 0
+			}
+		}
+	}
+	findings := CheckStability(w, 900, 60000, 3)
+	if len(findings) == 0 {
+		t.Fatal("mutual-higher sabotage not detected")
+	}
+	f := findings[0]
+	if f.Reselections <= 3 || len(f.Path) == 0 {
+		t.Errorf("finding = %+v", f)
+	}
+	// The static analyzer agrees.
+	var cfgs []*config.CellConfig
+	for _, c := range w.Cells {
+		cfgs = append(cfgs, c.Config)
+	}
+	if loops := FindPriorityLoops(cfgs); len(loops) == 0 {
+		t.Error("static analyzer missed the loop")
+	}
+}
