@@ -12,6 +12,9 @@ package mmlab
 // cmd/genfleet and cmd/hosim at -scale 1.0 for paper-sized datasets).
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -44,7 +47,7 @@ func benchD2(b *testing.B) *dataset.D2 {
 	b.Helper()
 	d2Once.Do(func() {
 		var err error
-		d2Data, err = crawler.BuildGlobalD2(benchD2Scale, benchSeed)
+		d2Data, err = crawler.BuildGlobalD2(context.Background(), benchD2Scale, benchSeed, 0)
 		if err != nil {
 			b.Fatalf("building D2: %v", err)
 		}
@@ -56,7 +59,7 @@ func benchD1(b *testing.B) *dataset.D1 {
 	b.Helper()
 	d1Once.Do(func() {
 		var err error
-		d1Data, err = experiment.BuildD1(experiment.D1Options{Scale: benchD1Scale, Seed: benchSeed})
+		d1Data, err = experiment.BuildD1(context.Background(), experiment.D1Options{Scale: benchD1Scale, Seed: benchSeed})
 		if err != nil {
 			b.Fatalf("building D1: %v", err)
 		}
@@ -127,7 +130,7 @@ func BenchmarkFig7Timeline(b *testing.B) {
 	var series [2]experiment.Fig7Series
 	var err error
 	for i := 0; i < b.N; i++ {
-		series, err = experiment.Fig7(benchSeed)
+		series, err = experiment.Fig7(context.Background(), benchSeed, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,7 +146,7 @@ func BenchmarkFig8ConfigThroughput(b *testing.B) {
 	var res []experiment.Fig8Result
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = experiment.Fig8(benchSeed, 1)
+		res, err = experiment.Fig8(context.Background(), benchSeed, 1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -371,7 +374,7 @@ func BenchmarkAblationTTT(b *testing.B) {
 	var res [2]experiment.AblationResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = experiment.AblateTTT(benchSeed)
+		res, err = experiment.AblateTTT(context.Background(), benchSeed, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -384,7 +387,7 @@ func BenchmarkAblationHysteresis(b *testing.B) {
 	var res [2]experiment.AblationResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = experiment.AblateHysteresis(benchSeed)
+		res, err = experiment.AblateHysteresis(context.Background(), benchSeed, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -397,7 +400,7 @@ func BenchmarkAblationFilterK(b *testing.B) {
 	var res [2]experiment.AblationResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = experiment.AblateFilterK(benchSeed)
+		res, err = experiment.AblateFilterK(context.Background(), benchSeed, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -451,7 +454,7 @@ func BenchmarkAblationSpeedScaling(b *testing.B) {
 	var res [2]experiment.AblationResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = experiment.AblateSpeedScaling(11)
+		res, err = experiment.AblateSpeedScaling(context.Background(), 11, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -475,4 +478,50 @@ func BenchmarkCrossLayerTCP(b *testing.B) {
 	b.ReportMetric(float64(r.Timeouts), "tcp-timeouts")
 	b.ReportMetric(r.MeanThptBps/1e6, "mean-Mbps")
 	b.ReportMetric(r.DipRatio, "handoff-dip-ratio")
+}
+
+// benchWorkerCounts returns the workers values the parallel benchmarks
+// compare: serial vs all CPUs (collapsed on single-core machines).
+func benchWorkerCounts() []int {
+	if n := runtime.NumCPU(); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
+}
+
+// BenchmarkD1Campaign measures the same D1 campaign at one worker vs all
+// CPUs; the outputs are identical, only the wall-clock differs.
+func BenchmarkD1Campaign(b *testing.B) {
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var n int
+			for i := 0; i < b.N; i++ {
+				d1, err := experiment.BuildD1(context.Background(), experiment.D1Options{
+					Scale: benchD1Scale, Seed: benchSeed, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				n = len(d1.Records)
+			}
+			b.ReportMetric(float64(n), "records")
+		})
+	}
+}
+
+// BenchmarkD2Crawl measures the global crawl at one worker vs all CPUs.
+func BenchmarkD2Crawl(b *testing.B) {
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var n int
+			for i := 0; i < b.N; i++ {
+				d2, err := crawler.BuildGlobalD2(context.Background(), benchD2Scale, benchSeed, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n = len(d2.Snapshots)
+			}
+			b.ReportMetric(float64(n), "snapshots")
+		})
+	}
 }

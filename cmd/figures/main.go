@@ -10,14 +10,19 @@
 // D1-based experiments (fig5/6/9/10, latency) need -d1; D2-based ones
 // (table4, fig11–fig22) need -d2. fig7, fig8 and the ablations run live
 // simulations and need no dataset. With -gen, missing datasets are built
-// in memory at -scale.
+// in memory at -scale. Live simulations and -gen builds run on -workers
+// parallel workers (default: all CPUs); output is identical for any
+// worker count. Ctrl-C cancels a running simulation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
 
 	"mmlab/internal/analysis"
@@ -27,11 +32,13 @@ import (
 )
 
 type ctx struct {
-	d1    *dataset.D1
-	d2    *dataset.D2
-	seed  int64
-	scale float64
-	gen   bool
+	ctx     context.Context
+	d1      *dataset.D1
+	d2      *dataset.D2
+	seed    int64
+	scale   float64
+	gen     bool
+	workers int
 
 	d1Path, d2Path string
 }
@@ -57,7 +64,7 @@ func (c *ctx) needD1() *dataset.D1 {
 		log.Fatal("this experiment needs -d1 <file> (or -gen to build one)")
 	}
 	log.Printf("building D1 at scale %g ...", c.scale)
-	d, err := experiment.BuildD1(experiment.D1Options{Scale: c.scale, Seed: c.seed})
+	d, err := experiment.BuildD1(c.ctx, experiment.D1Options{Scale: c.scale, Seed: c.seed, Workers: c.workers})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -86,7 +93,7 @@ func (c *ctx) needD2() *dataset.D2 {
 		log.Fatal("this experiment needs -d2 <file> (or -gen to build one)")
 	}
 	log.Printf("building D2 at scale %g ...", c.scale)
-	d, err := crawler.BuildGlobalD2(c.scale, c.seed)
+	d, err := crawler.BuildGlobalD2(c.ctx, c.scale, c.seed, c.workers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -110,7 +117,7 @@ var experiments = []struct {
 		fmt.Print(analysis.RenderFig6(analysis.Fig6(c.needD1(), "A")))
 	}, "RSRP changes in active handoffs [D1]"},
 	{"fig7", func(c *ctx) {
-		series, err := experiment.Fig7(c.seed)
+		series, err := experiment.Fig7(c.ctx, c.seed, c.workers)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -125,7 +132,7 @@ var experiments = []struct {
 		}
 	}, "throughput timelines ΔA3=5 vs 12 [live sim]"},
 	{"fig8", func(c *ctx) {
-		res, err := experiment.Fig8(c.seed, 3)
+		res, err := experiment.Fig8(c.ctx, c.seed, 3, c.workers)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -171,15 +178,15 @@ var experiments = []struct {
 		fmt.Printf("decisive report→handoff latency (ms): %s\n", analysis.DecisiveLatency(c.needD1()))
 	}, "80–230 ms decisive-report latency [D1]"},
 	{"ablate", func(c *ctx) {
-		ttt, err := experiment.AblateTTT(c.seed)
+		ttt, err := experiment.AblateTTT(c.ctx, c.seed, c.workers)
 		if err != nil {
 			log.Fatal(err)
 		}
-		hyst, err := experiment.AblateHysteresis(c.seed)
+		hyst, err := experiment.AblateHysteresis(c.ctx, c.seed, c.workers)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fk, err := experiment.AblateFilterK(c.seed)
+		fk, err := experiment.AblateFilterK(c.ctx, c.seed, c.workers)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -187,7 +194,7 @@ var experiments = []struct {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ss, err := experiment.AblateSpeedScaling(c.seed)
+		ss, err := experiment.AblateSpeedScaling(c.ctx, c.seed, c.workers)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -209,15 +216,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
 	var (
-		exp    = flag.String("exp", "", "experiment id (table2..fig22, latency, ablate, all)")
-		d1Path = flag.String("d1", "", "D1 JSONL path")
-		d2Path = flag.String("d2", "", "D2 JSONL path")
-		gen    = flag.Bool("gen", false, "build missing datasets in memory")
-		scale  = flag.Float64("scale", 0.05, "generation scale with -gen")
-		seed   = flag.Int64("seed", 7, "seed for live-simulation experiments")
+		exp     = flag.String("exp", "", "experiment id (table2..fig22, latency, ablate, all)")
+		d1Path  = flag.String("d1", "", "D1 JSONL path")
+		d2Path  = flag.String("d2", "", "D2 JSONL path")
+		gen     = flag.Bool("gen", false, "build missing datasets in memory")
+		scale   = flag.Float64("scale", 0.05, "generation scale with -gen")
+		seed    = flag.Int64("seed", 7, "seed for live-simulation experiments")
+		workers = flag.Int("workers", runtime.NumCPU(), "parallel simulation workers (output is identical for any value)")
 	)
 	flag.Parse()
-	c := &ctx{seed: *seed, scale: *scale, gen: *gen, d1Path: *d1Path, d2Path: *d2Path}
+	bg, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	c := &ctx{ctx: bg, seed: *seed, scale: *scale, gen: *gen, workers: *workers, d1Path: *d1Path, d2Path: *d2Path}
 
 	if *exp == "" || *exp == "list" {
 		fmt.Println("experiments:")

@@ -5,17 +5,25 @@
 //
 // Usage:
 //
-//	genfleet [-scale 1.0] [-seed 42] [-carrier A] [-o d2.jsonl]
+//	genfleet [-scale 1.0] [-seed 42] [-carrier A] [-workers N] [-o d2.jsonl]
 //
 // Scale 1.0 reproduces the paper's footprint (32k cells, 30 carriers);
-// -carrier restricts to one carrier.
+// -carrier restricts to one carrier. Per-carrier crawl seeds derive from
+// the carrier acronym, so a -carrier run is byte-identical to that
+// carrier's slice of the full run. Crawls execute on -workers parallel
+// workers (default: all CPUs) without changing the output. Ctrl-C
+// cancels the crawl and removes the partial output file.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"runtime"
 
 	"mmlab/internal/carrier"
 	"mmlab/internal/crawler"
@@ -29,46 +37,52 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "fraction of the paper's 32k-cell footprint")
 		seed    = flag.Int64("seed", 42, "crawl seed")
 		oneCarr = flag.String("carrier", "", "restrict to one carrier acronym (default: all 30)")
+		workers = flag.Int("workers", runtime.NumCPU(), "parallel crawl workers (output is identical for any value)")
 		out     = flag.String("o", "d2.jsonl", "output path")
 		format  = flag.String("format", "jsonl", "output format: jsonl or csv")
 	)
 	flag.Parse()
 
-	var (
-		d2  *dataset.D2
-		err error
-	)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// The -carrier flag only narrows the carrier list; the crawl path is
+	// the same either way.
+	var acrs []string
 	if *oneCarr != "" {
-		f, ferr := carrier.BuildFleet(*oneCarr, *scale)
-		if ferr != nil {
-			log.Fatal(ferr)
-		}
-		snaps, berr := crawler.BuildD2(f, *seed)
-		if berr != nil {
-			log.Fatal(berr)
-		}
-		d2 = &dataset.D2{Snapshots: snaps}
+		acrs = []string{*oneCarr}
 	} else {
-		d2, err = crawler.BuildGlobalD2(*scale, *seed)
-		if err != nil {
-			log.Fatal(err)
+		for _, c := range carrier.All() {
+			acrs = append(acrs, c.Acronym)
 		}
+	}
+	d2, err := crawler.BuildD2Carriers(ctx, acrs, *scale, *seed, *workers)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Fatal("interrupted; no output written")
+		}
+		log.Fatal(err)
 	}
 
 	fh, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer fh.Close()
 	switch *format {
 	case "jsonl":
 		err = dataset.WriteD2(fh, d2.Snapshots)
 	case "csv":
 		err = dataset.WriteD2CSV(fh, d2.Snapshots)
 	default:
+		fh.Close()
+		os.Remove(*out)
 		log.Fatalf("unknown format %q", *format)
 	}
+	if cerr := fh.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
+		os.Remove(*out)
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s: %d snapshots, %d unique cells, %d parameter samples, %d carriers\n",

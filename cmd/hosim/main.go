@@ -5,18 +5,24 @@
 //
 // Usage:
 //
-//	hosim [-scale 1.0] [-seed 7] [-o d1.jsonl]
+//	hosim [-scale 1.0] [-seed 7] [-workers N] [-o d1.jsonl]
 //
 // Scale 1.0 reproduces the paper's dataset size (14,510 active + 4,263
 // idle handoffs) and takes several minutes; use -scale 0.05 for a quick
-// run.
+// run. Drive runs execute on -workers parallel workers (default: all
+// CPUs); the dataset is byte-identical for every worker count. Ctrl-C
+// cancels the campaign and removes the partial output file.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"runtime"
 
 	"mmlab/internal/dataset"
 	"mmlab/internal/experiment"
@@ -26,31 +32,43 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hosim: ")
 	var (
-		scale  = flag.Float64("scale", 1.0, "fraction of the paper's 18.7k-handoff campaign")
-		seed   = flag.Int64("seed", 7, "campaign seed")
-		out    = flag.String("o", "d1.jsonl", "output path")
-		format = flag.String("format", "jsonl", "output format: jsonl or csv")
+		scale   = flag.Float64("scale", 1.0, "fraction of the paper's 18.7k-handoff campaign")
+		seed    = flag.Int64("seed", 7, "campaign seed")
+		workers = flag.Int("workers", runtime.NumCPU(), "parallel drive workers (output is identical for any value)")
+		out     = flag.String("o", "d1.jsonl", "output path")
+		format  = flag.String("format", "jsonl", "output format: jsonl or csv")
 	)
 	flag.Parse()
 
-	d1, err := experiment.BuildD1(experiment.D1Options{Scale: *scale, Seed: *seed})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	d1, err := experiment.BuildD1(ctx, experiment.D1Options{Scale: *scale, Seed: *seed, Workers: *workers})
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Fatal("interrupted; no output written")
+		}
 		log.Fatal(err)
 	}
 	fh, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer fh.Close()
 	switch *format {
 	case "jsonl":
 		err = dataset.WriteD1(fh, d1.Records)
 	case "csv":
 		err = dataset.WriteD1CSV(fh, d1.Records)
 	default:
+		fh.Close()
+		os.Remove(*out)
 		log.Fatalf("unknown format %q", *format)
 	}
+	if cerr := fh.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
+		os.Remove(*out)
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s: %d handoff instances (%d active, %d idle)\n",

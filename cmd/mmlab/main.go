@@ -4,7 +4,7 @@
 //
 // Subcommands:
 //
-//	mmlab collect -carrier A [-scale 0.1] [-seed 42] -o diag.bin
+//	mmlab collect -carrier A [-scale 0.1] [-seed 42] [-workers N] -o diag.bin
 //	    Simulate Type-I collection over a carrier fleet (proactive cell
 //	    switching across every deployed cell) and write the raw diag
 //	    byte stream.
@@ -21,10 +21,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"runtime"
 
 	"mmlab/internal/carrier"
 	"mmlab/internal/config"
@@ -58,12 +61,15 @@ func usage() {
 func collect(args []string) {
 	fs := flag.NewFlagSet("collect", flag.ExitOnError)
 	var (
-		acr   = fs.String("carrier", "A", "carrier acronym")
-		scale = fs.Float64("scale", 0.1, "fleet scale")
-		seed  = fs.Int64("seed", 42, "crawl seed")
-		out   = fs.String("o", "diag.bin", "output diag log")
+		acr     = fs.String("carrier", "A", "carrier acronym")
+		scale   = fs.Float64("scale", 0.1, "fleet scale")
+		seed    = fs.Int64("seed", 42, "crawl seed")
+		out     = fs.String("o", "diag.bin", "output diag log")
+		workers = fs.Int("workers", runtime.NumCPU(), "parallel crawl workers (output is identical for any value)")
 	)
 	fs.Parse(args)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	f, err := carrier.BuildFleet(*acr, *scale)
 	if err != nil {
 		log.Fatal(err)
@@ -72,9 +78,12 @@ func collect(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer fh.Close()
-	n, err := crawler.CrawlFleet(f, fh, *seed)
+	n, err := crawler.CrawlFleet(ctx, f, fh, *seed, *workers)
+	if cerr := fh.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
+		os.Remove(*out)
 		log.Fatal(err)
 	}
 	fmt.Printf("crawled %d cells of %s in %d visits → %s\n", len(f.Sites), *acr, n, *out)

@@ -1,0 +1,61 @@
+package mmlab
+
+// Determinism-under-parallelism tests: the internal/sim contract is that
+// the worker count changes only the wall-clock, never the output. These
+// tests pin that contract at the dataset-serialization level — the bytes
+// a user would diff.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"mmlab/internal/crawler"
+	"mmlab/internal/dataset"
+	"mmlab/internal/experiment"
+)
+
+// TestD1DeterministicAcrossWorkers: the full D1 campaign serializes
+// byte-identically at workers=1 and workers=8.
+func TestD1DeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign")
+	}
+	build := func(workers int) []byte {
+		d1, err := experiment.BuildD1(context.Background(), experiment.D1Options{
+			Scale: 0.004, Seed: 2, Cities: []string{"C3"}, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := dataset.WriteD1(&buf, d1.Records); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial, parallel := build(1), build(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("D1 differs across worker counts: %d vs %d bytes", len(serial), len(parallel))
+	}
+}
+
+// TestD2DeterministicAcrossWorkers: a multi-carrier crawl serializes
+// byte-identically at workers=1 and workers=8.
+func TestD2DeterministicAcrossWorkers(t *testing.T) {
+	build := func(workers int) []byte {
+		d2, err := crawler.BuildD2Carriers(context.Background(), []string{"A", "SK"}, 0.01, 3, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := dataset.WriteD2(&buf, d2.Snapshots); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial, parallel := build(1), build(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("D2 differs across worker counts: %d vs %d bytes", len(serial), len(parallel))
+	}
+}

@@ -11,6 +11,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -44,7 +45,7 @@ func main() {
 	}
 	// Crawl over the wire, then audit only what the device saw.
 	var buf bytes.Buffer
-	if _, err := crawler.CrawlFleet(fleet, &buf, *seed); err != nil {
+	if _, err := crawler.CrawlFleet(context.Background(), fleet, &buf, *seed, 0); err != nil {
 		log.Fatal(err)
 	}
 	snaps, _, err := crawler.ParseDiag(&buf)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,7 +20,7 @@ func main() {
 	seed := flag.Int64("seed", 3, "simulation seed")
 	flag.Parse()
 
-	series, err := experiment.Fig7(*seed)
+	series, err := experiment.Fig7(context.Background(), *seed, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

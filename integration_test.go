@@ -6,6 +6,7 @@ package mmlab
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"sort"
 	"testing"
@@ -34,7 +35,7 @@ func TestHonestPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if _, err := crawler.CrawlFleet(fleet, &buf, 9); err != nil {
+	if _, err := crawler.CrawlFleet(context.Background(), fleet, &buf, 9, 0); err != nil {
 		t.Fatal(err)
 	}
 	snaps, _, err := crawler.ParseDiag(&buf)
@@ -85,11 +86,11 @@ func sortedFreqs(fs []config.FreqRelation) []config.FreqRelation {
 // TestGlobalD2Deterministic: two global builds with the same seed are
 // byte-identical through serialization.
 func TestGlobalD2Deterministic(t *testing.T) {
-	a, err := crawler.BuildGlobalD2(0.005, 3)
+	a, err := crawler.BuildGlobalD2(context.Background(), 0.005, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := crawler.BuildGlobalD2(0.005, 3)
+	b, err := crawler.BuildGlobalD2(context.Background(), 0.005, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestDatasetSerializationFidelity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	snaps, err := crawler.BuildD2(fleet, 5)
+	snaps, err := crawler.BuildD2(context.Background(), fleet, 5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestD1CampaignRenderable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign")
 	}
-	d1, err := experiment.BuildD1(experiment.D1Options{Scale: 0.005, Seed: 2, Cities: []string{"C3"}})
+	d1, err := experiment.BuildD1(context.Background(), experiment.D1Options{Scale: 0.005, Seed: 2, Cities: []string{"C3"}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,11 +2,13 @@ package crawler
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 
 	"mmlab/internal/carrier"
 	"mmlab/internal/config"
+	"mmlab/internal/dataset"
 	"mmlab/internal/geo"
 	"mmlab/internal/mobility"
 	"mmlab/internal/netsim"
@@ -179,7 +181,7 @@ func TestCrawlFleetAndBuildD2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	snaps, err := BuildD2(f, 77)
+	snaps, err := BuildD2(context.Background(), f, 77, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,11 +218,12 @@ func TestCrawlFleetAndBuildD2(t *testing.T) {
 
 func TestBuildD2Deterministic(t *testing.T) {
 	f, _ := carrier.BuildFleet("SK", 0.01)
-	a, err := BuildD2(f, 5)
+	ctx := context.Background()
+	a, err := BuildD2(ctx, f, 5, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := BuildD2(f, 5)
+	b, err := BuildD2(ctx, f, 5, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,6 +233,52 @@ func TestBuildD2Deterministic(t *testing.T) {
 	for i := range a {
 		if a[i].CellID != b[i].CellID || a[i].TimeMs != b[i].TimeMs {
 			t.Fatal("crawl not deterministic")
+		}
+	}
+}
+
+func TestCrawlFleetDeterministicAcrossWorkers(t *testing.T) {
+	f, err := carrier.BuildFleet("SK", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crawl := func(workers int) []byte {
+		var buf bytes.Buffer
+		if _, err := CrawlFleet(context.Background(), f, &buf, 9, workers); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(crawl(1), crawl(8)) {
+		t.Fatal("diag stream differs across worker counts")
+	}
+}
+
+func TestBuildD2CarriersSingleMatchesGlobalSlice(t *testing.T) {
+	// A single-carrier build must equal that carrier's slice of a
+	// multi-carrier build: per-carrier seeds hang off the acronym, not the
+	// carrier's position in the list.
+	ctx := context.Background()
+	both, err := BuildD2Carriers(ctx, []string{"A", "SK"}, 0.01, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	only, err := BuildD2Carriers(ctx, []string{"SK"}, 0.01, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slice []dataset.D2Snapshot
+	for _, s := range both.Snapshots {
+		if s.Carrier == "SK" {
+			slice = append(slice, s)
+		}
+	}
+	if len(slice) == 0 || len(slice) != len(only.Snapshots) {
+		t.Fatalf("slice %d vs single build %d snapshots", len(slice), len(only.Snapshots))
+	}
+	for i := range slice {
+		if slice[i].CellID != only.Snapshots[i].CellID || slice[i].TimeMs != only.Snapshots[i].TimeMs {
+			t.Fatal("single-carrier build diverges from global slice")
 		}
 	}
 }

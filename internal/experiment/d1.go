@@ -2,10 +2,12 @@
 // simulator: the drive campaigns that build dataset D1 (§4: active-state
 // 4G→4G handoffs with speedtest / constant-rate iPerf / ping, plus
 // idle-state drives), the configuration sweeps behind Figs. 7–8, and the
-// ablation runs of DESIGN.md §4.
+// ablation runs of DESIGN.md §4. Every campaign runs on the internal/sim
+// runtime, so output is byte-identical for any worker count.
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"mmlab/internal/carrier"
@@ -13,6 +15,7 @@ import (
 	"mmlab/internal/dataset"
 	"mmlab/internal/geo"
 	"mmlab/internal/netsim"
+	"mmlab/internal/sim"
 	"mmlab/internal/traffic"
 )
 
@@ -25,6 +28,12 @@ type D1Options struct {
 	// Cities defaults to the paper's three test cities mapped onto our
 	// region codes: Chicago (C1), Indianapolis (C3), Lafayette (C5).
 	Cities []string
+	// Workers bounds the drive-run worker pool (<= 0: runtime.NumCPU()).
+	// The worker count never changes the dataset, only the wall-clock.
+	Workers int
+	// Progress, if set, is called as records accumulate with the running
+	// record count and the campaign's total quota.
+	Progress func(done, total int)
 }
 
 func (o *D1Options) fill() {
@@ -108,68 +117,124 @@ func convert(h netsim.HandoffRecord, carrierAcr, city string) dataset.D1Record {
 	return rec
 }
 
-// campaign runs drives for one carrier until quota handoffs accumulate.
-func campaign(acr string, cities []string, quota int, active bool, seed int64) ([]dataset.D1Record, error) {
+// driveRun performs one campaign drive and returns its (filtered) D1
+// rows. Seeds are attached to the run index, never to execution order,
+// so runs may execute in parallel and still merge deterministically.
+func driveRun(gen *carrier.Generator, acr string, cities []string, run int, active bool, seed int64) []dataset.D1Record {
+	city := cities[run%len(cities)]
+	wopts := netsim.WorldOpts{
+		Seed:      seed + int64(run)*101,
+		City:      city,
+		LTELayers: 3,
+	}
+	if !active {
+		wopts.IncludeNonLTE = true
+	}
+	w := netsim.BuildWorld(gen, driveRegion, wopts)
+	lane := float64((run%5)-2) * 120
+	route := netsim.RowRoute(w, speedFor(run), lane)
+	opts := netsim.UEOpts{Seed: seed*7 + int64(run), Active: active}
+	if active {
+		opts.App = appFor(run)
+	}
+	res := netsim.RunDrive(w, route, route.Duration(), opts)
+	var out []dataset.D1Record
+	for _, h := range res.Handoffs {
+		if active && (h.From.RAT != config.RATLTE || h.To.RAT != config.RATLTE) {
+			continue // D1 keeps 4G→4G active handoffs only (§4)
+		}
+		out = append(out, convert(h, acr, city))
+	}
+	return out
+}
+
+// maxCampaignRuns bounds a quota campaign that never fills.
+const maxCampaignRuns = 4000
+
+// campaign runs drives for one carrier until quota handoffs accumulate,
+// fanning the runs over the sim worker pool and merging results in run
+// order; progress (optional) observes the running record count.
+func campaign(ctx context.Context, acr string, cities []string, quota int, active bool, seed int64, workers int, progress func(n int)) ([]dataset.D1Record, error) {
 	gen, err := carrier.NewGenerator(acr)
 	if err != nil {
 		return nil, err
 	}
-	var out []dataset.D1Record
-	for run := 0; len(out) < quota && run < 4000; run++ {
-		city := cities[run%len(cities)]
-		wopts := netsim.WorldOpts{
-			Seed:      seed + int64(run)*101,
-			City:      city,
-			LTELayers: 3,
-		}
-		if !active {
-			wopts.IncludeNonLTE = true
-		}
-		w := netsim.BuildWorld(gen, driveRegion, wopts)
-		lane := float64((run%5)-2) * 120
-		route := netsim.RowRoute(w, speedFor(run), lane)
-		opts := netsim.UEOpts{Seed: seed*7 + int64(run), Active: active}
-		if active {
-			opts.App = appFor(run)
-		}
-		res := netsim.RunDrive(w, route, route.Duration(), opts)
-		for _, h := range res.Handoffs {
-			if active && (h.From.RAT != config.RATLTE || h.To.RAT != config.RATLTE) {
-				continue // D1 keeps 4G→4G active handoffs only (§4)
+	out := make([]dataset.D1Record, 0, quota)
+	err = sim.Collect(ctx, sim.Options{Workers: workers},
+		func(run int) (func(context.Context) ([]dataset.D1Record, error), bool) {
+			if run >= maxCampaignRuns {
+				return nil, false
 			}
-			out = append(out, convert(h, acr, city))
+			return func(context.Context) ([]dataset.D1Record, error) {
+				return driveRun(gen, acr, cities, run, active, seed), nil
+			}, true
+		},
+		func(_ int, recs []dataset.D1Record) error {
+			out = append(out, recs...)
 			if len(out) >= quota {
-				break
+				out = out[:quota]
+				if progress != nil {
+					progress(len(out))
+				}
+				return sim.ErrStop
 			}
-		}
+			if progress != nil {
+				progress(len(out))
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// BuildD1 runs the full Type-II campaign and returns the dataset.
-func BuildD1(opts D1Options) (*dataset.D1, error) {
+// BuildD1 runs the full Type-II campaign and returns the dataset. The
+// drive runs execute on the sim runtime; the dataset is identical for
+// every opts.Workers value.
+func BuildD1(ctx context.Context, opts D1Options) (*dataset.D1, error) {
 	opts.fill()
-	d := &dataset.D1{}
+
+	type camp struct {
+		acr    string
+		quota  int
+		active bool
+		seed   int64
+	}
+	var camps []camp
+	total := 0
 	for _, acr := range []string{"A", "T", "V", "S"} {
 		quotaA := int(float64(PaperActiveHandoffs) * opts.Scale * activeShare[acr])
 		if quotaA < 10 {
 			quotaA = 10
 		}
-		recs, err := campaign(acr, opts.Cities, quotaA, true, opts.Seed+int64(len(acr)))
-		if err != nil {
-			return nil, fmt.Errorf("experiment: active campaign %s: %w", acr, err)
-		}
-		d.Records = append(d.Records, recs...)
-
 		quotaI := int(float64(PaperIdleHandoffs) * opts.Scale * idleShare[acr])
 		if quotaI < 10 {
 			quotaI = 10
 		}
-		recs, err = campaign(acr, opts.Cities, quotaI, false, opts.Seed+1000+int64(len(acr)))
+		camps = append(camps,
+			camp{acr, quotaA, true, opts.Seed + int64(len(acr))},
+			camp{acr, quotaI, false, opts.Seed + 1000 + int64(len(acr))})
+		total += quotaA + quotaI
+	}
+
+	d := &dataset.D1{}
+	done := 0
+	for _, c := range camps {
+		var progress func(int)
+		if opts.Progress != nil {
+			progress = func(n int) { opts.Progress(done+n, total) }
+		}
+		kind := "idle"
+		if c.active {
+			kind = "active"
+		}
+		recs, err := campaign(ctx, c.acr, opts.Cities, c.quota, c.active, c.seed, opts.Workers, progress)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: idle campaign %s: %w", acr, err)
+			return nil, fmt.Errorf("experiment: %s campaign %s: %w", kind, c.acr, err)
 		}
 		d.Records = append(d.Records, recs...)
+		done += len(recs)
 	}
 	return d, nil
 }

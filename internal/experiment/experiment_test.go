@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 
 	"mmlab/internal/analysis"
@@ -11,7 +12,7 @@ func TestBuildD1SmallScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("drive campaign")
 	}
-	d1, err := BuildD1(D1Options{Scale: 0.01, Seed: 7, Cities: []string{"C3"}})
+	d1, err := BuildD1(context.Background(), D1Options{Scale: 0.01, Seed: 7, Cities: []string{"C3"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestFig7Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("drive runs")
 	}
-	series, err := Fig7(3)
+	series, err := Fig7(context.Background(), 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestFig8OrderingShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("drive sweeps")
 	}
-	res, err := Fig8(5, 2)
+	res, err := Fig8(context.Background(), 5, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,21 +149,21 @@ func TestAblations(t *testing.T) {
 	if testing.Short() {
 		t.Skip("drive runs")
 	}
-	ttt, err := AblateTTT(11)
+	ttt, err := AblateTTT(context.Background(), 11, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ttt[0].Handoffs <= ttt[1].Handoffs {
 		t.Errorf("TTT=0 handoffs %d should exceed TTT=320 %d", ttt[0].Handoffs, ttt[1].Handoffs)
 	}
-	hyst, err := AblateHysteresis(11)
+	hyst, err := AblateHysteresis(context.Background(), 11, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if hyst[0].Handoffs < hyst[1].Handoffs {
 		t.Errorf("H=0 handoffs %d should be >= H=2.5 %d", hyst[0].Handoffs, hyst[1].Handoffs)
 	}
-	fk, err := AblateFilterK(11)
+	fk, err := AblateFilterK(context.Background(), 11, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestAblateSpeedScaling(t *testing.T) {
 	if testing.Short() {
 		t.Skip("drive runs")
 	}
-	res, err := AblateSpeedScaling(11)
+	res, err := AblateSpeedScaling(context.Background(), 11, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"mmlab/internal/config"
 	"mmlab/internal/netsim"
+	"mmlab/internal/sim"
 	"mmlab/internal/stats"
 	"mmlab/internal/traffic"
 )
@@ -23,61 +25,74 @@ type Fig7Series struct {
 	A3Handoffs   int
 }
 
+// fig7Run drives one offset's timeline. Both offsets share the world and
+// UE seeds, so the two series differ only in the configured ΔA3.
+func fig7Run(off float64, seed int64) (Fig7Series, error) {
+	w, err := worldFor("T", seed)
+	if err != nil {
+		return Fig7Series{}, err
+	}
+	netsim.OverridePrimaryEvent(w, config.EventConfig{
+		Type: config.EventA3, Quantity: config.RSRP, Offset: off, Hysteresis: 1,
+		TimeToTriggerMs: 320, ReportIntervalMs: 240, MaxReportCells: 4,
+	})
+	route := netsim.RowRoute(w, 50, 40)
+	res := netsim.RunDrive(w, route, route.Duration(), netsim.UEOpts{
+		Seed: seed * 13, Active: true, App: traffic.Speedtest{},
+	})
+	s := Fig7Series{OffsetDB: off}
+	sum := 0.0
+	for _, h := range res.Handoffs {
+		if h.Event != config.EventA3 {
+			continue
+		}
+		if s.A3Handoffs == 0 {
+			s.ReportTime = h.ReportTime
+			s.HandoffTime = h.Time
+			s.HandoffGapMs = h.Time - h.ReportTime
+		}
+		s.A3Handoffs++
+		if h.MinThptBefore >= 0 {
+			sum += h.MinThptBefore
+		}
+	}
+	if s.A3Handoffs > 0 {
+		s.MinThptBps = sum / float64(s.A3Handoffs)
+	}
+	// Window: 25 s before the report to 15 s after (the paper aligns
+	// the report at t = 25 s of a 40 s window).
+	lo := s.ReportTime - 25000
+	hi := s.ReportTime + 15000
+	for _, b := range res.Thpt {
+		if b.Time >= lo && b.Time < hi {
+			s.Bins100ms = append(s.Bins100ms, b.Bps)
+		}
+	}
+	for j := 0; j+10 <= len(s.Bins100ms); j += 10 {
+		sum := 0.0
+		for k := 0; k < 10; k++ {
+			sum += s.Bins100ms[j+k]
+		}
+		s.Bins1s = append(s.Bins1s, sum/10)
+	}
+	s.AlignMs = 25000
+	return s, nil
+}
+
 // Fig7 reproduces the two-timeline experiment: identical route and world,
 // ΔA3 = 5 dB vs 12 dB, throughput traced in 1 s and 100 ms bins (§4.1).
-func Fig7(seed int64) ([2]Fig7Series, error) {
+// The two drives run as parallel sim jobs.
+func Fig7(ctx context.Context, seed int64, workers int) ([2]Fig7Series, error) {
+	offsets := []float64{5, 12}
 	var out [2]Fig7Series
-	for i, off := range []float64{5, 12} {
-		w, err := worldFor("T", seed)
-		if err != nil {
-			return out, err
-		}
-		netsim.OverridePrimaryEvent(w, config.EventConfig{
-			Type: config.EventA3, Quantity: config.RSRP, Offset: off, Hysteresis: 1,
-			TimeToTriggerMs: 320, ReportIntervalMs: 240, MaxReportCells: 4,
+	series, err := sim.Run(ctx, sim.Options{Workers: workers}, len(offsets),
+		func(_ context.Context, i int) (Fig7Series, error) {
+			return fig7Run(offsets[i], seed)
 		})
-		route := netsim.RowRoute(w, 50, 40)
-		res := netsim.RunDrive(w, route, route.Duration(), netsim.UEOpts{
-			Seed: seed * 13, Active: true, App: traffic.Speedtest{},
-		})
-		s := Fig7Series{OffsetDB: off}
-		sum := 0.0
-		for _, h := range res.Handoffs {
-			if h.Event != config.EventA3 {
-				continue
-			}
-			if s.A3Handoffs == 0 {
-				s.ReportTime = h.ReportTime
-				s.HandoffTime = h.Time
-				s.HandoffGapMs = h.Time - h.ReportTime
-			}
-			s.A3Handoffs++
-			if h.MinThptBefore >= 0 {
-				sum += h.MinThptBefore
-			}
-		}
-		if s.A3Handoffs > 0 {
-			s.MinThptBps = sum / float64(s.A3Handoffs)
-		}
-		// Window: 25 s before the report to 15 s after (the paper aligns
-		// the report at t = 25 s of a 40 s window).
-		lo := s.ReportTime - 25000
-		hi := s.ReportTime + 15000
-		for _, b := range res.Thpt {
-			if b.Time >= lo && b.Time < hi {
-				s.Bins100ms = append(s.Bins100ms, b.Bps)
-			}
-		}
-		for j := 0; j+10 <= len(s.Bins100ms); j += 10 {
-			sum := 0.0
-			for k := 0; k < 10; k++ {
-				sum += s.Bins100ms[j+k]
-			}
-			s.Bins1s = append(s.Bins1s, sum/10)
-		}
-		s.AlignMs = 25000
-		out[i] = s
+	if err != nil {
+		return out, err
 	}
+	copy(out[:], series)
 	return out, nil
 }
 
@@ -126,35 +141,57 @@ type Fig8Result struct {
 	MinThpt  stats.Boxplot // bps, min pre-report throughput per handoff
 }
 
+// fig8Run drives one (case, run) pair and reports its handoff count and
+// min-throughput samples.
+type fig8Run struct {
+	mins []float64
+	n    int
+}
+
 // Fig8 sweeps the labeled configurations over identical drive scenarios.
-// runs controls how many (world, route) pairs each case sees.
-func Fig8(seed int64, runs int) ([]Fig8Result, error) {
+// runs controls how many (world, route) pairs each case sees; the
+// cases × runs grid executes as one flat sim campaign, merged in
+// (case, run) order.
+func Fig8(ctx context.Context, seed int64, runs, workers int) ([]Fig8Result, error) {
 	if runs <= 0 {
 		runs = 3
 	}
-	var out []Fig8Result
-	for _, cs := range Fig8Cases() {
-		var mins []float64
-		n := 0
-		for r := 0; r < runs; r++ {
+	cases := Fig8Cases()
+	grid, err := sim.Run(ctx, sim.Options{Workers: workers}, len(cases)*runs,
+		func(_ context.Context, i int) (fig8Run, error) {
+			cs, r := cases[i/runs], i%runs
 			w, err := worldFor(cs.Carrier, seed+int64(r)*271)
 			if err != nil {
-				return nil, err
+				return fig8Run{}, err
 			}
 			netsim.OverridePrimaryEvent(w, cs.Event)
 			route := netsim.RowRoute(w, 50, 40)
 			res := netsim.RunDrive(w, route, route.Duration(), netsim.UEOpts{
 				Seed: seed*11 + int64(r), Active: true, App: traffic.Speedtest{},
 			})
+			var out fig8Run
 			for _, h := range res.Handoffs {
 				if h.Event != cs.Event.Type {
 					continue
 				}
-				n++
+				out.n++
 				if h.MinThptBefore >= 0 {
-					mins = append(mins, h.MinThptBefore)
+					out.mins = append(out.mins, h.MinThptBefore)
 				}
 			}
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig8Result
+	for ci, cs := range cases {
+		var mins []float64
+		n := 0
+		for r := 0; r < runs; r++ {
+			g := grid[ci*runs+r]
+			n += g.n
+			mins = append(mins, g.mins...)
 		}
 		out = append(out, Fig8Result{Case: cs, Handoffs: n, MinThpt: stats.NewBoxplot(mins)})
 	}
@@ -192,62 +229,60 @@ func ablationRun(label string, seed int64, mutate func(*netsim.World)) (Ablation
 	return r, nil
 }
 
-// AblateTTT compares TimeToTrigger = 0 against 320 ms (DESIGN.md §4:
-// removing TTT inflates ping-pong handoffs).
-func AblateTTT(seed int64) ([2]AblationResult, error) {
+// ablatePair runs the two variants of one design knob as parallel sim
+// jobs and returns them in variant order.
+func ablatePair(ctx context.Context, workers int, run func(i int) (AblationResult, error)) ([2]AblationResult, error) {
 	var out [2]AblationResult
-	for i, ttt := range []int{0, 320} {
-		ev := config.EventConfig{Type: config.EventA3, Quantity: config.RSRP,
-			Offset: 3, Hysteresis: 1, TimeToTriggerMs: ttt,
-			ReportIntervalMs: 240, MaxReportCells: 4}
-		r, err := ablationRun(fmt.Sprintf("TTT=%dms", ttt), seed, func(w *netsim.World) {
-			netsim.OverridePrimaryEvent(w, ev)
-		})
-		if err != nil {
-			return out, err
-		}
-		out[i] = r
+	res, err := sim.Run(ctx, sim.Options{Workers: workers}, 2,
+		func(_ context.Context, i int) (AblationResult, error) { return run(i) })
+	if err != nil {
+		return out, err
 	}
+	copy(out[:], res)
 	return out, nil
 }
 
-// AblateHysteresis compares HA3 = 0 against 2.5 dB.
-func AblateHysteresis(seed int64) ([2]AblationResult, error) {
-	var out [2]AblationResult
-	for i, h := range []float64{0, 2.5} {
+// AblateTTT compares TimeToTrigger = 0 against 320 ms (DESIGN.md §4:
+// removing TTT inflates ping-pong handoffs).
+func AblateTTT(ctx context.Context, seed int64, workers int) ([2]AblationResult, error) {
+	ttts := []int{0, 320}
+	return ablatePair(ctx, workers, func(i int) (AblationResult, error) {
 		ev := config.EventConfig{Type: config.EventA3, Quantity: config.RSRP,
-			Offset: 3, Hysteresis: h, TimeToTriggerMs: 0,
+			Offset: 3, Hysteresis: 1, TimeToTriggerMs: ttts[i],
 			ReportIntervalMs: 240, MaxReportCells: 4}
-		r, err := ablationRun(fmt.Sprintf("HA3=%.1fdB", h), seed, func(w *netsim.World) {
+		return ablationRun(fmt.Sprintf("TTT=%dms", ttts[i]), seed, func(w *netsim.World) {
 			netsim.OverridePrimaryEvent(w, ev)
 		})
-		if err != nil {
-			return out, err
-		}
-		out[i] = r
-	}
-	return out, nil
+	})
+}
+
+// AblateHysteresis compares HA3 = 0 against 2.5 dB.
+func AblateHysteresis(ctx context.Context, seed int64, workers int) ([2]AblationResult, error) {
+	hs := []float64{0, 2.5}
+	return ablatePair(ctx, workers, func(i int) (AblationResult, error) {
+		ev := config.EventConfig{Type: config.EventA3, Quantity: config.RSRP,
+			Offset: 3, Hysteresis: hs[i], TimeToTriggerMs: 0,
+			ReportIntervalMs: 240, MaxReportCells: 4}
+		return ablationRun(fmt.Sprintf("HA3=%.1fdB", hs[i]), seed, func(w *netsim.World) {
+			netsim.OverridePrimaryEvent(w, ev)
+		})
+	})
 }
 
 // AblateFilterK compares L3 filter coefficients (k = 0 raw vs k = 8
 // heavy smoothing), the "3 dB measurement dynamics" knob.
-func AblateFilterK(seed int64) ([2]AblationResult, error) {
-	var out [2]AblationResult
-	for i, k := range []int{0, 8} {
-		kk := k
-		r, err := ablationRun(fmt.Sprintf("filterK=%d", kk), seed, func(w *netsim.World) {
+func AblateFilterK(ctx context.Context, seed int64, workers int) ([2]AblationResult, error) {
+	ks := []int{0, 8}
+	return ablatePair(ctx, workers, func(i int) (AblationResult, error) {
+		kk := ks[i]
+		return ablationRun(fmt.Sprintf("filterK=%d", kk), seed, func(w *netsim.World) {
 			for _, c := range w.Cells {
 				if c.Config.Meas.Reports != nil {
 					c.Config.Meas.FilterK = kk
 				}
 			}
 		})
-		if err != nil {
-			return out, err
-		}
-		out[i] = r
-	}
-	return out, nil
+	})
 }
 
 // PriorityVsStrongest quantifies finding 2a on the idle side: how many
@@ -275,12 +310,13 @@ func PriorityVsStrongest(seed int64) (weaker, total int, err error) {
 // the TS 36.304 speed-scaling block: a fast mover in high mobility state
 // halves Treselect and sheds hysteresis, so it reselects earlier and rides
 // healthier cells.
-func AblateSpeedScaling(seed int64) ([2]AblationResult, error) {
-	var out [2]AblationResult
-	for i, enabled := range []bool{true, false} {
+func AblateSpeedScaling(ctx context.Context, seed int64, workers int) ([2]AblationResult, error) {
+	variants := []bool{true, false}
+	return ablatePair(ctx, workers, func(i int) (AblationResult, error) {
+		enabled := variants[i]
 		gen, err := carrierGen("A")
 		if err != nil {
-			return out, err
+			return AblationResult{}, err
 		}
 		// Dense small cells: a highway UE crosses borders every ~13 s, so
 		// the mobility-state criteria actually trigger.
@@ -313,9 +349,8 @@ func AblateSpeedScaling(seed int64) ([2]AblationResult, error) {
 		if len(res.Handoffs) > 0 {
 			r.MeanThpt = rsrpOld / float64(len(res.Handoffs)) // mean serving RSRP at reselection (dBm)
 		}
-		out[i] = r
-	}
-	return out, nil
+		return r, nil
+	})
 }
 
 // CrossLayerResult quantifies §6's cross-layer connection: how handoffs

@@ -1,10 +1,12 @@
 package netsim
 
 import (
+	"context"
 	"math"
 
 	"mmlab/internal/geo"
 	"mmlab/internal/mobility"
+	"mmlab/internal/sim"
 )
 
 // RowRoute builds a straight drive route that passes along a row of cell
@@ -37,46 +39,70 @@ type SweepResult struct {
 	RSRPNew   []float64
 }
 
-// RunSweep performs n drive runs with distinct seeds over the given world
-// builder and collects per-handoff statistics; filter (optional) selects
-// which handoffs count.
-func RunSweep(build func(seed int64) *World, move func(w *World) mobility.Model, n int, opts UEOpts, filter func(HandoffRecord) bool) SweepResult {
-	var out SweepResult
-	for i := 0; i < n; i++ {
-		seed := int64(1000 + i*77)
-		w := build(seed)
-		o := opts
-		o.Seed = seed * 31
-		m := move(w)
-		dur := int64(10 * 60 * 1000)
-		if r, ok := m.(*mobility.Route); ok {
-			dur = r.Duration()
-		}
-		res := RunDrive(w, m, dur, o)
-		for _, h := range res.Handoffs {
-			if filter != nil && !filter(h) {
-				continue
-			}
-			out.Handoffs++
-			if h.MinThptBefore >= 0 {
-				out.MinThpts = append(out.MinThpts, h.MinThptBefore)
-			}
-			out.DeltaRSRP = append(out.DeltaRSRP, h.RSRPNew-h.RSRPOld)
-			out.RSRPOld = append(out.RSRPOld, h.RSRPOld)
-			out.RSRPNew = append(out.RSRPNew, h.RSRPNew)
-		}
+// add records one handoff.
+func (s *SweepResult) add(h HandoffRecord) {
+	s.Handoffs++
+	if h.MinThptBefore >= 0 {
+		s.MinThpts = append(s.MinThpts, h.MinThptBefore)
 	}
-	return out
+	s.DeltaRSRP = append(s.DeltaRSRP, h.RSRPNew-h.RSRPOld)
+	s.RSRPOld = append(s.RSRPOld, h.RSRPOld)
+	s.RSRPNew = append(s.RSRPNew, h.RSRPNew)
 }
 
-// Mean returns the mean of xs, or 0 for empty input.
-func Mean(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
+// merge appends another run's statistics.
+func (s *SweepResult) merge(o SweepResult) {
+	s.Handoffs += o.Handoffs
+	s.MinThpts = append(s.MinThpts, o.MinThpts...)
+	s.DeltaRSRP = append(s.DeltaRSRP, o.DeltaRSRP...)
+	s.RSRPOld = append(s.RSRPOld, o.RSRPOld...)
+	s.RSRPNew = append(s.RSRPNew, o.RSRPNew...)
+}
+
+// SweepOpts sizes and seeds a sweep.
+type SweepOpts struct {
+	// Runs is how many drive runs the sweep performs.
+	Runs int
+	// BaseSeed seeds the whole sweep. Run i builds its world with
+	// sim.DeriveSeed(BaseSeed, 2i) and its UE with
+	// sim.DeriveSeed(BaseSeed, 2i+1), so per-run seeds stay attached to
+	// the run index and the sweep reproduces under any worker count.
+	BaseSeed int64
+	// Workers bounds the worker pool (<= 0: runtime.NumCPU()).
+	Workers int
+}
+
+// RunSweep performs drive runs with per-run derived seeds over the given
+// world builder and collects per-handoff statistics in run order; filter
+// (optional) selects which handoffs count. Output is byte-identical for
+// any SweepOpts.Workers value.
+func RunSweep(ctx context.Context, build func(seed int64) *World, move func(w *World) mobility.Model, opts SweepOpts, ue UEOpts, filter func(HandoffRecord) bool) (SweepResult, error) {
+	runs, err := sim.Run(ctx, sim.Options{Workers: opts.Workers}, opts.Runs,
+		func(_ context.Context, i int) (SweepResult, error) {
+			w := build(sim.DeriveSeed(opts.BaseSeed, 2*i))
+			o := ue
+			o.Seed = sim.DeriveSeed(opts.BaseSeed, 2*i+1)
+			m := move(w)
+			dur := int64(10 * 60 * 1000)
+			if r, ok := m.(*mobility.Route); ok {
+				dur = r.Duration()
+			}
+			res := RunDrive(w, m, dur, o)
+			var out SweepResult
+			for _, h := range res.Handoffs {
+				if filter != nil && !filter(h) {
+					continue
+				}
+				out.add(h)
+			}
+			return out, nil
+		})
+	if err != nil {
+		return SweepResult{}, err
 	}
-	s := 0.0
-	for _, x := range xs {
-		s += x
+	var total SweepResult
+	for _, r := range runs {
+		total.merge(r)
 	}
-	return s / float64(len(xs))
+	return total, nil
 }

@@ -1,7 +1,9 @@
 package netsim
 
 import (
+	"context"
 	"math"
+	"reflect"
 	"testing"
 
 	"mmlab/internal/carrier"
@@ -44,7 +46,11 @@ func TestRunSweepAggregates(t *testing.T) {
 		return BuildWorld(g, region, WorldOpts{Seed: seed, LTELayers: 1})
 	}
 	move := func(w *World) mobility.Model { return RowRoute(w, 50, 40) }
-	sweep := RunSweep(build, move, 2, UEOpts{Active: true, App: traffic.Speedtest{}}, nil)
+	ctx := context.Background()
+	sweep, err := RunSweep(ctx, build, move, SweepOpts{Runs: 2, BaseSeed: 1000}, UEOpts{Active: true, App: traffic.Speedtest{}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if sweep.Handoffs == 0 {
 		t.Fatal("sweep produced no handoffs")
 	}
@@ -61,18 +67,37 @@ func TestRunSweepAggregates(t *testing.T) {
 		t.Error("no throughput records despite traffic app")
 	}
 	// A filter that rejects everything yields an empty sweep.
-	empty := RunSweep(build, move, 1, UEOpts{Active: true}, func(HandoffRecord) bool { return false })
+	empty, err := RunSweep(ctx, build, move, SweepOpts{Runs: 1, BaseSeed: 1000}, UEOpts{Active: true}, func(HandoffRecord) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
 	if empty.Handoffs != 0 {
 		t.Error("filter ignored")
 	}
 }
 
-func TestMeanHelper(t *testing.T) {
-	if Mean(nil) != 0 {
-		t.Error("Mean(nil) should be 0")
+func TestRunSweepDeterministicAcrossWorkers(t *testing.T) {
+	g, err := carrier.NewGenerator("T")
+	if err != nil {
+		t.Fatal(err)
 	}
-	if Mean([]float64{2, 4, 6}) != 4 {
-		t.Error("Mean wrong")
+	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(5000, 3000))
+	build := func(seed int64) *World {
+		return BuildWorld(g, region, WorldOpts{Seed: seed, LTELayers: 1})
+	}
+	move := func(w *World) mobility.Model { return RowRoute(w, 50, 40) }
+	run := func(workers int) SweepResult {
+		s, err := RunSweep(context.Background(), build, move,
+			SweepOpts{Runs: 3, BaseSeed: 7, Workers: workers},
+			UEOpts{Active: true, App: traffic.Speedtest{}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := run(1), run(8)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("sweep differs across worker counts:\n workers=1: %+v\n workers=8: %+v", a, b)
 	}
 }
 

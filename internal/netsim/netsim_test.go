@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"testing"
 
@@ -10,6 +11,7 @@ import (
 	"mmlab/internal/geo"
 	"mmlab/internal/mobility"
 	"mmlab/internal/sib"
+	"mmlab/internal/stats"
 	"mmlab/internal/traffic"
 )
 
@@ -261,10 +263,14 @@ func TestA3OffsetDelaysHandoffAndHurtsThroughput(t *testing.T) {
 			return w
 		}
 		move := func(w *World) mobility.Model { return RowRoute(w, 50, 40) }
-		sweep := RunSweep(build, move, 3, driveOpts(true), func(h HandoffRecord) bool {
-			return h.Event == config.EventA3
-		})
-		return Mean(sweep.MinThpts), len(sweep.MinThpts)
+		sweep, err := RunSweep(context.Background(), build, move,
+			SweepOpts{Runs: 3, BaseSeed: 1000}, driveOpts(true), func(h HandoffRecord) bool {
+				return h.Event == config.EventA3
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Mean(sweep.MinThpts), len(sweep.MinThpts)
 	}
 	lo5, n5 := run(5)
 	lo12, n12 := run(12)

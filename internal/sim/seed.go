@@ -1,0 +1,54 @@
+package sim
+
+// Per-job seed derivation. Campaigns take one base seed; every job
+// derives its own RNG seed from (base, job index) so seeds stay
+// attached to jobs rather than to loop iteration order — the property
+// that makes campaign output independent of the worker count.
+//
+// The derivation is the SplitMix64 finalizer (Steele et al., "Fast
+// Splittable Pseudorandom Number Generators") applied to
+//
+//	base + (idx+1) · 0x9E3779B97F4A7C15
+//
+// i.e. the idx-th increment of a Weyl sequence with the golden-ratio
+// gamma, passed through the avalanche mix. Nearby indices and nearby
+// base seeds therefore yield statistically independent seeds, unlike
+// the affine schemes (base + idx·k) they replace, whose low bits
+// correlate across jobs.
+
+const (
+	splitmixGamma = 0x9E3779B97F4A7C15
+	splitmixMul1  = 0xBF58476D1CE4E5B9
+	splitmixMul2  = 0x94D049BB133111EB
+)
+
+// DeriveSeed derives the RNG seed for job idx of a campaign seeded with
+// base. It is pure: the same (base, idx) always yields the same seed.
+func DeriveSeed(base int64, idx int) int64 {
+	return int64(mix64(uint64(base) + uint64(idx+1)*splitmixGamma))
+}
+
+// DeriveSeedLabel derives a seed from a base seed and a string label
+// (FNV-1a over the label, then the SplitMix64 finalizer). Campaigns
+// keyed by identity rather than position — e.g. the per-carrier D2
+// crawl — use it so one carrier's output does not depend on its place
+// in the carrier list: crawling carrier X alone is byte-identical to
+// carrier X's slice of a global crawl.
+func DeriveSeedLabel(base int64, label string) int64 {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211 // FNV-1a prime
+	}
+	return int64(mix64(uint64(base) + h*splitmixGamma))
+}
+
+// mix64 is the SplitMix64 avalanche finalizer.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= splitmixMul1
+	z ^= z >> 27
+	z *= splitmixMul2
+	z ^= z >> 31
+	return z
+}

@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// jitter makes completion order diverge from dispatch order so the
+// ordering tests actually exercise the merge path.
+func jitter(i int) { time.Sleep(time.Duration((i*31)%7) * time.Millisecond) }
+
+func TestRunOrdersResults(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		out, err := Run(context.Background(), Options{Workers: workers}, 50,
+			func(_ context.Context, i int) (int, error) {
+				jitter(i)
+				return i * i, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 50 {
+			t.Fatalf("workers=%d: got %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	out, err := Run(context.Background(), Options{Workers: 4}, 0,
+		func(context.Context, int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("zero jobs: out=%v err=%v", out, err)
+	}
+}
+
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []int64 {
+		out, err := Run(context.Background(), Options{Workers: workers}, 40,
+			func(_ context.Context, i int) (int64, error) {
+				jitter(i)
+				return DeriveSeed(7, i), nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(1), run(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("results diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunErrorCancelsRun(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int32
+	_, err := Run(context.Background(), Options{Workers: 4}, 1000,
+		func(_ context.Context, i int) (int, error) {
+			started.Add(1)
+			if i == 5 {
+				return 0, boom
+			}
+			jitter(i)
+			return i, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The speculation window bounds how far past the failure jobs ran.
+	if n := started.Load(); n > 900 {
+		t.Errorf("error did not cancel the run: %d jobs started", n)
+	}
+}
+
+func TestPanicSurfacesAsError(t *testing.T) {
+	_, err := Run(context.Background(), Options{Workers: 4}, 20,
+		func(_ context.Context, i int) (int, error) {
+			if i == 3 {
+				panic("kaboom")
+			}
+			return i, nil
+		})
+	if err == nil || !strings.Contains(err.Error(), "job 3 panicked") ||
+		!strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("panic not surfaced: %v", err)
+	}
+}
+
+func TestCancellationMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	var done atomic.Int32
+	errc := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, Options{Workers: 4}, 1000,
+			func(jc context.Context, i int) (int, error) {
+				if i < 4 {
+					return i, nil
+				}
+				// Later jobs block until cancelled, like a long drive run
+				// that checks its context.
+				select {
+				case <-jc.Done():
+					return 0, jc.Err()
+				case <-release:
+					done.Add(1)
+					return i, nil
+				}
+			})
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+	close(release)
+	if done.Load() != 0 {
+		t.Error("jobs completed after cancellation should have aborted")
+	}
+}
+
+func TestCollectEarlyStopMatchesSerial(t *testing.T) {
+	// An unbounded quota campaign: accumulate squares until >= 12 values,
+	// exactly what the serial loop `for { ...; if len >= 12 break }` does.
+	serial := func() []int {
+		var out []int
+		for i := 0; len(out) < 12; i++ {
+			out = append(out, i*i, i*i+1)
+		}
+		return out[:12]
+	}()
+	for _, workers := range []int{1, 8} {
+		var out []int
+		var executed atomic.Int32
+		err := Collect(context.Background(), Options{Workers: workers},
+			func(i int) (func(context.Context) ([]int, error), bool) {
+				return func(context.Context) ([]int, error) {
+					executed.Add(1)
+					jitter(i)
+					return []int{i * i, i*i + 1}, nil
+				}, true // unbounded sequence: only ErrStop ends it
+			},
+			func(i int, vs []int) error {
+				out = append(out, vs...)
+				if len(out) >= 12 {
+					out = out[:12]
+					return ErrStop
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(serial) {
+			t.Fatalf("workers=%d: %d values, want %d", workers, len(out), len(serial))
+		}
+		for i := range out {
+			if out[i] != serial[i] {
+				t.Fatalf("workers=%d: out[%d]=%d, want %d", workers, i, out[i], serial[i])
+			}
+		}
+		// Speculation is bounded: at most the delivered jobs plus the
+		// 2×workers window (plus stragglers already dequeued).
+		if n := int(executed.Load()); n > 6+3*workers+2 {
+			t.Errorf("workers=%d: %d jobs executed for a 6-job quota", workers, n)
+		}
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	var calls []int
+	_, err := Run(context.Background(), Options{
+		Workers:  3,
+		Progress: func(done, total int) { calls = append(calls, done*1000+total) },
+	}, 5, func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 5 {
+		t.Fatalf("progress called %d times, want 5", len(calls))
+	}
+	for i, c := range calls {
+		if c != (i+1)*1000+5 {
+			t.Fatalf("call %d = %d, want done=%d total=5", i, c, i+1)
+		}
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	// Pure and stable.
+	if DeriveSeed(7, 3) != DeriveSeed(7, 3) {
+		t.Fatal("DeriveSeed not pure")
+	}
+	// Distinct across indices and bases (collision over a small range
+	// would mean correlated campaigns).
+	seen := map[int64]string{}
+	for base := int64(0); base < 20; base++ {
+		for idx := 0; idx < 200; idx++ {
+			s := DeriveSeed(base, idx)
+			key := fmt.Sprintf("%d/%d", base, idx)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: %s and %s both derive %d", prev, key, s)
+			}
+			seen[s] = key
+		}
+	}
+}
+
+func TestDeriveSeedLabel(t *testing.T) {
+	if DeriveSeedLabel(3, "A") != DeriveSeedLabel(3, "A") {
+		t.Fatal("DeriveSeedLabel not pure")
+	}
+	labels := []string{"A", "T", "V", "S", "CM", "SK", "MO", "CH", "CW", "AT", "TA"}
+	seen := map[int64]string{}
+	for _, l := range labels {
+		s := DeriveSeedLabel(42, l)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("label seed collision: %q and %q", prev, l)
+		}
+		seen[s] = l
+	}
+	if DeriveSeedLabel(1, "A") == DeriveSeedLabel(2, "A") {
+		t.Fatal("base seed ignored")
+	}
+}

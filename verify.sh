@@ -1,0 +1,22 @@
+#!/bin/sh
+# Repository verification: vet, formatting, and the full test suite under
+# the race detector. Run before every push.
+set -e
+
+echo "== go vet =="
+go vet ./...
+
+echo "== gofmt =="
+badfmt=$(gofmt -l .)
+if [ -n "$badfmt" ]; then
+    echo "gofmt needed:"
+    echo "$badfmt"
+    exit 1
+fi
+
+echo "== go test -race =="
+# The root-package campaign tests can exceed go test's default 10-minute
+# timeout under the race detector on slow machines.
+go test -race -timeout 45m ./...
+
+echo "OK"
