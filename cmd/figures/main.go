@@ -8,7 +8,8 @@
 //	figures -exp all   [-gen -scale 0.05]
 //
 // D1-based experiments (fig5/6/9/10, latency) need -d1; D2-based ones
-// (table4, fig11–fig22) need -d2. fig7, fig8 and the ablations run live
+// (table4, fig11–fig22) need -d2. fig7, fig8, the ablations and the
+// robustness sweep (-exp robust, tunable via -fault.* flags) run live
 // simulations and need no dataset. With -gen, missing datasets are built
 // in memory at -scale. Live simulations and -gen builds run on -workers
 // parallel workers (default: all CPUs); output is identical for any
@@ -29,6 +30,7 @@ import (
 	"mmlab/internal/crawler"
 	"mmlab/internal/dataset"
 	"mmlab/internal/experiment"
+	"mmlab/internal/fault"
 )
 
 type ctx struct {
@@ -39,6 +41,7 @@ type ctx struct {
 	scale   float64
 	gen     bool
 	workers int
+	faults  fault.Rates
 
 	d1Path, d2Path string
 }
@@ -210,6 +213,20 @@ var experiments = []struct {
 		}
 		fmt.Printf("  priority-based idle reselection: %d/%d to weaker cells\n", weaker, total)
 	}, "design-knob ablations [live sim]"},
+	{"robust", func(c *ctx) {
+		// -fault.* flags set the level-1.0 mix; all zero means the default
+		// mix so the sweep always has something to sweep.
+		rows, err := experiment.Robustness(c.ctx, experiment.RobustnessOptions{
+			Seed:    c.seed,
+			Rates:   c.faults,
+			Workers: c.workers,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Robustness: failure taxonomy vs fault intensity (TS 36.300 §22.4.2)")
+		experiment.WriteRobustnessTable(os.Stdout, rows)
+	}, "fault-rate sweep → failure classes [live sim, -fault.*]"},
 }
 
 func main() {
@@ -224,10 +241,11 @@ func main() {
 		seed    = flag.Int64("seed", 7, "seed for live-simulation experiments")
 		workers = flag.Int("workers", runtime.NumCPU(), "parallel simulation workers (output is identical for any value)")
 	)
+	rates := fault.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	bg, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	c := &ctx{ctx: bg, seed: *seed, scale: *scale, gen: *gen, workers: *workers, d1Path: *d1Path, d2Path: *d2Path}
+	c := &ctx{ctx: bg, seed: *seed, scale: *scale, gen: *gen, workers: *workers, faults: *rates, d1Path: *d1Path, d2Path: *d2Path}
 
 	if *exp == "" || *exp == "list" {
 		fmt.Println("experiments:")

@@ -5,13 +5,16 @@
 //
 // Usage:
 //
-//	hosim [-scale 1.0] [-seed 7] [-workers N] [-o d1.jsonl]
+//	hosim [-scale 1.0] [-seed 7] [-workers N] [-fault.* ...] [-o d1.jsonl]
 //
 // Scale 1.0 reproduces the paper's dataset size (14,510 active + 4,263
 // idle handoffs) and takes several minutes; use -scale 0.05 for a quick
 // run. Drive runs execute on -workers parallel workers (default: all
-// CPUs); the dataset is byte-identical for every worker count. Ctrl-C
-// cancels the campaign and removes the partial output file.
+// CPUs); the dataset is byte-identical for every worker count. The
+// -fault.* flags (see internal/fault) inject signaling-plane faults into
+// the active drives; all-zero (the default) reproduces the historical
+// fault-free dataset exactly. Ctrl-C cancels the campaign and removes
+// the partial output file.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 
 	"mmlab/internal/dataset"
 	"mmlab/internal/experiment"
+	"mmlab/internal/fault"
 )
 
 func main() {
@@ -38,12 +42,13 @@ func main() {
 		out     = flag.String("o", "d1.jsonl", "output path")
 		format  = flag.String("format", "jsonl", "output format: jsonl or csv")
 	)
+	rates := fault.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	d1, err := experiment.BuildD1(ctx, experiment.D1Options{Scale: *scale, Seed: *seed, Workers: *workers})
+	d1, err := experiment.BuildD1(ctx, experiment.D1Options{Scale: *scale, Seed: *seed, Workers: *workers, Faults: *rates})
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			log.Fatal("interrupted; no output written")

@@ -13,6 +13,7 @@ import (
 	"mmlab/internal/crawler"
 	"mmlab/internal/dataset"
 	"mmlab/internal/experiment"
+	"mmlab/internal/fault"
 )
 
 // TestD1DeterministicAcrossWorkers: the full D1 campaign serializes
@@ -37,6 +38,33 @@ func TestD1DeterministicAcrossWorkers(t *testing.T) {
 	serial, parallel := build(1), build(8)
 	if !bytes.Equal(serial, parallel) {
 		t.Fatalf("D1 differs across worker counts: %d vs %d bytes", len(serial), len(parallel))
+	}
+}
+
+// TestD1FaultDeterministicAcrossWorkers: fault injection draws from its
+// own seeded streams, so a faulted campaign keeps the same contract —
+// byte-identical output at any worker count.
+func TestD1FaultDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign")
+	}
+	build := func(workers int) []byte {
+		d1, err := experiment.BuildD1(context.Background(), experiment.D1Options{
+			Scale: 0.004, Seed: 2, Cities: []string{"C3"}, Workers: workers,
+			Faults: fault.DefaultRates(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := dataset.WriteD1(&buf, d1.Records); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial, parallel := build(1), build(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("faulted D1 differs across worker counts: %d vs %d bytes", len(serial), len(parallel))
 	}
 }
 

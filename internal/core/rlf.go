@@ -1,0 +1,166 @@
+package core
+
+// Radio-link-failure supervision per TS 36.331 §5.3.11: the PHY layer
+// compares downlink quality against the Qout/Qin thresholds and issues
+// out-of-sync / in-sync indications; N310 consecutive out-of-sync
+// indications start T310; N311 consecutive in-sync indications stop it;
+// T310 expiry declares radio-link failure, after which the UE attempts
+// RRC connection re-establishment under T311 (cell selection) and T301
+// (the re-establishment procedure itself). The simulator's fault layer
+// exists to drive this machinery: deep fades and lost handover commands
+// are exactly what makes real networks' too-late/too-early handoff
+// classes appear.
+
+// RLFConfig carries the TS 36.331 constants and timers. Defaults follow
+// common LTE field settings (ue-TimersAndConstants).
+type RLFConfig struct {
+	N310   int     // consecutive out-of-sync indications that start T310
+	N311   int     // consecutive in-sync indications that stop T310
+	T310Ms Clock   // supervision timer: expiry declares RLF
+	T311Ms Clock   // re-establishment cell-selection supervision
+	T301Ms Clock   // re-establishment procedure supervision
+	QoutDB float64 // SINR below which PHY signals out-of-sync
+	QinDB  float64 // SINR above which PHY signals in-sync
+}
+
+// fill substitutes defaults for zero fields.
+func (c *RLFConfig) fill() {
+	if c.N310 == 0 {
+		c.N310 = 6
+	}
+	if c.N311 == 0 {
+		c.N311 = 2
+	}
+	if c.T310Ms == 0 {
+		c.T310Ms = 1000
+	}
+	if c.T311Ms == 0 {
+		c.T311Ms = 3000
+	}
+	if c.T301Ms == 0 {
+		c.T301Ms = 400
+	}
+	if c.QoutDB == 0 {
+		c.QoutDB = -8
+	}
+	if c.QinDB == 0 {
+		c.QinDB = -6
+	}
+}
+
+// DefaultRLFConfig returns the default timer set.
+func DefaultRLFConfig() RLFConfig {
+	var c RLFConfig
+	c.fill()
+	return c
+}
+
+// RLFPhase is the monitor's state.
+type RLFPhase uint8
+
+// Phases.
+const (
+	RLFInSync   RLFPhase = iota // link healthy
+	RLFCounting                 // out-of-sync indications accumulating toward N310
+	RLFT310                     // T310 running
+	RLFFailed                   // radio-link failure declared; terminal until Reset
+)
+
+// String implements fmt.Stringer.
+func (p RLFPhase) String() string {
+	switch p {
+	case RLFCounting:
+		return "counting"
+	case RLFT310:
+		return "t310"
+	case RLFFailed:
+		return "failed"
+	default:
+		return "in-sync"
+	}
+}
+
+// RLFEvent is what one Observe step produced.
+type RLFEvent uint8
+
+// Events.
+const (
+	RLFNone        RLFEvent = iota
+	RLFT310Started          // N310 consecutive out-of-sync: T310 armed
+	RLFRecovered            // N311 consecutive in-sync: T310 stopped
+	RLFDeclared             // T310 expired: radio-link failure
+)
+
+// RLFMonitor runs the out-of-sync counting and T310 supervision for one
+// RRC connection. It is fed one SINR sample per measurement round.
+type RLFMonitor struct {
+	cfg   RLFConfig
+	phase RLFPhase
+	oos   int   // consecutive out-of-sync indications
+	ins   int   // consecutive in-sync indications while T310 runs
+	t310  Clock // T310 expiry deadline
+}
+
+// NewRLFMonitor builds a monitor; zero config fields take defaults.
+func NewRLFMonitor(cfg RLFConfig) *RLFMonitor {
+	cfg.fill()
+	return &RLFMonitor{cfg: cfg}
+}
+
+// Config returns the effective (default-filled) configuration.
+func (m *RLFMonitor) Config() RLFConfig { return m.cfg }
+
+// Phase returns the current phase.
+func (m *RLFMonitor) Phase() RLFPhase { return m.phase }
+
+// Reset returns the monitor to in-sync, as after a successful handoff or
+// re-establishment (the new connection starts with fresh counters).
+func (m *RLFMonitor) Reset() {
+	m.phase = RLFInSync
+	m.oos, m.ins = 0, 0
+}
+
+// Observe feeds one serving-link SINR sample at time t. Samples below
+// Qout are out-of-sync indications, above Qin in-sync indications; the
+// band between is indication-free and leaves the counters unchanged (the
+// standard's hysteresis). After RLFDeclared the monitor stays in
+// RLFFailed until Reset.
+func (m *RLFMonitor) Observe(t Clock, sinrDB float64) RLFEvent {
+	if m.phase == RLFFailed {
+		return RLFNone
+	}
+	// Timer check first: T310 expires even if this sample looks healthy —
+	// recovery needs N311 indications before the deadline, not after.
+	if m.phase == RLFT310 && t >= m.t310 {
+		m.phase = RLFFailed
+		return RLFDeclared
+	}
+	switch {
+	case sinrDB < m.cfg.QoutDB:
+		m.ins = 0
+		if m.phase == RLFT310 {
+			return RLFNone // T310 already running; more out-of-sync changes nothing
+		}
+		m.oos++
+		m.phase = RLFCounting
+		if m.oos >= m.cfg.N310 {
+			m.phase = RLFT310
+			m.t310 = t + m.cfg.T310Ms
+			m.oos = 0
+			return RLFT310Started
+		}
+	case sinrDB > m.cfg.QinDB:
+		m.oos = 0
+		switch m.phase {
+		case RLFT310:
+			m.ins++
+			if m.ins >= m.cfg.N311 {
+				m.Reset()
+				return RLFRecovered
+			}
+		case RLFCounting:
+			m.phase = RLFInSync
+		}
+	}
+	return RLFNone
+}

@@ -1,0 +1,131 @@
+package core
+
+import "testing"
+
+// feed runs a sample sequence with a fixed 40 ms step and returns every
+// non-None event with its time.
+type rlfEvt struct {
+	t  Clock
+	ev RLFEvent
+}
+
+func feed(m *RLFMonitor, samples []float64) []rlfEvt {
+	var out []rlfEvt
+	for i, s := range samples {
+		t := Clock(i) * 40
+		if ev := m.Observe(t, s); ev != RLFNone {
+			out = append(out, rlfEvt{t, ev})
+		}
+	}
+	return out
+}
+
+// repeat builds n copies of v.
+func repeat(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestRLFDefaults(t *testing.T) {
+	c := DefaultRLFConfig()
+	if c.N310 != 6 || c.N311 != 2 || c.T310Ms != 1000 || c.T311Ms != 3000 || c.T301Ms != 400 {
+		t.Fatalf("unexpected defaults: %+v", c)
+	}
+	if c.QoutDB >= c.QinDB {
+		t.Fatalf("Qout %v must sit below Qin %v", c.QoutDB, c.QinDB)
+	}
+}
+
+// TestRLFStateMachine is the table: each case feeds a SINR trajectory and
+// pins the emitted event sequence and final phase. cfg: N310=3, N311=2,
+// T310=200 ms, Qout=-8, Qin=-6, step 40 ms.
+func TestRLFStateMachine(t *testing.T) {
+	cfg := RLFConfig{N310: 3, N311: 2, T310Ms: 200}
+	bad, good, mid := -12.0, 0.0, -7.0
+	cases := []struct {
+		name    string
+		samples []float64
+		events  []RLFEvent
+		phase   RLFPhase
+	}{
+		{"healthy link stays in sync",
+			repeat(good, 20), nil, RLFInSync},
+		{"short glitch below N310 never arms T310",
+			append(repeat(bad, 2), repeat(good, 5)...), nil, RLFInSync},
+		{"N310 out-of-sync arms T310, expiry declares RLF",
+			repeat(bad, 12),
+			[]RLFEvent{RLFT310Started, RLFDeclared}, RLFFailed},
+		{"N311 in-sync cancels T310",
+			append(repeat(bad, 3), repeat(good, 3)...),
+			[]RLFEvent{RLFT310Started, RLFRecovered}, RLFInSync},
+		{"single in-sync below N311 does not cancel; T310 expires",
+			append(repeat(bad, 3), good, bad, bad, bad, bad, bad),
+			[]RLFEvent{RLFT310Started, RLFDeclared}, RLFFailed},
+		{"hysteresis band issues no indications either way",
+			append(repeat(bad, 3), repeat(mid, 3)...),
+			[]RLFEvent{RLFT310Started}, RLFT310},
+		{"in-sync run resets the out-of-sync counter",
+			// 2 bad, 1 good, 2 bad: never 3 consecutive.
+			[]float64{bad, bad, good, bad, bad, good, good}, nil, RLFInSync},
+		{"failure is terminal until Reset",
+			append(repeat(bad, 12), repeat(good, 10)...),
+			[]RLFEvent{RLFT310Started, RLFDeclared}, RLFFailed},
+		{"recover then fail again",
+			append(append(repeat(bad, 3), repeat(good, 3)...), repeat(bad, 12)...),
+			[]RLFEvent{RLFT310Started, RLFRecovered, RLFT310Started, RLFDeclared}, RLFFailed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewRLFMonitor(cfg)
+			got := feed(m, tc.samples)
+			if len(got) != len(tc.events) {
+				t.Fatalf("events = %v, want %v", got, tc.events)
+			}
+			for i, e := range got {
+				if e.ev != tc.events[i] {
+					t.Fatalf("event %d = %v at t=%d, want %v", i, e.ev, e.t, tc.events[i])
+				}
+			}
+			if m.Phase() != tc.phase {
+				t.Fatalf("final phase = %v, want %v", m.Phase(), tc.phase)
+			}
+		})
+	}
+}
+
+func TestRLFT310Timing(t *testing.T) {
+	m := NewRLFMonitor(RLFConfig{N310: 1, T310Ms: 1000})
+	if ev := m.Observe(0, -20); ev != RLFT310Started {
+		t.Fatalf("first out-of-sync with N310=1 should start T310, got %v", ev)
+	}
+	// T310 runs 1000 ms: samples strictly before the deadline don't fail.
+	for ts := Clock(40); ts < 1000; ts += 40 {
+		if ev := m.Observe(ts, -20); ev != RLFNone {
+			t.Fatalf("t=%d: premature %v", ts, ev)
+		}
+	}
+	if ev := m.Observe(1000, -20); ev != RLFDeclared {
+		t.Fatalf("t=1000: want RLFDeclared, got %v", ev)
+	}
+}
+
+func TestRLFResetRestartsSupervision(t *testing.T) {
+	m := NewRLFMonitor(RLFConfig{N310: 2, N311: 1, T310Ms: 120})
+	feed(m, repeat(-20, 8))
+	if m.Phase() != RLFFailed {
+		t.Fatalf("phase = %v, want failed", m.Phase())
+	}
+	m.Reset()
+	if m.Phase() != RLFInSync {
+		t.Fatal("Reset should return to in-sync")
+	}
+	// The machine must arm and fail again from scratch.
+	got := feed(m, repeat(-20, 8))
+	want := []RLFEvent{RLFT310Started, RLFDeclared}
+	if len(got) != 2 || got[0].ev != want[0] || got[1].ev != want[1] {
+		t.Fatalf("after Reset: events %v, want %v", got, want)
+	}
+}

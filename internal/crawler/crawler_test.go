@@ -9,6 +9,7 @@ import (
 	"mmlab/internal/carrier"
 	"mmlab/internal/config"
 	"mmlab/internal/dataset"
+	"mmlab/internal/fault"
 	"mmlab/internal/geo"
 	"mmlab/internal/mobility"
 	"mmlab/internal/netsim"
@@ -99,15 +100,144 @@ func TestParseDiagMultipleCells(t *testing.T) {
 	}
 }
 
-func TestParseDiagCorruptAborts(t *testing.T) {
+func TestParseDiagCorruptAbortsStrict(t *testing.T) {
 	var buf bytes.Buffer
 	dw := sib.NewDiagWriter(&buf)
 	dw.WriteMsg(1, sib.Downlink, &sib.SIB4{ForbiddenCells: []uint32{1}})
 	dw.Flush()
 	data := buf.Bytes()
 	data[len(data)-2] ^= 0xFF // flip a payload byte inside the message
-	if _, _, err := ParseDiag(bytes.NewReader(data)); err == nil {
-		t.Error("corrupt record should abort the parse")
+	if _, _, _, err := ParseDiagOpts(bytes.NewReader(data), ParseOptions{Strict: true}); err == nil {
+		t.Error("strict parse should abort on a corrupt record")
+	}
+	// The lenient default skips the damaged record and reports it.
+	snaps, _, stats, err := ParseDiagOpts(bytes.NewReader(data), ParseOptions{})
+	if err != nil {
+		t.Fatalf("lenient parse errored: %v", err)
+	}
+	if len(snaps) != 0 {
+		t.Errorf("snapshots from a fully corrupt stream: %d", len(snaps))
+	}
+	if stats.SkippedBytes == 0 || stats.Resyncs == 0 {
+		t.Errorf("damage not reported: %+v", stats)
+	}
+}
+
+// writeForbidden writes n SIB4 records carrying their index, so recovered
+// records are identifiable after corruption.
+func writeForbidden(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	dw := sib.NewDiagWriter(&buf)
+	for i := 0; i < n; i++ {
+		dw.WriteMsg(uint64(i)*10, sib.Downlink, &sib.SIB4{ForbiddenCells: []uint32{uint32(i)}})
+	}
+	if err := dw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestParseDiagResyncsPastDamage(t *testing.T) {
+	// A CellInfo stamp, then forbidden-cell records; cut a record in half
+	// mid-stream and splice garbage in. The prefix and suffix records must
+	// all survive.
+	var buf bytes.Buffer
+	dw := sib.NewDiagWriter(&buf)
+	dw.WriteMsg(0, sib.Downlink, &sib.CellInfo{Identity: config.CellIdentity{CellID: 9, RAT: config.RATLTE}})
+	dw.Flush()
+	head := append([]byte(nil), buf.Bytes()...)
+
+	body := writeForbidden(t, 10)
+	// Locate the 6th record's start by reframing.
+	var offs []int
+	{
+		off := 0
+		r := sib.NewDiagScanner(body)
+		for {
+			before := off
+			rec, ok := r.Next()
+			if !ok {
+				break
+			}
+			_ = rec
+			offs = append(offs, before)
+			off += 13 + len(rec.Raw)
+		}
+	}
+	if len(offs) != 10 {
+		t.Fatalf("reframed %d records", len(offs))
+	}
+	cut5, cut6 := offs[5], offs[6]
+	var stream []byte
+	stream = append(stream, head...)
+	stream = append(stream, body[:cut5]...)                           // records 0..4 intact
+	stream = append(stream, body[cut5:cut5+(cut6-cut5)/2]...)         // record 5 truncated
+	stream = append(stream, 0xDE, 0xAD, 0xBE, 0xEF, 0x13, 0x13, 0x13) // garbage
+	stream = append(stream, body[cut6:]...)                           // records 6..9 intact
+
+	snaps, _, stats, err := ParseDiagOpts(bytes.NewReader(stream), ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots = %d, want 1", len(snaps))
+	}
+	got := map[uint32]bool{}
+	for _, c := range snaps[0].Config.ForbiddenCells {
+		got[c] = true
+	}
+	for _, want := range []uint32{0, 1, 2, 3, 4, 6, 7, 8, 9} {
+		if !got[want] {
+			t.Errorf("record %d not recovered (got %v)", want, snaps[0].Config.ForbiddenCells)
+		}
+	}
+	if got[5] {
+		t.Error("truncated record 5 should not decode")
+	}
+	if stats.Resyncs == 0 || stats.SkippedBytes == 0 {
+		t.Errorf("damage not reported: %+v", stats)
+	}
+	if stats.Records != 10 { // CellInfo + 9 surviving SIB4s
+		t.Errorf("Records = %d, want 10", stats.Records)
+	}
+}
+
+func TestParseDiagRecoversFromCorruptor(t *testing.T) {
+	// Drive the parser with the fault package's deterministic corruptor:
+	// whatever survives the damage must be recovered, and the losses must
+	// be visible in the stats — never a silent truncation.
+	data := writeForbidden(t, 60)
+	out, cstats, err := fault.Corrupt(data, 21, fault.CorruptOpts{
+		Flip: 0.15, Drop: 0.1, Dup: 0.1, Swap: 0.1, Truncate: 0.1, Garbage: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, _, stats, err := ParseDiagOpts(bytes.NewReader(out), ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = snaps
+	// Every record the corruptor left byte-intact must come back:
+	// originals minus dropped/truncated/flipped, plus intact duplicates.
+	minIntact := cstats.Records - cstats.Dropped - cstats.Truncated - cstats.Flipped
+	if stats.Records < minIntact {
+		t.Fatalf("recovered %d records, want at least %d (%+v)", stats.Records, minIntact, cstats)
+	}
+	if cstats.Truncated+cstats.Garbaged > 0 && stats.SkippedBytes == 0 {
+		t.Errorf("damage applied (%+v) but no bytes reported skipped", cstats)
+	}
+}
+
+func TestParseDiagStatsCleanStream(t *testing.T) {
+	data := writeForbidden(t, 7)
+	_, _, stats, err := ParseDiagOpts(bytes.NewReader(data), ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 7 || stats.Bad != 0 || stats.SkippedBytes != 0 || stats.Resyncs != 0 {
+		t.Errorf("clean stream stats: %+v", stats)
 	}
 }
 

@@ -42,105 +42,171 @@ type HandoffEvent struct {
 // LatencyMs returns the report→execution gap.
 func (h HandoffEvent) LatencyMs() uint64 { return h.ExecTimeMs - h.ReportTimeMs }
 
+// ParseOptions configures ParseDiagOpts.
+type ParseOptions struct {
+	// Strict aborts the parse on the first undecodable record or damaged
+	// byte region, the historical fail-fast behavior — useful when the
+	// capture is supposed to be pristine and corruption means the pipeline
+	// upstream is broken, not the radio link.
+	Strict bool
+}
+
+// ParseStats describes what a parse consumed, so lossy captures are
+// reported rather than silently truncated.
+type ParseStats struct {
+	Records      int // valid diag records decoded
+	Bad          int // framed records whose message failed to decode
+	SkippedBytes int // bytes discarded while resynchronizing
+	Resyncs      int // contiguous damaged regions skipped
+	Stamps       int // CellInfo serving-cell stamps seen
+}
+
 // ParseDiag consumes a diag stream and returns the configuration
 // snapshots and handoff events it carries. A snapshot opens at each
 // CellInfo stamp and closes at the next stamp (or EOF); SIBs and the RRC
-// reconfiguration seen in between populate it. Records that fail to
-// decode abort the parse — a corrupt capture should be noticed, not
-// silently truncated.
+// reconfiguration seen in between populate it. Damaged byte regions are
+// skipped by resynchronizing to the next valid record boundary — every
+// record whose bytes survive is recovered. Use ParseDiagOpts for the
+// damage statistics or strict fail-fast parsing.
 func ParseDiag(r io.Reader) ([]ConfigSnapshot, []HandoffEvent, error) {
-	var (
-		snaps   []ConfigSnapshot
-		events  []HandoffEvent
-		cur     *ConfigSnapshot
-		lastRep *sib.MeasurementReport
-		repTime uint64
-	)
-	flush := func() {
-		if cur != nil {
-			snaps = append(snaps, *cur)
-			cur = nil
+	snaps, events, _, err := ParseDiagOpts(r, ParseOptions{})
+	return snaps, events, err
+}
+
+// ParseDiagOpts is ParseDiag with explicit options and damage statistics.
+func ParseDiagOpts(r io.Reader, opt ParseOptions) ([]ConfigSnapshot, []HandoffEvent, ParseStats, error) {
+	var p diagParser
+	if opt.Strict {
+		dr := sib.NewDiagReader(r)
+		err := dr.ForEach(func(rec sib.DiagRecord) error {
+			m, err := rec.Decode()
+			if err != nil {
+				return fmt.Errorf("crawler: record at t=%d: %w", rec.TimestampMs, err)
+			}
+			p.stats.Records++
+			p.handle(rec, m)
+			return nil
+		})
+		if err != nil {
+			return nil, nil, p.stats, err
 		}
+		p.flush()
+		return p.snaps, p.events, p.stats, nil
 	}
-	dr := sib.NewDiagReader(r)
-	err := dr.ForEach(func(rec sib.DiagRecord) error {
+
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, p.stats, fmt.Errorf("crawler: reading diag stream: %w", err)
+	}
+	sc := sib.NewDiagScanner(data)
+	for {
+		rec, ok := sc.Next()
+		if !ok {
+			break
+		}
 		m, err := rec.Decode()
 		if err != nil {
-			return fmt.Errorf("crawler: record at t=%d: %w", rec.TimestampMs, err)
+			// Envelope intact but payload undecodable (a writer-side bug or
+			// a checksum collision): skip the record, keep the stream.
+			p.stats.Bad++
+			continue
 		}
-		switch msg := m.(type) {
-		case *sib.CellInfo:
-			flush()
-			cur = &ConfigSnapshot{
-				Identity: msg.Identity,
-				TimeMs:   rec.TimestampMs,
-			}
-			cur.Config.Identity = msg.Identity
-		case *sib.SIB1:
-			if cur != nil {
-				cur.Config.Serving.QRxLevMin = msg.QRxLevMin
-				cur.Config.Serving.QQualMin = msg.QQualMin
-			}
-		case *sib.SIB3:
-			if cur != nil {
-				// SIB1's Δmin legs arrive separately; keep them.
-				qrx, qqual := cur.Config.Serving.QRxLevMin, cur.Config.Serving.QQualMin
-				cur.Config.Serving = msg.Serving
-				if cur.Config.Serving.QRxLevMin == 0 {
-					cur.Config.Serving.QRxLevMin = qrx
-				}
-				if cur.Config.Serving.QQualMin == 0 {
-					cur.Config.Serving.QQualMin = qqual
-				}
-			}
-		case *sib.SIB4:
-			if cur != nil {
-				cur.Config.ForbiddenCells = append(cur.Config.ForbiddenCells, msg.ForbiddenCells...)
-			}
-		case *sib.SIBFreq:
-			if cur != nil {
-				cur.Config.Freqs = append(cur.Config.Freqs, msg.Freqs...)
-			}
-		case *sib.RRCReconfig:
-			if cur != nil {
-				cur.Config.Meas = msg.Meas
-			}
-		case *sib.MeasurementReport:
-			cp := *msg
-			lastRep = &cp
-			repTime = rec.TimestampMs
-		case *sib.HandoverCommand:
-			ev := HandoffEvent{
-				ExecTimeMs: rec.TimestampMs,
-				Target: config.CellIdentity{
-					CellID: msg.TargetCellID,
-					PCI:    msg.TargetPCI,
-					EARFCN: msg.TargetEARFCN,
-					RAT:    msg.TargetRAT,
-				},
-			}
-			if cur != nil {
-				ev.Serving = cur.Identity
-			}
-			if lastRep != nil {
-				ev.ReportTimeMs = repTime
-				ev.Event = lastRep.EventType
-				ev.ServingRSRP = radio.DequantizeRSRP(lastRep.Serving.RSRPIdx)
-				ev.ServingRSRQ = radio.DequantizeRSRQ(lastRep.Serving.RSRQIdx)
-				if len(lastRep.Neighbors) > 0 {
-					n := lastRep.Neighbors[0]
-					ev.BestNeighbor = config.CellIdentity{PCI: n.PCI, EARFCN: n.EARFCN, RAT: n.RAT}
-					ev.NeighborRSRP = radio.DequantizeRSRP(n.RSRPIdx)
-				}
-				lastRep = nil
-			}
-			events = append(events, ev)
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, nil, err
+		p.handle(rec, m)
 	}
-	flush()
-	return snaps, events, nil
+	ss := sc.Stats()
+	p.stats.Records = ss.Records - p.stats.Bad
+	p.stats.SkippedBytes = ss.SkippedBytes
+	p.stats.Resyncs = ss.Resyncs
+	p.flush()
+	return p.snaps, p.events, p.stats, nil
+}
+
+// diagParser accumulates parse state across records; the record framing
+// (strict reader or resynchronizing scanner) is the caller's concern.
+type diagParser struct {
+	snaps   []ConfigSnapshot
+	events  []HandoffEvent
+	cur     *ConfigSnapshot
+	lastRep *sib.MeasurementReport
+	repTime uint64
+	stats   ParseStats
+}
+
+func (p *diagParser) flush() {
+	if p.cur != nil {
+		p.snaps = append(p.snaps, *p.cur)
+		p.cur = nil
+	}
+}
+
+func (p *diagParser) handle(rec sib.DiagRecord, m sib.Message) {
+	switch msg := m.(type) {
+	case *sib.CellInfo:
+		p.flush()
+		p.stats.Stamps++
+		p.cur = &ConfigSnapshot{
+			Identity: msg.Identity,
+			TimeMs:   rec.TimestampMs,
+		}
+		p.cur.Config.Identity = msg.Identity
+	case *sib.SIB1:
+		if p.cur != nil {
+			p.cur.Config.Serving.QRxLevMin = msg.QRxLevMin
+			p.cur.Config.Serving.QQualMin = msg.QQualMin
+		}
+	case *sib.SIB3:
+		if p.cur != nil {
+			// SIB1's Δmin legs arrive separately; keep them.
+			qrx, qqual := p.cur.Config.Serving.QRxLevMin, p.cur.Config.Serving.QQualMin
+			p.cur.Config.Serving = msg.Serving
+			if p.cur.Config.Serving.QRxLevMin == 0 {
+				p.cur.Config.Serving.QRxLevMin = qrx
+			}
+			if p.cur.Config.Serving.QQualMin == 0 {
+				p.cur.Config.Serving.QQualMin = qqual
+			}
+		}
+	case *sib.SIB4:
+		if p.cur != nil {
+			p.cur.Config.ForbiddenCells = append(p.cur.Config.ForbiddenCells, msg.ForbiddenCells...)
+		}
+	case *sib.SIBFreq:
+		if p.cur != nil {
+			p.cur.Config.Freqs = append(p.cur.Config.Freqs, msg.Freqs...)
+		}
+	case *sib.RRCReconfig:
+		if p.cur != nil {
+			p.cur.Config.Meas = msg.Meas
+		}
+	case *sib.MeasurementReport:
+		cp := *msg
+		p.lastRep = &cp
+		p.repTime = rec.TimestampMs
+	case *sib.HandoverCommand:
+		ev := HandoffEvent{
+			ExecTimeMs: rec.TimestampMs,
+			Target: config.CellIdentity{
+				CellID: msg.TargetCellID,
+				PCI:    msg.TargetPCI,
+				EARFCN: msg.TargetEARFCN,
+				RAT:    msg.TargetRAT,
+			},
+		}
+		if p.cur != nil {
+			ev.Serving = p.cur.Identity
+		}
+		if p.lastRep != nil {
+			ev.ReportTimeMs = p.repTime
+			ev.Event = p.lastRep.EventType
+			ev.ServingRSRP = radio.DequantizeRSRP(p.lastRep.Serving.RSRPIdx)
+			ev.ServingRSRQ = radio.DequantizeRSRQ(p.lastRep.Serving.RSRQIdx)
+			if len(p.lastRep.Neighbors) > 0 {
+				n := p.lastRep.Neighbors[0]
+				ev.BestNeighbor = config.CellIdentity{PCI: n.PCI, EARFCN: n.EARFCN, RAT: n.RAT}
+				ev.NeighborRSRP = radio.DequantizeRSRP(n.RSRPIdx)
+			}
+			p.lastRep = nil
+		}
+		p.events = append(p.events, ev)
+	}
 }

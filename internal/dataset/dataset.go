@@ -52,6 +52,11 @@ type D1Record struct {
 	// MinThptBefore is the minimum 100 ms throughput in the 5 s before the
 	// decisive report, bps; -1 without traffic.
 	MinThptBefore float64 `json:"minThpt"`
+
+	// PingPong marks a handoff back to the previous serving cell within
+	// the TS 36.300 ping-pong window. Only emitted by fault-enabled
+	// campaigns (omitted otherwise, keeping legacy datasets byte-stable).
+	PingPong bool `json:"pingpong,omitempty"`
 }
 
 // DeltaRSRP returns RSRPNew − RSRPOld (the paper's δRSRP).

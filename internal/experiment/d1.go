@@ -13,6 +13,7 @@ import (
 	"mmlab/internal/carrier"
 	"mmlab/internal/config"
 	"mmlab/internal/dataset"
+	"mmlab/internal/fault"
 	"mmlab/internal/geo"
 	"mmlab/internal/netsim"
 	"mmlab/internal/sim"
@@ -34,6 +35,11 @@ type D1Options struct {
 	// Progress, if set, is called as records accumulate with the running
 	// record count and the campaign's total quota.
 	Progress func(done, total int)
+	// Faults injects signaling-plane faults (dropped/delayed reports, lost
+	// handover commands, radio fades) into every drive. The zero value
+	// disables injection and leaves the dataset byte-identical to a
+	// fault-free campaign.
+	Faults fault.Rates
 }
 
 func (o *D1Options) fill() {
@@ -104,6 +110,7 @@ func convert(h netsim.HandoffRecord, carrierAcr, city string) dataset.D1Record {
 		RSRQOld:       h.RSRQOld,
 		RSRQNew:       h.RSRQNew,
 		MinThptBefore: h.MinThptBefore,
+		PingPong:      h.PingPong,
 	}
 	if h.Kind == netsim.ActiveHandoff {
 		rec.Event = h.Event.String()
@@ -120,7 +127,7 @@ func convert(h netsim.HandoffRecord, carrierAcr, city string) dataset.D1Record {
 // driveRun performs one campaign drive and returns its (filtered) D1
 // rows. Seeds are attached to the run index, never to execution order,
 // so runs may execute in parallel and still merge deterministically.
-func driveRun(gen *carrier.Generator, acr string, cities []string, run int, active bool, seed int64) []dataset.D1Record {
+func driveRun(gen *carrier.Generator, acr string, cities []string, run int, active bool, seed int64, faults fault.Rates) []dataset.D1Record {
 	city := cities[run%len(cities)]
 	wopts := netsim.WorldOpts{
 		Seed:      seed + int64(run)*101,
@@ -136,6 +143,9 @@ func driveRun(gen *carrier.Generator, acr string, cities []string, run int, acti
 	opts := netsim.UEOpts{Seed: seed*7 + int64(run), Active: active}
 	if active {
 		opts.App = appFor(run)
+		// The injector seed derives from the run index on its own stream so
+		// fault decisions neither disturb nor depend on the world/UE RNGs.
+		opts.Injector = fault.New(sim.DeriveSeed(seed, run), faults)
 	}
 	res := netsim.RunDrive(w, route, route.Duration(), opts)
 	var out []dataset.D1Record
@@ -154,7 +164,7 @@ const maxCampaignRuns = 4000
 // campaign runs drives for one carrier until quota handoffs accumulate,
 // fanning the runs over the sim worker pool and merging results in run
 // order; progress (optional) observes the running record count.
-func campaign(ctx context.Context, acr string, cities []string, quota int, active bool, seed int64, workers int, progress func(n int)) ([]dataset.D1Record, error) {
+func campaign(ctx context.Context, acr string, cities []string, quota int, active bool, seed int64, workers int, faults fault.Rates, progress func(n int)) ([]dataset.D1Record, error) {
 	gen, err := carrier.NewGenerator(acr)
 	if err != nil {
 		return nil, err
@@ -166,7 +176,7 @@ func campaign(ctx context.Context, acr string, cities []string, quota int, activ
 				return nil, false
 			}
 			return func(context.Context) ([]dataset.D1Record, error) {
-				return driveRun(gen, acr, cities, run, active, seed), nil
+				return driveRun(gen, acr, cities, run, active, seed, faults), nil
 			}, true
 		},
 		func(_ int, recs []dataset.D1Record) error {
@@ -229,7 +239,7 @@ func BuildD1(ctx context.Context, opts D1Options) (*dataset.D1, error) {
 		if c.active {
 			kind = "active"
 		}
-		recs, err := campaign(ctx, c.acr, opts.Cities, c.quota, c.active, c.seed, opts.Workers, progress)
+		recs, err := campaign(ctx, c.acr, opts.Cities, c.quota, c.active, c.seed, opts.Workers, opts.Faults, progress)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: %s campaign %s: %w", kind, c.acr, err)
 		}

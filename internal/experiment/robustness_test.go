@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mmlab/internal/fault"
+)
+
+// TestRobustnessSweep covers the sweep's two contracts at once: the output
+// is identical for any worker count, and — because fault decisions are
+// threshold hashes sharing per-run seeds across levels — injected faults
+// and the failures they cause grow monotonically with the level.
+func TestRobustnessSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drive campaign")
+	}
+	build := func(workers int) []RobustnessLevel {
+		rows, err := Robustness(context.Background(), RobustnessOptions{
+			Seed:    11,
+			Levels:  []float64{0, 1, 2},
+			Runs:    2,
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	serial := build(1)
+	parallel := build(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("sweep differs across worker counts:\n1: %+v\n8: %+v", serial, parallel)
+	}
+
+	rows := serial
+	if len(rows) != 3 {
+		t.Fatalf("levels = %d, want 3", len(rows))
+	}
+	if rows[0].Injected != (fault.Stats{}) {
+		t.Errorf("level 0 injected faults: %+v", rows[0].Injected)
+	}
+	for i := 1; i < len(rows); i++ {
+		lo, hi := rows[i-1], rows[i]
+		if hi.Injected.FadeWindows < lo.Injected.FadeWindows {
+			t.Errorf("fade windows shrank: level %v=%d, level %v=%d",
+				lo.Level, lo.Injected.FadeWindows, hi.Level, hi.Injected.FadeWindows)
+		}
+		if hi.Failures.RLF < lo.Failures.RLF {
+			t.Errorf("RLF count shrank: level %v=%d, level %v=%d",
+				lo.Level, lo.Failures.RLF, hi.Level, hi.Failures.RLF)
+		}
+		if hi.Failures.Reestabs+hi.Failures.ReestabFailed < lo.Failures.Reestabs+lo.Failures.ReestabFailed {
+			t.Errorf("re-establishment count shrank: level %v vs %v", lo.Level, hi.Level)
+		}
+	}
+	top, base := rows[len(rows)-1], rows[0]
+	if top.Failures.RLF <= base.Failures.RLF {
+		t.Errorf("faults at level %v did not raise RLFs above the natural baseline: %d vs %d",
+			top.Level, top.Failures.RLF, base.Failures.RLF)
+	}
+	if top.OutageMs <= base.OutageMs {
+		t.Errorf("faults did not raise outage: %d vs %d", top.OutageMs, base.OutageMs)
+	}
+
+	var sb strings.Builder
+	WriteRobustnessTable(&sb, rows)
+	if got := sb.String(); !strings.Contains(got, "RLF") || strings.Count(got, "\n") != len(rows)+1 {
+		t.Errorf("table rendering off:\n%s", got)
+	}
+}
+
+// TestD1FaultsPropagate exercises the campaign-level fault plumbing: a
+// faulted BuildD1 still fills its quotas and differs from the clean build.
+func TestD1FaultsPropagate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drive campaign")
+	}
+	opts := D1Options{Scale: 0.004, Seed: 2, Cities: []string{"C3"}}
+	clean, err := BuildD1(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Faults = fault.DefaultRates()
+	faulted, err := BuildD1(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faulted.Records) != len(clean.Records) {
+		t.Fatalf("faulted campaign quota %d, clean %d", len(faulted.Records), len(clean.Records))
+	}
+	if reflect.DeepEqual(clean.Records, faulted.Records) {
+		t.Error("default fault rates left the campaign dataset unchanged")
+	}
+}

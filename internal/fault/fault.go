@@ -1,0 +1,245 @@
+// Package fault is the deterministic fault-injection subsystem. The
+// paper's Q2 asks what happens when mobility support fails — missed and
+// delayed handoffs, radio-link failures, ping-pong — and follow-up
+// measurement studies (countrywide handover analyses, MobileAtlas-style
+// capture pipelines) treat the failure taxonomy as a first-class output.
+// This package supplies the two impairment planes those studies need:
+//
+//   - Signaling plane: an Injector that drops or delays Measurement
+//     Reports, loses Handover Commands, and degrades the radio in
+//     deterministic deep-fade episodes. internal/netsim consults it on
+//     every active-state step; internal/core's RLF machinery turns the
+//     resulting out-of-sync runs into TS 36.331 radio-link failures.
+//   - Capture plane: a Corruptor (see corrupt.go) that damages diag-log
+//     byte streams — bit flips, truncation, duplication, reordering,
+//     garbage — so the crawler's resynchronizing parser can be exercised
+//     and fuzzed against realistic wire damage.
+//
+// Every decision is a pure hash of (seed, kind, key): no RNG stream, no
+// state shared across goroutines, no dependence on call order. Campaigns
+// derive injector seeds with sim.DeriveSeed / sim.DeriveSeedLabel, so the
+// workers=1 vs N byte-identical invariant of the sim runtime holds with
+// faults enabled. Decisions compare the hash against the configured rate,
+// so scaling every rate up strictly grows the set of injected faults —
+// the property behind the monotone fault-rate sweeps in
+// internal/experiment.
+package fault
+
+import "flag"
+
+// Rates configures the signaling-plane impairments. The zero value
+// injects nothing.
+type Rates struct {
+	// DropReport is the probability a Measurement Report is lost on the
+	// uplink (the network never sees it; the UE's diag log still does).
+	DropReport float64
+	// DelayReport is the probability a Measurement Report is delayed by
+	// DelayReportMs before reaching the network's decision logic.
+	DelayReport float64
+	// DelayReportMs is the backhaul delay applied to delayed reports.
+	// Default 200 ms.
+	DelayReportMs int64
+	// DropCommand is the probability a Handover Command is lost on the
+	// downlink: the network has decided, the UE never hears it.
+	DropCommand float64
+	// Fade is the probability that any given FadeWindowMs window is a
+	// deep-fade episode (blockage, tunnel): every cell the UE hears is
+	// attenuated by FadeDB, driving SINR below Qout and exercising the
+	// N310/T310 radio-link-failure machinery.
+	Fade float64
+	// FadeDB is the blanket attenuation during a fade episode. Default 80
+	// (deep-indoor/tunnel excess loss) — enough to drag even a cell-edge
+	// UE's SINR through Qout once receiver noise stops scaling with the
+	// signal.
+	FadeDB float64
+	// FadeWindowMs is the episode granularity. Default 2000 ms.
+	FadeWindowMs int64
+}
+
+// Zero reports whether the rates inject nothing.
+func (r Rates) Zero() bool {
+	return r.DropReport == 0 && r.DelayReport == 0 && r.DropCommand == 0 && r.Fade == 0
+}
+
+// Scale returns the rates with every probability multiplied by f (clamped
+// to 1); magnitudes (delay, fade depth, window) are unchanged. Because
+// injector decisions are threshold hashes, the faults injected at Scale(a)
+// are a subset of those at Scale(b) whenever a ≤ b.
+func (r Rates) Scale(f float64) Rates {
+	s := r
+	s.DropReport = clampProb(r.DropReport * f)
+	s.DelayReport = clampProb(r.DelayReport * f)
+	s.DropCommand = clampProb(r.DropCommand * f)
+	s.Fade = clampProb(r.Fade * f)
+	return s
+}
+
+func clampProb(p float64) float64 {
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// DefaultRates is a moderately hostile level-1.0 operating point for
+// robustness sweeps: every class of fault occurs, none dominates.
+func DefaultRates() Rates {
+	return Rates{
+		DropReport:  0.3,
+		DelayReport: 0.2,
+		DropCommand: 0.3,
+		Fade:        0.15,
+	}
+}
+
+// RegisterFlags binds the injection knobs to -fault.* flags on fs and
+// returns the Rates they populate (valid after fs.Parse).
+func RegisterFlags(fs *flag.FlagSet) *Rates {
+	r := &Rates{}
+	fs.Float64Var(&r.DropReport, "fault.drop-report", 0, "P(measurement report lost on the uplink)")
+	fs.Float64Var(&r.DelayReport, "fault.delay-report", 0, "P(measurement report delayed)")
+	fs.Int64Var(&r.DelayReportMs, "fault.delay-ms", 0, "delay applied to delayed reports (ms; 0 = 200)")
+	fs.Float64Var(&r.DropCommand, "fault.drop-cmd", 0, "P(handover command lost on the downlink)")
+	fs.Float64Var(&r.Fade, "fault.fade", 0, "P(a fade window is a deep-fade episode)")
+	fs.Float64Var(&r.FadeDB, "fault.fade-db", 0, "blanket attenuation during a fade episode (dB; 0 = 80)")
+	fs.Int64Var(&r.FadeWindowMs, "fault.fade-ms", 0, "fade episode granularity (ms; 0 = 2000)")
+	return r
+}
+
+// Stats counts the faults an Injector actually injected.
+type Stats struct {
+	DroppedReports  int
+	DelayedReports  int
+	DroppedCommands int
+	FadeWindows     int
+}
+
+// Add accumulates o into s (campaign aggregation).
+func (s *Stats) Add(o Stats) {
+	s.DroppedReports += o.DroppedReports
+	s.DelayedReports += o.DelayedReports
+	s.DroppedCommands += o.DroppedCommands
+	s.FadeWindows += o.FadeWindows
+}
+
+// Injector makes the signaling-plane fault decisions for one simulated
+// device run. A nil Injector is valid and injects nothing — callers hook
+// it unconditionally. Methods are not safe for concurrent use; each run
+// owns its injector, as each run owns its RNGs.
+type Injector struct {
+	seed  int64
+	r     Rates
+	stats Stats
+
+	lastFadeWindow int64 // for counting distinct fade windows; -1 initially
+}
+
+// New builds an injector for the given seed, or nil when the rates inject
+// nothing — so the zero-rate path is byte-for-byte the historical one.
+func New(seed int64, r Rates) *Injector {
+	if r.Zero() {
+		return nil
+	}
+	if r.DelayReportMs == 0 {
+		r.DelayReportMs = 200
+	}
+	if r.FadeDB == 0 {
+		r.FadeDB = 80
+	}
+	if r.FadeWindowMs == 0 {
+		r.FadeWindowMs = 2000
+	}
+	return &Injector{seed: seed, r: r, lastFadeWindow: -1}
+}
+
+// Rates returns the effective (default-filled) rates, or the zero Rates
+// for a nil injector.
+func (in *Injector) Rates() Rates {
+	if in == nil {
+		return Rates{}
+	}
+	return in.r
+}
+
+// Stats returns the running fault counts.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	return in.stats
+}
+
+// Decision kinds, folded into the hash so the per-kind fault sets are
+// independent of one another.
+const (
+	kindDropReport uint64 = 1 + iota
+	kindDelayReport
+	kindDropCommand
+	kindFade
+)
+
+// roll maps (seed, kind, key) to a uniform fraction in [0, 1).
+func (in *Injector) roll(kind, key uint64) float64 {
+	h := mix64(uint64(in.seed) + kind*0x9E3779B97F4A7C15 + key*0xBF58476D1CE4E5B9)
+	return float64(h>>11) / (1 << 53)
+}
+
+// DropReport decides whether the report generated at time t is lost on
+// the uplink.
+func (in *Injector) DropReport(t int64) bool {
+	if in == nil || in.roll(kindDropReport, uint64(t)) >= in.r.DropReport {
+		return false
+	}
+	in.stats.DroppedReports++
+	return true
+}
+
+// DelayReport returns the backhaul delay for the report generated at time
+// t: 0 for immediate delivery, DelayReportMs when delayed.
+func (in *Injector) DelayReport(t int64) int64 {
+	if in == nil || in.roll(kindDelayReport, uint64(t)) >= in.r.DelayReport {
+		return 0
+	}
+	in.stats.DelayedReports++
+	return in.r.DelayReportMs
+}
+
+// DropCommand decides whether the handover command due at time t is lost
+// on the downlink.
+func (in *Injector) DropCommand(t int64) bool {
+	if in == nil || in.roll(kindDropCommand, uint64(t)) >= in.r.DropCommand {
+		return false
+	}
+	in.stats.DroppedCommands++
+	return true
+}
+
+// FadeDB returns the blanket attenuation at time t: 0 outside fade
+// episodes, Rates.FadeDB inside. Episodes are whole FadeWindowMs windows,
+// decided per window, so a fade persists long enough to run N310 counting
+// and T310 to expiry.
+func (in *Injector) FadeDB(t int64) float64 {
+	if in == nil || in.r.Fade == 0 {
+		return 0
+	}
+	w := t / in.r.FadeWindowMs
+	if in.roll(kindFade, uint64(w)) >= in.r.Fade {
+		return 0
+	}
+	if w != in.lastFadeWindow {
+		in.stats.FadeWindows++
+		in.lastFadeWindow = w
+	}
+	return in.r.FadeDB
+}
+
+// mix64 is the SplitMix64 avalanche finalizer (same construction as
+// sim.DeriveSeed, kept local so fault stays leaf-level).
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}

@@ -1,0 +1,152 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+
+	"mmlab/internal/sib"
+)
+
+func TestZeroRatesInjectNothing(t *testing.T) {
+	if in := New(7, Rates{}); in != nil {
+		t.Fatal("zero rates must build a nil injector")
+	}
+	var in *Injector
+	for ts := int64(0); ts < 10000; ts += 40 {
+		if in.DropReport(ts) || in.DelayReport(ts) != 0 || in.DropCommand(ts) || in.FadeDB(ts) != 0 {
+			t.Fatal("nil injector injected a fault")
+		}
+	}
+	if in.Stats() != (Stats{}) || in.Rates() != (Rates{}) {
+		t.Fatal("nil injector carries state")
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	r := DefaultRates()
+	a, b := New(42, r), New(42, r)
+	for ts := int64(0); ts < 60000; ts += 40 {
+		if a.DropReport(ts) != b.DropReport(ts) ||
+			a.DelayReport(ts) != b.DelayReport(ts) ||
+			a.DropCommand(ts) != b.DropCommand(ts) ||
+			a.FadeDB(ts) != b.FadeDB(ts) {
+			t.Fatalf("same seed diverged at t=%d", ts)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if a.Stats() == (Stats{}) {
+		t.Fatal("default rates injected nothing over 60 s")
+	}
+}
+
+// TestInjectorMonotoneInRate: scaling rates up only adds faults — the
+// property the fault-rate sweeps rely on for monotone failure counts.
+func TestInjectorMonotoneInRate(t *testing.T) {
+	base := DefaultRates()
+	lo, hi := New(3, base.Scale(0.3)), New(3, base)
+	for ts := int64(0); ts < 120000; ts += 40 {
+		if lo.DropReport(ts) && !hi.DropReport(ts) {
+			t.Fatalf("report dropped at low rate but not high at t=%d", ts)
+		}
+		if lo.DropCommand(ts) && !hi.DropCommand(ts) {
+			t.Fatalf("command dropped at low rate but not high at t=%d", ts)
+		}
+		if lo.FadeDB(ts) != 0 && hi.FadeDB(ts) == 0 {
+			t.Fatalf("fade at low rate but not high at t=%d", ts)
+		}
+	}
+	ls, hs := lo.Stats(), hi.Stats()
+	if ls.DroppedReports > hs.DroppedReports || ls.DroppedCommands > hs.DroppedCommands || ls.FadeWindows > hs.FadeWindows {
+		t.Fatalf("low-rate stats exceed high-rate: %+v vs %+v", ls, hs)
+	}
+}
+
+func TestScaleClampsAndZeroes(t *testing.T) {
+	r := DefaultRates().Scale(10)
+	for _, p := range []float64{r.DropReport, r.DelayReport, r.DropCommand, r.Fade} {
+		if p != 1 {
+			t.Fatalf("scale 10 should clamp to 1, got %v", p)
+		}
+	}
+	if !DefaultRates().Scale(0).Zero() {
+		t.Fatal("scale 0 should be Zero")
+	}
+}
+
+func TestFadeEpisodesSpanWindows(t *testing.T) {
+	in := New(1, Rates{Fade: 0.5, FadeDB: 30, FadeWindowMs: 1000})
+	// Within one window the fade is constant.
+	for w := int64(0); w < 50; w++ {
+		first := in.FadeDB(w * 1000)
+		for off := int64(40); off < 1000; off += 40 {
+			if in.FadeDB(w*1000+off) != first {
+				t.Fatalf("fade changed inside window %d", w)
+			}
+		}
+	}
+	if s := in.Stats().FadeWindows; s == 0 || s == 50 {
+		t.Fatalf("FadeWindows = %d, want some but not all of 50", s)
+	}
+}
+
+// testStream builds a small valid diag stream of n records.
+func testStream(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	dw := sib.NewDiagWriter(&buf)
+	for i := 0; i < n; i++ {
+		dw.WriteMsg(uint64(i)*100, sib.Downlink, &sib.SIB4{ForbiddenCells: []uint32{uint32(i), uint32(i) + 7}})
+	}
+	if err := dw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCorruptZeroOptsIsIdentity(t *testing.T) {
+	data := testStream(t, 20)
+	out, stats, err := Corrupt(data, 9, CorruptOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("zero opts changed the stream")
+	}
+	if stats != (CorruptStats{}) {
+		t.Fatalf("zero opts reported damage: %+v", stats)
+	}
+}
+
+func TestCorruptDeterministicAndDamaging(t *testing.T) {
+	data := testStream(t, 50)
+	o := CorruptOpts{Flip: 0.2, Drop: 0.1, Dup: 0.1, Swap: 0.1, Truncate: 0.1, Garbage: 0.1}
+	a, sa, err := Corrupt(data, 4, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, sb, err := Corrupt(data, 4, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) || sa != sb {
+		t.Fatal("corruption is not deterministic")
+	}
+	if sa.Records != 50 {
+		t.Fatalf("Records = %d, want 50", sa.Records)
+	}
+	if sa.Flipped+sa.Dropped+sa.Duped+sa.Swapped+sa.Truncated+sa.Garbaged == 0 {
+		t.Fatal("no damage applied at nonzero rates")
+	}
+	if bytes.Equal(a, data) {
+		t.Fatal("stream unchanged despite damage")
+	}
+	c, _, err := Corrupt(data, 5, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical corruption")
+	}
+}

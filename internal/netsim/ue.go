@@ -1,8 +1,11 @@
 package netsim
 
 import (
+	"math"
+
 	"mmlab/internal/config"
 	"mmlab/internal/core"
+	"mmlab/internal/fault"
 	"mmlab/internal/geo"
 	"mmlab/internal/mobility"
 	"mmlab/internal/radio"
@@ -40,6 +43,12 @@ type HandoffRecord struct {
 	// decisive report (bps); the paper's handoff-quality metric (§4.1).
 	// -1 when no traffic ran.
 	MinThptBefore float64
+
+	// PingPong marks an active handoff back to the previous serving cell
+	// within the ping-pong window (TS 36.300 §22.4.2 MRO). Only tracked
+	// when the fault/RLF layer is enabled, so zero-fault datasets are
+	// unchanged.
+	PingPong bool
 }
 
 // IntraFreq reports whether source and target share RAT and channel.
@@ -67,6 +76,22 @@ type UEOpts struct {
 	FadingSigmaDB float64
 	// MaxNeighbors caps measured neighbors per round; default 10.
 	MaxNeighbors int
+	// Injector supplies signaling-plane faults (dropped/delayed reports,
+	// lost handover commands, deep fades). nil injects nothing and keeps
+	// the run byte-identical to the fault-free simulator. Each run must
+	// own its injector — it accumulates per-run statistics.
+	Injector *fault.Injector
+	// RLF enables TS 36.331 radio-link-failure supervision with the given
+	// timers. When nil, supervision still runs with defaults if an
+	// Injector is set (faults without RLF would be unobservable); with
+	// neither, the RLF machinery is off entirely.
+	RLF *core.RLFConfig
+	// BandLockoutOutageMs is the service disruption charged when the
+	// network orders an active-state handoff the device cannot perform
+	// (unsupported band, vanished target): the UE must detach, fail, and
+	// recover via connection re-establishment on the old cell. The paper's
+	// band-30 lockout case (§5.4.1) motivates the default of 1000 ms.
+	BandLockoutOutageMs core.Clock
 }
 
 func (o *UEOpts) fill() {
@@ -79,7 +104,67 @@ func (o *UEOpts) fill() {
 	if o.MaxNeighbors == 0 {
 		o.MaxNeighbors = 10
 	}
+	if o.BandLockoutOutageMs == 0 {
+		o.BandLockoutOutageMs = 1000
+	}
 }
+
+// FailureCounts is the mobility-robustness failure taxonomy of TS 36.300
+// §22.4.2, produced by runs with the fault/RLF layer enabled. The zero
+// value means no failures (and is all a fault-free run ever reports).
+type FailureCounts struct {
+	// RLF counts radio-link failures declared by T310 expiry.
+	RLF int
+	// TooLateHO: RLF with no recent handoff, re-established on a cell
+	// other than the serving one — the handoff that should have happened
+	// didn't happen in time.
+	TooLateHO int
+	// TooEarlyHO: RLF shortly after a handoff, re-established on the
+	// source cell — the handoff fired before the target was viable.
+	TooEarlyHO int
+	// WrongCellHO: RLF shortly after a handoff, re-established on a third
+	// cell — neither source nor target was the right choice.
+	WrongCellHO int
+	// LostCommands counts handover commands lost on the downlink: the
+	// network decided, the UE never heard (handover failure).
+	LostCommands int
+	// PingPongs counts handoffs back to the previous serving cell within
+	// the ping-pong window.
+	PingPongs int
+	// Reestabs counts completed RRC connection re-establishments.
+	Reestabs int
+	// ReestabFailed counts T311 expiries — no suitable cell found in time,
+	// forcing the slower idle re-attach path.
+	ReestabFailed int
+	// ReestabOutageMs is the user-plane outage accumulated between RLF
+	// declarations and re-establishment completions.
+	ReestabOutageMs core.Clock
+}
+
+// Add accumulates o into c (campaign aggregation).
+func (c *FailureCounts) Add(o FailureCounts) {
+	c.RLF += o.RLF
+	c.TooLateHO += o.TooLateHO
+	c.TooEarlyHO += o.TooEarlyHO
+	c.WrongCellHO += o.WrongCellHO
+	c.LostCommands += o.LostCommands
+	c.PingPongs += o.PingPongs
+	c.Reestabs += o.Reestabs
+	c.ReestabFailed += o.ReestabFailed
+	c.ReestabOutageMs += o.ReestabOutageMs
+}
+
+// Taxonomy windows (TS 36.300 §22.4.2): a re-establishment within
+// classifyWindowMs of the last handoff is attributed to that handoff
+// (too-early / wrong-cell); a handoff returning to the previous cell
+// within pingPongWindowMs is a ping-pong (T_pp).
+const (
+	classifyWindowMs core.Clock = 5000
+	pingPongWindowMs core.Clock = 5000
+	// reattachMs is the extra camp delay after T311 expiry: the UE fell
+	// back to idle and must re-attach rather than re-establish.
+	reattachMs core.Clock = 2000
+)
 
 // DriveResult is everything one run produces.
 type DriveResult struct {
@@ -89,6 +174,12 @@ type DriveResult struct {
 	FailedHO    int        // handoffs to unsupported bands (service disruption)
 	OutageMs    core.Clock // accumulated user-plane outage
 	ServingEnds config.CellIdentity
+
+	// Failures is the robustness taxonomy; zero unless the fault/RLF
+	// layer ran.
+	Failures FailureCounts
+	// FaultStats is what the injector actually injected (zero without one).
+	FaultStats fault.Stats
 }
 
 // MeanThpt returns the mean of the 100 ms bins, or 0.
@@ -124,7 +215,37 @@ type ue struct {
 	binStart core.Clock
 	binBits  float64
 
+	// Fault/RLF layer (nil-safe: inj may be nil; rlf nil means no
+	// supervision and no taxonomy).
+	inj     *fault.Injector
+	rlf     *core.RLFMonitor
+	delayed []delayedReport
+	reestab reestabState
+
+	hadHO      bool
+	lastHOTime core.Clock
+	lastHOFrom config.CellIdentity
+
 	res *DriveResult
+}
+
+// delayedReport is a measurement report in flight on a slow backhaul.
+type delayedReport struct {
+	rep   core.Report
+	due   core.Clock // arrival at the decision logic
+	delay core.Clock
+}
+
+// reestabState tracks one RRC connection re-establishment (TS 36.331
+// §5.3.7): after RLF the UE selects a cell under T311 supervision, then
+// runs the re-establishment procedure (T301) before service resumes.
+type reestabState struct {
+	active       bool
+	declaredAt   core.Clock // when RLF was declared
+	t311Deadline core.Clock
+	t311Expired  bool
+	targetID     config.CellIdentity
+	completeAt   core.Clock // 0 until a cell is selected
 }
 
 // RunDrive simulates one device moving through the world for durMs.
@@ -133,8 +254,16 @@ func RunDrive(w *World, move mobility.Model, durMs int64, opts UEOpts) *DriveRes
 	u := &ue{
 		w:      w,
 		opts:   opts,
+		inj:    opts.Injector,
 		fading: make(map[uint32]*radio.FastFading),
 		res:    &DriveResult{Reports: make(map[config.EventType]int)},
+	}
+	if opts.Active && (opts.Injector != nil || opts.RLF != nil) {
+		cfg := core.DefaultRLFConfig()
+		if opts.RLF != nil {
+			cfg = *opts.RLF
+		}
+		u.rlf = core.NewRLFMonitor(cfg)
 	}
 	start := w.StrongestLTE(move.At(0))
 	if start == nil {
@@ -146,6 +275,13 @@ func RunDrive(w *World, move mobility.Model, durMs int64, opts UEOpts) *DriveRes
 		u.step(t, move)
 	}
 	u.flushBin(durMs)
+	if u.reestab.active {
+		// The run ended mid-re-establishment: charge the outage so far.
+		out := core.Clock(durMs) - u.reestab.declaredAt
+		u.res.OutageMs += out
+		u.res.Failures.ReestabOutageMs += out
+	}
+	u.res.FaultStats = u.inj.Stats()
 	u.res.ServingEnds = u.serving.Site.Identity
 	return u.res
 }
@@ -166,6 +302,11 @@ func (u *ue) camp(t core.Clock, c *Cell) {
 		u.decider = nil
 	}
 	u.pending = nil
+	u.delayed = u.delayed[:0]
+	if u.rlf != nil {
+		// The new connection starts with fresh out-of-sync counters.
+		u.rlf.Reset()
+	}
 	if u.opts.Diag != nil {
 		for _, raw := range sib.BroadcastSet(c.Config) {
 			u.opts.Diag.Write(sib.DiagRecord{TimestampMs: uint64(t), Dir: sib.Downlink, Raw: raw})
@@ -194,14 +335,26 @@ type chKey struct {
 var ueNoiseMw = radio.NoisePerREMw(7)
 
 // measure produces one cell's raw measurement at pos. intfNoiseMw is the
-// co-channel interference-plus-noise power per RE excluding this cell.
-func (u *ue) measure(c *Cell, pos geo.Point, intfNoiseMw float64) core.RawMeas {
-	rsrp := radio.ClampRSRP(u.w.RSRPAt(c, pos) + u.fadingFor(c.Site.Identity.CellID).Next())
+// co-channel interference-plus-noise power per RE excluding this cell;
+// fadeDB is the blanket deep-fade attenuation (0 outside fault episodes).
+func (u *ue) measure(c *Cell, pos geo.Point, intfNoiseMw, fadeDB float64) core.RawMeas {
+	rsrp := radio.ClampRSRP(u.w.RSRPAt(c, pos) + u.fadingFor(c.Site.Identity.CellID).Next() - fadeDB)
 	return core.RawMeas{
 		Cell: c.Site.Identity,
 		RSRP: rsrp,
 		RSRQ: radio.RSRQ(rsrp, intfNoiseMw),
 	}
+}
+
+// fadedIntf attenuates the interference part of an interference-plus-noise
+// power by fadeDB while keeping the thermal noise floor: a blockage dims
+// every tower equally but the receiver's own noise stays, which is exactly
+// what drives SINR down during a deep fade.
+func fadedIntf(intfNoiseMw, fadeDB float64) float64 {
+	if fadeDB == 0 {
+		return intfNoiseMw
+	}
+	return (intfNoiseMw-ueNoiseMw)/math.Pow(10, fadeDB/10) + ueNoiseMw
 }
 
 func (u *ue) step(t core.Clock, move mobility.Model) {
@@ -234,8 +387,12 @@ func (u *ue) step(t core.Clock, move mobility.Model) {
 		return intf + ueNoiseMw
 	}
 
-	servingIntf := intfFor(u.serving)
-	servingMeas := u.measure(u.serving, pos, servingIntf)
+	// Deep-fade episodes attenuate every tower the UE hears (fadeDB is 0
+	// without an injector, leaving all the math untouched).
+	fadeDB := u.inj.FadeDB(int64(t))
+
+	servingIntf := fadedIntf(intfFor(u.serving), fadeDB)
+	servingMeas := u.measure(u.serving, pos, servingIntf, fadeDB)
 
 	var neighbors []core.RawMeas
 	for _, c := range audible {
@@ -245,7 +402,7 @@ func (u *ue) step(t core.Clock, move mobility.Model) {
 		if len(neighbors) >= u.opts.MaxNeighbors {
 			break
 		}
-		m := u.measure(c, pos, intfFor(c))
+		m := u.measure(c, pos, fadedIntf(intfFor(c), fadeDB), fadeDB)
 		if m.RSRP <= radio.RSRPMin+1 {
 			continue // below the noise floor: undetectable
 		}
@@ -259,13 +416,13 @@ func (u *ue) step(t core.Clock, move mobility.Model) {
 	}
 }
 
-// stepActive runs one active-state round: traffic, measurement/reporting,
-// network decision, and handoff execution.
+// stepActive runs one active-state round: traffic, RLF supervision,
+// measurement/reporting, network decision, and handoff execution.
 func (u *ue) stepActive(t core.Clock, servingMeas core.RawMeas, servingIntfMw float64, neighbors []core.RawMeas) {
 	// --- data plane ---
 	if u.opts.App != nil {
 		linkBps := 0.0
-		if t >= u.interruptUntil {
+		if t >= u.interruptUntil && !u.reestab.active {
 			sinr := radio.SINRdB(servingMeas.RSRP, servingIntfMw)
 			linkBps = u.w.Link.Throughput(sinr, 1)
 		}
@@ -273,7 +430,43 @@ func (u *ue) stepActive(t core.Clock, servingMeas core.RawMeas, servingIntfMw fl
 		u.accumulate(t, bits)
 	}
 
+	// No RRC connection while re-establishing: no reports, no decisions.
+	if u.reestab.active {
+		u.stepReestab(t, servingMeas, neighbors)
+		return
+	}
+
+	// --- radio-link supervision (TS 36.331 §5.3.11) ---
+	if u.rlf != nil {
+		sinr := radio.SINRdB(servingMeas.RSRP, servingIntfMw)
+		if u.rlf.Observe(t, sinr) == core.RLFDeclared {
+			u.declareRLF(t)
+			return
+		}
+	}
+
 	// --- control plane ---
+	// Reports stuck on a slow backhaul reach the decision logic late; a
+	// decision made on a stale report executes late too. Reports maturing
+	// while a preparation is already underway are discarded by the eNB.
+	if len(u.delayed) > 0 {
+		keep := u.delayed[:0]
+		for _, dr := range u.delayed {
+			switch {
+			case dr.due > t:
+				keep = append(keep, dr)
+			case u.pending == nil:
+				if dec := u.decider.OnReport(dr.rep); dec.Handoff {
+					d := dec
+					d.ExecuteAt += dr.delay
+					u.pending = &d
+					u.decisiveRep = dr.rep
+				}
+			}
+		}
+		u.delayed = keep
+	}
+
 	// While a handoff is being prepared the source eNB has already decided
 	// and the UE's measurement configuration is about to be replaced, so
 	// no further reports go out. This is also what makes the paper's
@@ -283,7 +476,16 @@ func (u *ue) stepActive(t core.Clock, servingMeas core.RawMeas, servingIntfMw fl
 		for _, rep := range u.monitor.Observe(t, servingMeas, neighbors) {
 			u.res.Reports[rep.Event]++
 			if u.opts.Diag != nil {
+				// The UE-side capture sees every report it sends, even the
+				// ones the network never receives.
 				u.opts.Diag.WriteMsg(uint64(t), sib.Uplink, reportToWire(rep))
+			}
+			if u.inj.DropReport(int64(t)) {
+				continue // lost on the uplink
+			}
+			if d := u.inj.DelayReport(int64(t)); d > 0 {
+				u.delayed = append(u.delayed, delayedReport{rep: rep, due: t + core.Clock(d), delay: core.Clock(d)})
+				continue
 			}
 			if dec := u.decider.OnReport(rep); dec.Handoff {
 				d := dec
@@ -295,8 +497,107 @@ func (u *ue) stepActive(t core.Clock, servingMeas core.RawMeas, servingIntfMw fl
 	}
 
 	if u.pending != nil && t >= u.pending.ExecuteAt {
+		if u.inj.DropCommand(int64(u.pending.ExecuteAt)) {
+			// Handover Command lost on the downlink: the network has
+			// switched its decision state but the UE never moves — the
+			// classic handover-failure precursor. The stale preparation is
+			// abandoned; reporting resumes next round.
+			u.pending = nil
+			u.res.Failures.LostCommands++
+			return
+		}
 		u.executeActive(t, servingMeas, neighbors)
 	}
+}
+
+// declareRLF moves the UE into connection re-establishment after T310
+// expiry: the pending handoff (if any) dies with the connection, reports
+// in flight are lost, and cell selection runs under T311.
+func (u *ue) declareRLF(t core.Clock) {
+	u.res.Failures.RLF++
+	u.pending = nil
+	u.delayed = u.delayed[:0]
+	u.reestab = reestabState{
+		active:       true,
+		declaredAt:   t,
+		t311Deadline: t + u.rlf.Config().T311Ms,
+	}
+}
+
+// stepReestab runs one round of post-RLF recovery: select a cell (T311),
+// then complete the re-establishment procedure (T301) and resume service.
+func (u *ue) stepReestab(t core.Clock, servingMeas core.RawMeas, neighbors []core.RawMeas) {
+	if u.reestab.completeAt > 0 {
+		if t >= u.reestab.completeAt {
+			u.finishReestab(t)
+		}
+		return
+	}
+	if !u.reestab.t311Expired && t >= u.reestab.t311Deadline {
+		// T311 expired with no suitable cell: the UE falls to idle and
+		// must re-attach, a strictly slower recovery.
+		u.reestab.t311Expired = true
+		u.res.Failures.ReestabFailed++
+	}
+	cand, ok := u.bestReestabCell(servingMeas, neighbors)
+	if !ok {
+		return
+	}
+	delay := u.rlf.Config().T301Ms
+	if u.reestab.t311Expired {
+		delay = reattachMs
+	}
+	u.reestab.targetID = cand
+	u.reestab.completeAt = t + delay
+}
+
+// bestReestabCell picks the strongest detectable, device-supported LTE
+// cell — the serving cell included (re-establishing where you were is the
+// common case once a fade lifts).
+func (u *ue) bestReestabCell(servingMeas core.RawMeas, neighbors []core.RawMeas) (config.CellIdentity, bool) {
+	var best config.CellIdentity
+	bestRSRP := radio.RSRPMin + 1 // detectability floor
+	consider := func(m core.RawMeas) {
+		if m.Cell.RAT != config.RATLTE || m.RSRP <= bestRSRP {
+			return
+		}
+		if !core.SupportedTarget(u.opts.DeviceBands, m.Cell) {
+			return
+		}
+		best, bestRSRP = m.Cell, m.RSRP
+	}
+	consider(servingMeas)
+	for _, n := range neighbors {
+		consider(n)
+	}
+	return best, best != (config.CellIdentity{})
+}
+
+// finishReestab completes the re-establishment: account the outage,
+// classify the failure per TS 36.300 §22.4.2, and camp on the new cell.
+func (u *ue) finishReestab(t core.Clock) {
+	target, ok := u.w.CellByID(u.reestab.targetID.CellID)
+	if !ok {
+		u.reestab.completeAt = 0 // cell vanished: reselect
+		return
+	}
+	out := t - u.reestab.declaredAt
+	u.res.OutageMs += out
+	u.res.Failures.ReestabOutageMs += out
+	u.res.Failures.Reestabs++
+	if newID := target.Site.Identity; newID != u.serving.Site.Identity {
+		if u.hadHO && t-u.lastHOTime <= classifyWindowMs {
+			if newID == u.lastHOFrom {
+				u.res.Failures.TooEarlyHO++
+			} else {
+				u.res.Failures.WrongCellHO++
+			}
+		} else {
+			u.res.Failures.TooLateHO++
+		}
+	}
+	u.reestab = reestabState{}
+	u.camp(t, target)
 }
 
 // executeActive performs the pending network-ordered handoff.
@@ -305,14 +606,20 @@ func (u *ue) executeActive(t core.Clock, servingMeas core.RawMeas, neighbors []c
 	u.pending = nil
 	target, ok := u.w.CellByID(dec.Target.CellID)
 	if !ok {
+		// The commanded target no longer exists (decommissioned between
+		// decision and execution): the handoff fails and the UE recovers on
+		// the old cell — a disruption, not a silent no-op.
+		u.res.FailedHO++
+		u.res.OutageMs += u.opts.BandLockoutOutageMs
+		u.interruptUntil = t + u.opts.BandLockoutOutageMs
 		return
 	}
 	if !core.SupportedTarget(u.opts.DeviceBands, dec.Target) {
 		// The paper's band-lockout failure: the network orders a handoff
 		// the phone cannot perform; service is disrupted (§5.4.1).
 		u.res.FailedHO++
-		u.res.OutageMs += 1000
-		u.interruptUntil = t + 1000
+		u.res.OutageMs += u.opts.BandLockoutOutageMs
+		u.interruptUntil = t + u.opts.BandLockoutOutageMs
 		return
 	}
 	// The target's radio quality as last measured this round.
@@ -341,6 +648,15 @@ func (u *ue) executeActive(t core.Clock, servingMeas core.RawMeas, neighbors []c
 		RSRQOld:       servingMeas.RSRQ,
 		RSRQNew:       newMeas.RSRQ,
 		MinThptBefore: u.minThptBefore(u.decisiveRep.Time),
+	}
+	if u.rlf != nil {
+		if u.hadHO && rec.To == u.lastHOFrom && t-u.lastHOTime <= pingPongWindowMs {
+			rec.PingPong = true
+			u.res.Failures.PingPongs++
+		}
+		u.hadHO = true
+		u.lastHOTime = t
+		u.lastHOFrom = u.serving.Site.Identity
 	}
 	u.res.Handoffs = append(u.res.Handoffs, rec)
 	if u.opts.Diag != nil {

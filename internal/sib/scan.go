@@ -1,0 +1,90 @@
+package sib
+
+import "encoding/binary"
+
+// DiagScanner walks a possibly-damaged diag byte stream and yields every
+// record whose framing and envelope survive validation, resynchronizing
+// past damage instead of aborting. Real captures break mid-record — the
+// logger loses buffers, USB transfers truncate, foreign bytes interleave —
+// and a crawler that aborts at the first bad byte throws away everything
+// after it. The scanner's contract: any record whose bytes are intact in
+// the stream is recovered, no matter what surrounds it.
+//
+// A candidate frame at an offset is accepted only if the 13-byte header is
+// sane (direction 0/1, bounded length that fits in the remaining bytes)
+// AND the embedded envelope opens cleanly (magic, version, exact length,
+// CRC32). A false positive therefore needs 16 bits of magic, a version
+// match, a consistent length and a colliding checksum inside damaged
+// bytes — negligible, and exactly the validation the strict reader runs.
+// On rejection the scanner slides forward one byte and tries again,
+// counting the skipped bytes and each contiguous damaged region.
+type DiagScanner struct {
+	data  []byte
+	off   int
+	stats ScanStats
+}
+
+// ScanStats describes what a scan saw.
+type ScanStats struct {
+	Records      int // valid records yielded
+	SkippedBytes int // bytes discarded while resynchronizing
+	Resyncs      int // contiguous damaged regions skipped
+}
+
+// NewDiagScanner scans data. Returned records alias data; callers must
+// not mutate it while records are live.
+func NewDiagScanner(data []byte) *DiagScanner {
+	return &DiagScanner{data: data}
+}
+
+// Stats returns the running scan statistics.
+func (s *DiagScanner) Stats() ScanStats { return s.stats }
+
+// Next returns the next valid record; ok=false at end of data.
+func (s *DiagScanner) Next() (DiagRecord, bool) {
+	skipped := 0
+	for s.off < len(s.data) {
+		if rec, n, ok := frameAt(s.data[s.off:]); ok {
+			if skipped > 0 {
+				s.stats.Resyncs++
+				s.stats.SkippedBytes += skipped
+			}
+			s.off += n
+			s.stats.Records++
+			return rec, true
+		}
+		s.off++
+		skipped++
+	}
+	if skipped > 0 {
+		s.stats.Resyncs++
+		s.stats.SkippedBytes += skipped
+	}
+	return DiagRecord{}, false
+}
+
+// frameAt validates a candidate frame at the head of b, returning the
+// record and its encoded size on success.
+func frameAt(b []byte) (DiagRecord, int, bool) {
+	const hdr = 13
+	if len(b) < hdr {
+		return DiagRecord{}, 0, false
+	}
+	dir := b[8]
+	if dir > 1 {
+		return DiagRecord{}, 0, false
+	}
+	n := binary.LittleEndian.Uint32(b[9:])
+	if n > maxDiagMsgLen || uint64(len(b)-hdr) < uint64(n) {
+		return DiagRecord{}, 0, false
+	}
+	raw := b[hdr : hdr+int(n)]
+	if _, _, err := Open(raw); err != nil {
+		return DiagRecord{}, 0, false
+	}
+	return DiagRecord{
+		TimestampMs: binary.LittleEndian.Uint64(b),
+		Dir:         Direction(dir),
+		Raw:         raw,
+	}, hdr + int(n), true
+}

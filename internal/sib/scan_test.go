@@ -1,0 +1,108 @@
+package sib
+
+import (
+	"bytes"
+	"testing"
+)
+
+func scanStream(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	dw := NewDiagWriter(&buf)
+	for i := 0; i < n; i++ {
+		dw.WriteMsg(uint64(i)*50, Uplink, &SIB4{ForbiddenCells: []uint32{uint32(i)}})
+	}
+	if err := dw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func collect(s *DiagScanner) []DiagRecord {
+	var out []DiagRecord
+	for {
+		rec, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, rec)
+	}
+}
+
+func TestScannerCleanStream(t *testing.T) {
+	data := scanStream(t, 12)
+	s := NewDiagScanner(data)
+	recs := collect(s)
+	if len(recs) != 12 {
+		t.Fatalf("records = %d, want 12", len(recs))
+	}
+	for i, r := range recs {
+		if r.TimestampMs != uint64(i)*50 || r.Dir != Uplink {
+			t.Fatalf("record %d header = %d/%v", i, r.TimestampMs, r.Dir)
+		}
+		if _, err := r.Decode(); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	if st := s.Stats(); st != (ScanStats{Records: 12}) {
+		t.Fatalf("clean stats: %+v", st)
+	}
+}
+
+func TestScannerResyncsAroundGarbage(t *testing.T) {
+	one := scanStream(t, 1)
+	junk := []byte{0xFF, 0x00, 0xC3, 0x11, 0x01, 0x02, 0x03}
+	var stream []byte
+	stream = append(stream, junk...)
+	stream = append(stream, one...)
+	stream = append(stream, junk...)
+	stream = append(stream, one...)
+	stream = append(stream, junk...)
+
+	s := NewDiagScanner(stream)
+	recs := collect(s)
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	st := s.Stats()
+	if st.Resyncs != 3 {
+		t.Errorf("resyncs = %d, want 3", st.Resyncs)
+	}
+	if st.SkippedBytes != 3*len(junk) {
+		t.Errorf("skipped = %d, want %d", st.SkippedBytes, 3*len(junk))
+	}
+}
+
+func TestScannerPureGarbage(t *testing.T) {
+	junk := bytes.Repeat([]byte{0xAB, 0x13, 0xC3}, 40)
+	s := NewDiagScanner(junk)
+	if recs := collect(s); len(recs) != 0 {
+		t.Fatalf("records from garbage: %d", len(recs))
+	}
+	st := s.Stats()
+	if st.SkippedBytes != len(junk) || st.Resyncs != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestScannerTruncatedTail(t *testing.T) {
+	data := scanStream(t, 3)
+	cut := data[:len(data)-5] // last record loses its trailer
+	s := NewDiagScanner(cut)
+	if recs := collect(s); len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	if st := s.Stats(); st.SkippedBytes == 0 {
+		t.Errorf("truncated tail not counted as skipped: %+v", st)
+	}
+}
+
+func TestScannerEmpty(t *testing.T) {
+	s := NewDiagScanner(nil)
+	if recs := collect(s); len(recs) != 0 {
+		t.Fatal("records from empty input")
+	}
+	if s.Stats() != (ScanStats{}) {
+		t.Fatalf("stats: %+v", s.Stats())
+	}
+}
