@@ -1,0 +1,135 @@
+package mmlab
+
+// Country-scale hot-path benchmarks (ROADMAP: "Discrete-event core +
+// spatial cell indexing → country-scale worlds"). These size a world by
+// cell count rather than by paper-dataset fraction and drive UEs across
+// it, so the O(cells)→O(density) complexity win of the spatial index and
+// the event scheduler is measured directly. The -country.* flags scale
+// the scenario up to 10⁵ cells / 10⁴ UEs:
+//
+//	go test -run '^$' -bench 'BenchmarkCountry' -benchmem \
+//	    -country.cells 100000 -country.ues 10000
+//
+// Three profiles:
+//
+//   - default: the PR hot path — spatial index, event-driven UEs, and the
+//     country audibility profile (1.5×ISD measurement radius: the serving
+//     tier plus the surrounding ring stay audible, ~24 cells).
+//   - -country.linear: same world configuration, legacy linear-scan +
+//     fixed-step path. Byte-identical results to the default; this is the
+//     matched-config algorithmic comparison.
+//   - -country.seedpath: the seed profile — legacy path at the seed's
+//     fixed 4×ISD audibility, the only configuration the seed could run
+//     (it had no world tuning). This is how the committed BENCH_seed.json
+//     baseline is produced; the default path produces BENCH_pr6.json.
+//
+// See `./verify.sh bench`.
+
+import (
+	"flag"
+	"math"
+	"testing"
+
+	"mmlab/internal/carrier"
+	"mmlab/internal/geo"
+	"mmlab/internal/mobility"
+	"mmlab/internal/netsim"
+	"mmlab/internal/sim"
+	"mmlab/internal/traffic"
+)
+
+var (
+	countryCells  = flag.Int("country.cells", 10000, "target cell count for the country-world benches")
+	countryUEs    = flag.Int("country.ues", 8, "drive runs per BenchmarkCountryCampaign iteration")
+	countryDurS   = flag.Int("country.dur", 30, "simulated seconds per drive run")
+	countryRadius = flag.Float64("country.radius", 0, "audibility radius in meters (0: profile default)")
+	countryLinear = flag.Bool("country.linear", false, "legacy linear-scan + fixed-step path at the same radius (matched-config baseline)")
+	countrySeed   = flag.Bool("country.seedpath", false, "full seed profile: legacy path at the seed's fixed 4×ISD radius")
+)
+
+// countryISD is the bench arena's inter-site distance in meters.
+const countryISD = 700.0
+
+// countryWorld builds a square arena sized so a 3-layer deployment lands
+// near -country.cells sites. The default audibility radius is 1.5×ISD —
+// at country density a UE hears the surrounding ring of sites, not 50
+// towers — while the seed profile keeps the seed's untunable 4×ISD.
+func countryWorld(b *testing.B) *netsim.World {
+	b.Helper()
+	rowStep := countryISD * math.Sqrt(3) / 2
+	side := math.Sqrt(float64(*countryCells)/3*countryISD*rowStep) - 2*countryISD
+	gen, err := carrier.NewGenerator("A")
+	if err != nil {
+		b.Fatal(err)
+	}
+	radius := *countryRadius
+	if radius == 0 {
+		radius = 1.5 * countryISD
+		if *countrySeed {
+			radius = 4 * countryISD
+		}
+	}
+	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(side, side))
+	return netsim.BuildWorld(gen, region, netsim.WorldOpts{
+		Seed:          benchSeed,
+		LTELayers:     3,
+		ISD:           countryISD,
+		MeasureRadius: radius,
+		LinearScan:    legacyPath(),
+	})
+}
+
+// legacyPath reports whether the benches should run the pre-PR hot path
+// (linear audibility scan + fixed-step tick loop).
+func legacyPath() bool { return *countryLinear || *countrySeed }
+
+// countryStart scatters UE j deterministically over the arena interior
+// (golden-ratio low-discrepancy sequence), away from edges so every run
+// starts under coverage.
+func countryStart(region geo.Rect, j int) geo.Point {
+	fx := math.Mod(float64(j)*0.61803398874989485, 1)
+	fy := math.Mod(float64(j)*0.38196601125010515+0.5/float64(j+1), 1)
+	return geo.Pt(
+		region.Min.X+(0.05+0.9*fx)*region.Width(),
+		region.Min.Y+(0.05+0.9*fy)*region.Height(),
+	)
+}
+
+// BenchmarkCountryCampaign is the headline bench: -country.ues highway
+// drives of -country.dur simulated seconds each, per iteration, across
+// one shared country-scale world.
+func BenchmarkCountryCampaign(b *testing.B) {
+	w := countryWorld(b)
+	durMs := int64(*countryDurS) * 1000
+	b.ResetTimer()
+	handoffs := 0
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < *countryUEs; j++ {
+			move := mobility.NewLinear(countryStart(w.Region, j), float64(j%8)*math.Pi/4, 100)
+			res := netsim.RunDrive(w, move, durMs, netsim.UEOpts{
+				Seed:     sim.DeriveSeed(benchSeed, j),
+				Active:   true,
+				App:      traffic.Speedtest{},
+				TickLoop: legacyPath(),
+			})
+			handoffs += len(res.Handoffs)
+		}
+	}
+	b.ReportMetric(float64(len(w.Cells)), "cells")
+	b.ReportMetric(float64(*countryUEs), "ues")
+	b.ReportMetric(float64(handoffs)/float64(b.N), "handoffs")
+}
+
+// BenchmarkCountryAudible isolates the audibility query: one probe, one
+// lookup per iteration at positions scattered over the arena.
+func BenchmarkCountryAudible(b *testing.B) {
+	w := countryWorld(b)
+	probe := w.NewProbe()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		n += len(probe.AudibleScored(countryStart(w.Region, i)))
+	}
+	b.ReportMetric(float64(len(w.Cells)), "cells")
+	b.ReportMetric(float64(n)/float64(b.N), "audible")
+}

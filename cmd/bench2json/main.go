@@ -1,0 +1,146 @@
+// Command bench2json converts `go test -bench` text output into a small
+// JSON document, so benchmark results can be committed, diffed, and
+// consumed by CI without re-parsing the bench text format downstream.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkCountry' -benchmem . | bench2json -label pr6 -o BENCH_pr6.json
+//
+// Each benchmark line becomes one entry keyed by name, with the standard
+// metrics (ns/op, B/op, allocs/op) and any custom b.ReportMetric units
+// (cells, handoffs, ...) as a flat unit→value map. Environment header
+// lines (goos/goarch/pkg/cpu) are captured alongside. Lines that are not
+// benchmark results (PASS, ok, test logs) pass through to stderr so the
+// pipeline stays debuggable.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: N iterations plus unit→value metrics.
+type Result struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the document bench2json emits.
+type Report struct {
+	Label   string            `json:"label"`
+	Env     map[string]string `json:"env,omitempty"`
+	Results []Result          `json:"results"`
+}
+
+// envKeys are the `key: value` header lines `go test -bench` prints
+// before the first benchmark result.
+var envKeys = map[string]bool{"goos": true, "goarch": true, "pkg": true, "cpu": true}
+
+// parse reads `go test -bench` output and returns the structured report.
+// Unrecognized lines are echoed to passthrough (nil to discard).
+func parse(r io.Reader, label string, passthrough io.Writer) (Report, error) {
+	rep := Report{Label: label, Env: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if key, val, ok := strings.Cut(line, ": "); ok && envKeys[key] {
+			rep.Env[key] = strings.TrimSpace(val)
+			continue
+		}
+		if res, ok := parseBenchLine(line); ok {
+			rep.Results = append(rep.Results, res)
+			continue
+		}
+		if passthrough != nil && strings.TrimSpace(line) != "" {
+			fmt.Fprintln(passthrough, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	if len(rep.Env) == 0 {
+		rep.Env = nil
+	}
+	return rep, nil
+}
+
+// parseBenchLine decodes one `BenchmarkName-8  N  v1 u1  v2 u2 ...` line.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	// Shortest valid line: name, iteration count, one value/unit pair.
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	// Remaining fields must pair up as value/unit.
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Runs: runs, Metrics: map[string]float64{}}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Metrics[rest[i+1]] = v
+	}
+	return res, true
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench2json: ")
+	var (
+		label = flag.String("label", "", "report label (e.g. seed, pr6)")
+		out   = flag.String("o", "", "output path (default: stdout)")
+	)
+	flag.Parse()
+
+	rep, err := parse(os.Stdin, *label, os.Stderr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(rep.Results) == 0 {
+		log.Fatal("no benchmark lines found on stdin")
+	}
+	// Key order inside metrics maps is already sorted by encoding/json;
+	// sort results by name so the file is stable across -bench orderings.
+	sort.Slice(rep.Results, func(i, j int) bool { return rep.Results[i].Name < rep.Results[j].Name })
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		fh, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := fh.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = fh
+	}
+	if _, err := w.Write(buf); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: mmlab
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCountryCampaign 	       3	 153723433 ns/op	     10067 cells	        42.00 handoffs	         8.000 ues	12668016 B/op	   78962 allocs/op
+BenchmarkCountryAudible-8 	   50000	     21042 ns/op	     10067 cells	        23.80 audible
+PASS
+ok  	mmlab	15.575s
+`
+
+func TestParseSample(t *testing.T) {
+	var passthrough bytes.Buffer
+	rep, err := parse(strings.NewReader(sampleBench), "pr6", &passthrough)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Label != "pr6" {
+		t.Errorf("label = %q", rep.Label)
+	}
+	if got := rep.Env["cpu"]; got != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu = %q", got)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(rep.Results))
+	}
+	camp := rep.Results[0]
+	if camp.Name != "BenchmarkCountryCampaign" || camp.Runs != 3 {
+		t.Errorf("campaign header = %q/%d", camp.Name, camp.Runs)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 153723433, "cells": 10067, "handoffs": 42,
+		"ues": 8, "B/op": 12668016, "allocs/op": 78962,
+	} {
+		if got := camp.Metrics[unit]; got != want {
+			t.Errorf("campaign %s = %v, want %v", unit, got, want)
+		}
+	}
+	aud := rep.Results[1]
+	if aud.Name != "BenchmarkCountryAudible-8" || aud.Metrics["audible"] != 23.8 {
+		t.Errorf("audible = %+v", aud)
+	}
+	// PASS / ok lines are not results but must survive on the passthrough.
+	if !strings.Contains(passthrough.String(), "PASS") || !strings.Contains(passthrough.String(), "ok ") {
+		t.Errorf("passthrough = %q", passthrough.String())
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX 3 100",              // dangling value with no unit
+		"BenchmarkX three 100 ns/op",    // non-numeric iteration count
+		"BenchmarkX 3 fast ns/op",       // non-numeric value
+		"NotABench 3 100 ns/op",         // wrong prefix
+		"--- FAIL: TestSomething (0s)",  // test chatter
+		"    bench_test.go:12: logging", // indented log line
+	} {
+		if res, ok := parseBenchLine(line); ok {
+			t.Errorf("parseBenchLine(%q) accepted: %+v", line, res)
+		}
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	rep, err := parse(strings.NewReader(""), "x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 || rep.Env != nil {
+		t.Errorf("rep = %+v", rep)
+	}
+}

@@ -5,10 +5,12 @@
 //
 // Usage:
 //
-//	genfleet [-scale 1.0] [-seed 42] [-carrier A] [-workers N] [-o d2.jsonl]
+//	genfleet [-scale 1.0 | -cells N] [-seed 42] [-carrier A] [-workers N] [-o d2.jsonl]
 //
 // Scale 1.0 reproduces the paper's footprint (32k cells, 30 carriers);
-// -carrier restricts to one carrier. Per-carrier crawl seeds derive from
+// -cells targets an absolute fleet size instead (e.g. -cells 100000 for a
+// country-scale crawl, overriding -scale); -carrier restricts to one
+// carrier. Per-carrier crawl seeds derive from
 // the carrier acronym, so a -carrier run is byte-identical to that
 // carrier's slice of the full run. Crawls execute on -workers parallel
 // workers (default: all CPUs) without changing the output. Ctrl-C
@@ -35,6 +37,7 @@ func main() {
 	log.SetPrefix("genfleet: ")
 	var (
 		scale   = flag.Float64("scale", 1.0, "fraction of the paper's 32k-cell footprint")
+		cells   = flag.Int("cells", 0, "target total cell count across carriers (0: use -scale; otherwise overrides it)")
 		seed    = flag.Int64("seed", 42, "crawl seed")
 		oneCarr = flag.String("carrier", "", "restrict to one carrier acronym (default: all 30)")
 		workers = flag.Int("workers", runtime.NumCPU(), "parallel crawl workers (output is identical for any value)")
@@ -42,6 +45,12 @@ func main() {
 		format  = flag.String("format", "jsonl", "output format: jsonl or csv")
 	)
 	flag.Parse()
+
+	if *cells > 0 {
+		// An absolute fleet size is just a scale in disguise; carriers keep
+		// their relative shares.
+		*scale = float64(*cells) / float64(carrier.D2TotalCells)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -1,0 +1,108 @@
+package core
+
+// EventKind distinguishes scheduler event types. At equal firing times,
+// events run in ascending kind order; equal (time, kind) pairs run in
+// insertion order. Kinds are defined by the scheduler's owner (the UE
+// driver in netsim), not here.
+type EventKind uint8
+
+// Event is one scheduled occurrence in an EventQueue.
+type Event struct {
+	At   Clock
+	Kind EventKind
+	seq  uint64
+}
+
+// EventQueue is a deterministic min-heap of events ordered by
+// (At, Kind, insertion sequence). It backs the event-driven UE scheduler:
+// instead of evaluating every fixed-step tick, the driver pops the next
+// due event, so spans with nothing scheduled cost nothing. The total order
+// makes pop sequences a pure function of the push sequence — no map
+// iteration, no pointer comparison — which is what keeps event-driven runs
+// byte-identical to their fixed-step equivalents.
+//
+// The zero value is an empty, ready-to-use queue.
+type EventQueue struct {
+	h   []Event
+	seq uint64
+}
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// Reset empties the queue, retaining storage.
+func (q *EventQueue) Reset() {
+	q.h = q.h[:0]
+	q.seq = 0
+}
+
+// Push schedules an event of the given kind at time at.
+func (q *EventQueue) Push(at Clock, kind EventKind) {
+	q.h = append(q.h, Event{At: at, Kind: kind, seq: q.seq})
+	q.seq++
+	q.up(len(q.h) - 1)
+}
+
+// Peek returns the next-due event without removing it.
+func (q *EventQueue) Peek() (Event, bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	return q.h[0], true
+}
+
+// Pop removes and returns the next-due event.
+func (q *EventQueue) Pop() (Event, bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	top := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h = q.h[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return top, true
+}
+
+// less is the total order (At, Kind, seq).
+func (q *EventQueue) less(a, b Event) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.seq < b.seq
+}
+
+func (q *EventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q.h[i], q.h[parent]) {
+			return
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *EventQueue) down(i int) {
+	n := len(q.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && q.less(q.h[l], q.h[min]) {
+			min = l
+		}
+		if r < n && q.less(q.h[r], q.h[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		q.h[i], q.h[min] = q.h[min], q.h[i]
+		i = min
+	}
+}

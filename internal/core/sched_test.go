@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestEventQueueOrder pushes a shuffled batch of events and checks they pop
+// in (time, kind, insertion) order — the total order the scheduler's
+// determinism argument rests on.
+func TestEventQueueOrder(t *testing.T) {
+	var q EventQueue
+	type pushed struct {
+		at   Clock
+		kind EventKind
+		ord  int // insertion order
+	}
+	rng := rand.New(rand.NewSource(3))
+	var all []pushed
+	for i := 0; i < 500; i++ {
+		p := pushed{at: Clock(rng.Intn(40)) * 40, kind: EventKind(rng.Intn(3)), ord: i}
+		all = append(all, p)
+		q.Push(p.at, p.kind)
+	}
+	want := append([]pushed(nil), all...)
+	sort.SliceStable(want, func(i, j int) bool {
+		if want[i].at != want[j].at {
+			return want[i].at < want[j].at
+		}
+		if want[i].kind != want[j].kind {
+			return want[i].kind < want[j].kind
+		}
+		return want[i].ord < want[j].ord
+	})
+	for i, w := range want {
+		e, ok := q.Pop()
+		if !ok {
+			t.Fatalf("queue dry after %d pops, want %d", i, len(want))
+		}
+		if e.At != w.at || e.Kind != w.kind {
+			t.Fatalf("pop %d: got (%d,%d), want (%d,%d)", i, e.At, e.Kind, w.at, w.kind)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("queue not empty after draining")
+	}
+}
+
+// TestEventQueueFIFOWithinKey checks that events with identical (time, kind)
+// pop in insertion order, distinguishable via interleaved pops.
+func TestEventQueueFIFOWithinKey(t *testing.T) {
+	var q EventQueue
+	q.Push(100, 1)
+	q.Push(100, 0)
+	q.Push(100, 1)
+	e, _ := q.Pop()
+	if e.Kind != 0 {
+		t.Fatalf("kind tie-break: got kind %d, want 0", e.Kind)
+	}
+	a, _ := q.Pop()
+	b, _ := q.Pop()
+	if a.seq >= b.seq {
+		t.Fatalf("FIFO within key violated: seq %d popped before %d", a.seq, b.seq)
+	}
+}
+
+func TestEventQueuePeekReset(t *testing.T) {
+	var q EventQueue
+	if _, ok := q.Peek(); ok {
+		t.Fatal("peek on empty queue succeeded")
+	}
+	q.Push(80, 2)
+	q.Push(40, 1)
+	if e, ok := q.Peek(); !ok || e.At != 40 {
+		t.Fatalf("peek: got %+v ok=%v, want At=40", e, ok)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("len after peek: %d, want 2", q.Len())
+	}
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatalf("len after reset: %d", q.Len())
+	}
+	q.Push(10, 0)
+	if e, ok := q.Pop(); !ok || e.At != 10 {
+		t.Fatalf("pop after reset: %+v ok=%v", e, ok)
+	}
+}

@@ -40,6 +40,10 @@ type D1Options struct {
 	// disables injection and leaves the dataset byte-identical to a
 	// fault-free campaign.
 	Faults fault.Rates
+	// World tunes the drive-world geometry (site density, audibility
+	// radius, arena size) and the hot-path selection. The zero value keeps
+	// the standard arena and the indexed, event-driven path.
+	World netsim.WorldTuning
 }
 
 func (o *D1Options) fill() {
@@ -127,7 +131,7 @@ func convert(h netsim.HandoffRecord, carrierAcr, city string) dataset.D1Record {
 // driveRun performs one campaign drive and returns its (filtered) D1
 // rows. Seeds are attached to the run index, never to execution order,
 // so runs may execute in parallel and still merge deterministically.
-func driveRun(gen *carrier.Generator, acr string, cities []string, run int, active bool, seed int64, faults fault.Rates) []dataset.D1Record {
+func driveRun(gen *carrier.Generator, acr string, cities []string, run int, active bool, seed int64, faults fault.Rates, tune netsim.WorldTuning) []dataset.D1Record {
 	city := cities[run%len(cities)]
 	wopts := netsim.WorldOpts{
 		Seed:      seed + int64(run)*101,
@@ -137,10 +141,11 @@ func driveRun(gen *carrier.Generator, acr string, cities []string, run int, acti
 	if !active {
 		wopts.IncludeNonLTE = true
 	}
-	w := netsim.BuildWorld(gen, driveRegion, wopts)
+	tune.Apply(&wopts)
+	w := netsim.BuildWorld(gen, tune.Region(driveRegion), wopts)
 	lane := float64((run%5)-2) * 120
 	route := netsim.RowRoute(w, speedFor(run), lane)
-	opts := netsim.UEOpts{Seed: seed*7 + int64(run), Active: active}
+	opts := netsim.UEOpts{Seed: seed*7 + int64(run), Active: active, TickLoop: tune.Legacy}
 	if active {
 		opts.App = appFor(run)
 		// The injector seed derives from the run index on its own stream so
@@ -164,7 +169,7 @@ const maxCampaignRuns = 4000
 // campaign runs drives for one carrier until quota handoffs accumulate,
 // fanning the runs over the sim worker pool and merging results in run
 // order; progress (optional) observes the running record count.
-func campaign(ctx context.Context, acr string, cities []string, quota int, active bool, seed int64, workers int, faults fault.Rates, progress func(n int)) ([]dataset.D1Record, error) {
+func campaign(ctx context.Context, acr string, cities []string, quota int, active bool, seed int64, workers int, faults fault.Rates, tune netsim.WorldTuning, progress func(n int)) ([]dataset.D1Record, error) {
 	gen, err := carrier.NewGenerator(acr)
 	if err != nil {
 		return nil, err
@@ -176,7 +181,7 @@ func campaign(ctx context.Context, acr string, cities []string, quota int, activ
 				return nil, false
 			}
 			return func(context.Context) ([]dataset.D1Record, error) {
-				return driveRun(gen, acr, cities, run, active, seed, faults), nil
+				return driveRun(gen, acr, cities, run, active, seed, faults, tune), nil
 			}, true
 		},
 		func(_ int, recs []dataset.D1Record) error {
@@ -239,7 +244,7 @@ func BuildD1(ctx context.Context, opts D1Options) (*dataset.D1, error) {
 		if c.active {
 			kind = "active"
 		}
-		recs, err := campaign(ctx, c.acr, opts.Cities, c.quota, c.active, c.seed, opts.Workers, opts.Faults, progress)
+		recs, err := campaign(ctx, c.acr, opts.Cities, c.quota, c.active, c.seed, opts.Workers, opts.Faults, opts.World, progress)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: %s campaign %s: %w", kind, c.acr, err)
 		}

@@ -6,7 +6,6 @@ import (
 	"mmlab/internal/config"
 	"mmlab/internal/core"
 	"mmlab/internal/fault"
-	"mmlab/internal/geo"
 	"mmlab/internal/mobility"
 	"mmlab/internal/radio"
 	"mmlab/internal/sib"
@@ -92,6 +91,12 @@ type UEOpts struct {
 	// recover via connection re-establishment on the old cell. The paper's
 	// band-30 lockout case (§5.4.1) motivates the default of 1000 ms.
 	BandLockoutOutageMs core.Clock
+	// TickLoop runs the legacy fixed-step loop with the seed's original
+	// per-round work profile (allocating audibility scans, per-tick
+	// interference maps, recomputed RSRPs) instead of the event scheduler.
+	// Both drivers produce byte-identical results; the option exists for
+	// differential testing and as the seed-path benchmark baseline.
+	TickLoop bool
 }
 
 func (o *UEOpts) fill() {
@@ -226,6 +231,16 @@ type ue struct {
 	lastHOTime core.Clock
 	lastHOFrom config.CellIdentity
 
+	// Hot-path scratch, reused every measurement round so steady-state
+	// rounds allocate nothing.
+	probe *Probe
+	chPow map[chKey]float64
+	neigh []core.RawMeas
+
+	// Event scheduler state (unused with UEOpts.TickLoop).
+	q        core.EventQueue
+	resumeAt core.Clock // first measurement-grid tick >= reestab.completeAt
+
 	res *DriveResult
 }
 
@@ -249,6 +264,13 @@ type reestabState struct {
 }
 
 // RunDrive simulates one device moving through the world for durMs.
+//
+// The default driver is the event scheduler: measurement rounds, traffic
+// steps, and re-establishment resumes are events in a per-UE queue, so a
+// span with nothing due (an idle radio waiting out T301) costs O(events)
+// instead of O(ticks). UEOpts.TickLoop selects the legacy fixed-step loop;
+// both drivers share the same round body and produce byte-identical
+// results.
 func RunDrive(w *World, move mobility.Model, durMs int64, opts UEOpts) *DriveResult {
 	opts.fill()
 	u := &ue{
@@ -256,6 +278,8 @@ func RunDrive(w *World, move mobility.Model, durMs int64, opts UEOpts) *DriveRes
 		opts:   opts,
 		inj:    opts.Injector,
 		fading: make(map[uint32]*radio.FastFading),
+		probe:  w.NewProbe(),
+		chPow:  make(map[chKey]float64),
 		res:    &DriveResult{Reports: make(map[config.EventType]int)},
 	}
 	if opts.Active && (opts.Injector != nil || opts.RLF != nil) {
@@ -271,8 +295,12 @@ func RunDrive(w *World, move mobility.Model, durMs int64, opts UEOpts) *DriveRes
 	}
 	u.camp(0, start)
 
-	for t := core.Clock(0); t <= durMs; t += opts.StepMs {
-		u.step(t, move)
+	if opts.TickLoop {
+		for t := core.Clock(0); t <= durMs; t += opts.StepMs {
+			u.seedRound(t, move)
+		}
+	} else {
+		u.runEvents(durMs, move)
 	}
 	u.flushBin(durMs)
 	if u.reestab.active {
@@ -334,11 +362,13 @@ type chKey struct {
 // figure.
 var ueNoiseMw = radio.NoisePerREMw(7)
 
-// measure produces one cell's raw measurement at pos. intfNoiseMw is the
-// co-channel interference-plus-noise power per RE excluding this cell;
-// fadeDB is the blanket deep-fade attenuation (0 outside fault episodes).
-func (u *ue) measure(c *Cell, pos geo.Point, intfNoiseMw, fadeDB float64) core.RawMeas {
-	rsrp := radio.ClampRSRP(u.w.RSRPAt(c, pos) + u.fadingFor(c.Site.Identity.CellID).Next() - fadeDB)
+// measure produces one cell's raw measurement. det is the cell's
+// deterministic RSRP at the UE position (the caller already has it from
+// the audibility query); intfNoiseMw is the co-channel
+// interference-plus-noise power per RE excluding this cell; fadeDB is the
+// blanket deep-fade attenuation (0 outside fault episodes).
+func (u *ue) measure(c *Cell, det, intfNoiseMw, fadeDB float64) core.RawMeas {
+	rsrp := radio.ClampRSRP(det + u.fadingFor(c.Site.Identity.CellID).Next() - fadeDB)
 	return core.RawMeas{
 		Cell: c.Site.Identity,
 		RSRP: rsrp,
@@ -357,12 +387,103 @@ func fadedIntf(intfNoiseMw, fadeDB float64) float64 {
 	return (intfNoiseMw-ueNoiseMw)/math.Pow(10, fadeDB/10) + ueNoiseMw
 }
 
-func (u *ue) step(t core.Clock, move mobility.Model) {
+// waiting reports whether the UE is in the quiet half of a
+// re-establishment: a target cell is selected and the UE is simply waiting
+// out the procedure delay (T301, or the idle re-attach). It holds no RRC
+// connection and takes no measurements during that span.
+func (u *ue) waiting() bool {
+	return u.reestab.active && u.reestab.completeAt > 0
+}
+
+// round runs one measurement round at time t — the body of a simulation
+// tick. During a waiting() span only the traffic clock advances: the radio
+// is detached, so no cells are measured, no fading processes are drawn,
+// and no monitor state moves until the completion deadline.
+func (u *ue) round(t core.Clock, move mobility.Model) {
+	if u.waiting() {
+		u.appOutageStep(t)
+		if t >= u.reestab.completeAt {
+			u.finishReestab(t)
+		}
+		return
+	}
+	pos := move.At(t)
+	audible := u.probe.AudibleScored(pos)
+
+	// Per-channel co-channel power (load-weighted, deterministic RSRP):
+	// the interference substrate behind RSRQ and SINR. The probe already
+	// scored every audible cell, so no RSRP is evaluated twice.
+	clear(u.chPow)
+	servingRSRP := math.NaN()
+	for _, a := range audible {
+		k := chKey{a.Cell.Site.Identity.EARFCN, a.Cell.Site.Identity.RAT}
+		u.chPow[k] += a.Cell.Load * radio.DBmToMw(a.RSRP)
+		if a.Cell == u.serving {
+			servingRSRP = a.RSRP
+		}
+	}
+	if math.IsNaN(servingRSRP) {
+		// Serving cell out of measurement range: it still transmits.
+		servingRSRP = u.w.RSRPAt(u.serving, pos)
+		k := chKey{u.serving.Site.Identity.EARFCN, u.serving.Site.Identity.RAT}
+		u.chPow[k] += u.serving.Load * radio.DBmToMw(servingRSRP)
+	}
+	intfFor := func(c *Cell, det float64) float64 {
+		k := chKey{c.Site.Identity.EARFCN, c.Site.Identity.RAT}
+		intf := u.chPow[k] - c.Load*radio.DBmToMw(det)
+		if intf < 0 {
+			intf = 0
+		}
+		return intf + ueNoiseMw
+	}
+
+	// Deep-fade episodes attenuate every tower the UE hears (fadeDB is 0
+	// without an injector, leaving all the math untouched).
+	fadeDB := u.inj.FadeDB(int64(t))
+
+	servingIntf := fadedIntf(intfFor(u.serving, servingRSRP), fadeDB)
+	servingMeas := u.measure(u.serving, servingRSRP, servingIntf, fadeDB)
+
+	u.neigh = u.neigh[:0]
+	for _, a := range audible {
+		if a.Cell == u.serving {
+			continue
+		}
+		if len(u.neigh) >= u.opts.MaxNeighbors {
+			break
+		}
+		m := u.measure(a.Cell, a.RSRP, fadedIntf(intfFor(a.Cell, a.RSRP), fadeDB), fadeDB)
+		if m.RSRP <= radio.RSRPMin+1 {
+			continue // below the noise floor: undetectable
+		}
+		u.neigh = append(u.neigh, m)
+	}
+
+	if u.opts.Active {
+		u.stepActive(t, servingMeas, servingIntf, u.neigh)
+	} else {
+		u.stepIdle(t, servingMeas, u.neigh)
+	}
+}
+
+// seedRound is the cost-faithful baseline round: it performs the seed
+// hot path's per-tick work — the allocating Audible call, fresh
+// interference maps, and a second RSRP evaluation per accounted and
+// measured cell — then runs the same control plane as round. Every
+// recomputed value is bit-identical to the scratch-reused one, so the two
+// bodies produce byte-identical results; this one just pays the original
+// price. It backs UEOpts.TickLoop (differential tests, BENCH_seed.json).
+func (u *ue) seedRound(t core.Clock, move mobility.Model) {
+	if u.waiting() {
+		u.appOutageStep(t)
+		if t >= u.reestab.completeAt {
+			u.finishReestab(t)
+		}
+		return
+	}
 	pos := move.At(t)
 	audible := u.w.Audible(pos)
 
-	// Per-channel co-channel power (load-weighted, deterministic RSRP):
-	// the interference substrate behind RSRQ and SINR.
 	chPow := map[chKey]float64{}
 	det := make(map[*Cell]float64, len(audible)+1)
 	account := func(c *Cell) {
@@ -387,12 +508,10 @@ func (u *ue) step(t core.Clock, move mobility.Model) {
 		return intf + ueNoiseMw
 	}
 
-	// Deep-fade episodes attenuate every tower the UE hears (fadeDB is 0
-	// without an injector, leaving all the math untouched).
 	fadeDB := u.inj.FadeDB(int64(t))
 
 	servingIntf := fadedIntf(intfFor(u.serving), fadeDB)
-	servingMeas := u.measure(u.serving, pos, servingIntf, fadeDB)
+	servingMeas := u.measure(u.serving, u.w.RSRPAt(u.serving, pos), servingIntf, fadeDB)
 
 	var neighbors []core.RawMeas
 	for _, c := range audible {
@@ -402,7 +521,7 @@ func (u *ue) step(t core.Clock, move mobility.Model) {
 		if len(neighbors) >= u.opts.MaxNeighbors {
 			break
 		}
-		m := u.measure(c, pos, fadedIntf(intfFor(c), fadeDB), fadeDB)
+		m := u.measure(c, u.w.RSRPAt(c, pos), fadedIntf(intfFor(c), fadeDB), fadeDB)
 		if m.RSRP <= radio.RSRPMin+1 {
 			continue // below the noise floor: undetectable
 		}
@@ -414,6 +533,95 @@ func (u *ue) step(t core.Clock, move mobility.Model) {
 	} else {
 		u.stepIdle(t, servingMeas, neighbors)
 	}
+}
+
+// appOutageStep advances the traffic app one step with zero link capacity
+// (radio detached during re-establishment).
+func (u *ue) appOutageStep(t core.Clock) {
+	if u.opts.App == nil {
+		return
+	}
+	bits := u.opts.App.Step(t, u.opts.StepMs, 0)
+	u.accumulate(t, bits)
+}
+
+// Scheduler event kinds, in within-tick priority order. The taxonomy is
+// deliberately small: measurement-anchored timers (TTT, T310/T311,
+// reselection persistence) are evaluated inside the measurement round they
+// are quantized to, because their inputs — fading draws, L3 filter state —
+// only advance on measurement rounds. Only occurrences that are *not*
+// measurement rounds need their own events.
+const (
+	// evAppStep advances the traffic app during a suspended span; it runs
+	// before evResume at the same instant, matching the fixed-step loop's
+	// statement order inside a tick.
+	evAppStep core.EventKind = iota
+	// evResume fires at the re-establishment completion tick when no
+	// traffic app needs per-step service.
+	evResume
+	// evMeasure is a full measurement round; it reschedules itself every
+	// StepMs while the radio is attached.
+	evMeasure
+)
+
+// runEvents is the event-driven drive loop. It maintains the invariant
+// that evMeasure is scheduled if and only if the radio is attached
+// (!waiting()), so quiet re-establishment spans are skipped outright —
+// or reduced to traffic-app events when an app's clock must advance.
+func (u *ue) runEvents(durMs int64, move mobility.Model) {
+	u.q.Reset()
+	u.q.Push(0, evMeasure)
+	for {
+		e, ok := u.q.Pop()
+		if !ok || e.At > core.Clock(durMs) {
+			return
+		}
+		t := e.At
+		switch e.Kind {
+		case evMeasure:
+			u.round(t, move)
+			u.scheduleNext(t)
+		case evAppStep:
+			u.appOutageStep(t)
+			if t >= u.resumeAt {
+				u.resume(t)
+			} else {
+				u.q.Push(t+core.Clock(u.opts.StepMs), evAppStep)
+			}
+		case evResume:
+			u.resume(t)
+		}
+	}
+}
+
+// scheduleNext queues the follow-up to a measurement round: the next round
+// if the radio is attached, otherwise the jump over the quiet span.
+func (u *ue) scheduleNext(t core.Clock) {
+	next := t + core.Clock(u.opts.StepMs)
+	if !u.waiting() {
+		u.q.Push(next, evMeasure)
+		return
+	}
+	// Completion is checked on the measurement grid (the tick loop only
+	// observes deadlines at step boundaries), so resume at the first grid
+	// tick at or past the deadline.
+	step := u.opts.StepMs
+	u.resumeAt = core.Clock((int64(u.reestab.completeAt) + step - 1) / step * step)
+	if u.opts.App != nil {
+		u.q.Push(next, evAppStep)
+	} else {
+		u.q.Push(u.resumeAt, evResume)
+	}
+}
+
+// resume ends a quiet span: complete the re-establishment and return to
+// measurement rounds (camped on the target, or searching again if the
+// target vanished).
+func (u *ue) resume(t core.Clock) {
+	if t >= u.reestab.completeAt && u.reestab.completeAt > 0 {
+		u.finishReestab(t)
+	}
+	u.scheduleNext(t)
 }
 
 // stepActive runs one active-state round: traffic, RLF supervision,
@@ -431,8 +639,10 @@ func (u *ue) stepActive(t core.Clock, servingMeas core.RawMeas, servingIntfMw fl
 	}
 
 	// No RRC connection while re-establishing: no reports, no decisions.
+	// Only the cell-search phase reaches here; once a target is selected,
+	// round() short-circuits the whole measurement round until completion.
 	if u.reestab.active {
-		u.stepReestab(t, servingMeas, neighbors)
+		u.reestabSearch(t, servingMeas, neighbors)
 		return
 	}
 
@@ -524,15 +734,10 @@ func (u *ue) declareRLF(t core.Clock) {
 	}
 }
 
-// stepReestab runs one round of post-RLF recovery: select a cell (T311),
-// then complete the re-establishment procedure (T301) and resume service.
-func (u *ue) stepReestab(t core.Clock, servingMeas core.RawMeas, neighbors []core.RawMeas) {
-	if u.reestab.completeAt > 0 {
-		if t >= u.reestab.completeAt {
-			u.finishReestab(t)
-		}
-		return
-	}
+// reestabSearch runs one cell-selection round of post-RLF recovery under
+// T311; once a cell is selected the re-establishment procedure (T301)
+// runs as a quiet span and finishReestab resumes service.
+func (u *ue) reestabSearch(t core.Clock, servingMeas core.RawMeas, neighbors []core.RawMeas) {
 	if !u.reestab.t311Expired && t >= u.reestab.t311Deadline {
 		// T311 expired with no suitable cell: the UE falls to idle and
 		// must re-attach, a strictly slower recovery.

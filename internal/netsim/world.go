@@ -8,6 +8,7 @@ package netsim
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"mmlab/internal/carrier"
@@ -37,6 +38,10 @@ type World struct {
 	Epoch    int
 
 	measureRadius float64
+	// index accelerates audibility queries; nil means linear scan (either
+	// WorldOpts.LinearScan or a hand-built World). Immutable after
+	// BuildWorld, so concurrent drive runs can share it.
+	index *geo.GridIndex
 }
 
 // WorldOpts controls world construction.
@@ -59,6 +64,10 @@ type WorldOpts struct {
 	// MeasureRadius bounds which cells a UE can hear, in meters. Default
 	// 4×ISD.
 	MeasureRadius float64
+	// LinearScan skips the spatial index and keeps the O(cells) audibility
+	// scan. It exists for differential testing and as the seed-path
+	// benchmark baseline; both paths return byte-identical results.
+	LinearScan bool
 }
 
 func (o *WorldOpts) fill() {
@@ -159,6 +168,15 @@ func BuildWorld(gen *carrier.Generator, region geo.Rect, opts WorldOpts) *World 
 		}
 	}
 	w.measureRadius = opts.MeasureRadius
+	if !opts.LinearScan && len(w.Cells) > 0 {
+		pos := make([]geo.Point, len(w.Cells))
+		for i, c := range w.Cells {
+			pos[i] = c.Site.Pos
+		}
+		// Bucket side of half the query radius: a lookup touches at most a
+		// 5×5 bucket block and over-fetches roughly 2× the in-radius set.
+		w.index = geo.NewGridIndex(pos, opts.MeasureRadius/2)
+	}
 	return w
 }
 
@@ -184,28 +202,72 @@ func (w *World) RSRPAt(c *Cell, pos geo.Point) float64 {
 	return radio.RSRPAt(c.Config.TxPowerDBm, w.PathLoss, d, c.FreqMHz, c.Shadow.At(pos.X, pos.Y))
 }
 
-// Audible returns the cells within measurement radius of pos, strongest
-// first by deterministic RSRP.
-func (w *World) Audible(pos geo.Point) []*Cell {
-	type scored struct {
-		c    *Cell
-		rsrp float64
-	}
-	var out []scored
-	for _, c := range w.Cells {
-		if pos.Dist(c.Site.Pos) <= w.measureRadius {
-			out = append(out, scored{c, w.RSRPAt(c, pos)})
+// AudibleCell is one audibility-query result: a cell plus its
+// deterministic RSRP (path loss + shadowing, no per-UE fading) at the
+// query position, so callers never compute the same RSRP twice.
+type AudibleCell struct {
+	Cell *Cell
+	RSRP float64
+}
+
+// Probe is a reusable audibility-query context. It owns the scratch
+// buffers a query needs, so the per-tick hot path allocates nothing. A
+// Probe is not safe for concurrent use; each UE (or goroutine) takes its
+// own via NewProbe, while the underlying World and index stay shared.
+type Probe struct {
+	w      *World
+	idx    []int32
+	scored []AudibleCell
+}
+
+// NewProbe returns a fresh query context for this world.
+func (w *World) NewProbe() *Probe { return &Probe{w: w} }
+
+// AudibleScored returns the cells within measurement radius of pos with
+// their deterministic RSRP, strongest first (ties broken by ascending
+// CellID). The returned slice is the probe's scratch buffer: valid until
+// the next call on the same probe.
+func (p *Probe) AudibleScored(pos geo.Point) []AudibleCell {
+	w := p.w
+	p.scored = p.scored[:0]
+	if w.index != nil {
+		p.idx = w.index.WithinRadius(pos, w.measureRadius, p.idx)
+		for _, i := range p.idx {
+			c := w.Cells[i]
+			p.scored = append(p.scored, AudibleCell{c, w.RSRPAt(c, pos)})
+		}
+	} else {
+		for _, c := range w.Cells {
+			if pos.Dist(c.Site.Pos) <= w.measureRadius {
+				p.scored = append(p.scored, AudibleCell{c, w.RSRPAt(c, pos)})
+			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].rsrp != out[j].rsrp {
-			return out[i].rsrp > out[j].rsrp
+	// The comparator is a strict total order (CellID is unique), so the
+	// sorted sequence is unique and independent of the sort algorithm.
+	slices.SortFunc(p.scored, func(a, b AudibleCell) int {
+		switch {
+		case a.RSRP > b.RSRP:
+			return -1
+		case a.RSRP < b.RSRP:
+			return 1
+		case a.Cell.Site.Identity.CellID < b.Cell.Site.Identity.CellID:
+			return -1
+		default:
+			return 1
 		}
-		return out[i].c.Site.Identity.CellID < out[j].c.Site.Identity.CellID
 	})
-	cells := make([]*Cell, len(out))
-	for i, s := range out {
-		cells[i] = s.c
+	return p.scored
+}
+
+// Audible returns the cells within measurement radius of pos, strongest
+// first by deterministic RSRP. It is the allocating convenience wrapper
+// around Probe.AudibleScored; hot paths should hold a Probe instead.
+func (w *World) Audible(pos geo.Point) []*Cell {
+	scored := w.NewProbe().AudibleScored(pos)
+	cells := make([]*Cell, len(scored))
+	for i, s := range scored {
+		cells[i] = s.Cell
 	}
 	return cells
 }
@@ -221,21 +283,34 @@ func (w *World) StrongestLTE(pos geo.Point) *Cell {
 }
 
 // StrongestCoChannel returns the strongest audible cell sharing the
-// serving cell's channel (the dominant interferer), or nil.
+// serving cell's channel (the dominant interferer), or nil. RSRP ties
+// resolve to the lower CellID — the same tie-break Audible uses — so the
+// result is independent of cell iteration order.
 func (w *World) StrongestCoChannel(pos geo.Point, serving *Cell) *Cell {
 	var best *Cell
 	bestRSRP := math.Inf(-1)
-	for _, c := range w.Cells {
+	consider := func(c *Cell) {
 		if c == serving ||
 			c.Site.Identity.EARFCN != serving.Site.Identity.EARFCN ||
 			c.Site.Identity.RAT != serving.Site.Identity.RAT {
-			continue
+			return
 		}
 		if pos.Dist(c.Site.Pos) > w.measureRadius {
-			continue
+			return
 		}
-		if r := w.RSRPAt(c, pos); r > bestRSRP {
+		r := w.RSRPAt(c, pos)
+		if r > bestRSRP ||
+			(r == bestRSRP && best != nil && c.Site.Identity.CellID < best.Site.Identity.CellID) {
 			best, bestRSRP = c, r
+		}
+	}
+	if w.index != nil {
+		for _, i := range w.index.WithinRadius(pos, w.measureRadius, nil) {
+			consider(w.Cells[i])
+		}
+	} else {
+		for _, c := range w.Cells {
+			consider(c)
 		}
 	}
 	return best

@@ -1,7 +1,25 @@
 #!/bin/sh
 # Repository verification: vet, formatting, and the full test suite under
 # the race detector. Run before every push.
+#
+#   ./verify.sh            full check (vet + gofmt + race tests)
+#   ./verify.sh bench LABEL [bench flags...]
+#                          run the country-scale benches and write
+#                          BENCH_LABEL.json via cmd/bench2json, e.g.:
+#                            ./verify.sh bench seed -country.seedpath
+#                            ./verify.sh bench pr6
+#                          BENCHTIME (default 3x) sets -benchtime.
 set -e
+
+if [ "$1" = "bench" ]; then
+    label=${2:?usage: ./verify.sh bench LABEL [bench flags...]}
+    shift 2
+    go test -run '^$' -bench 'BenchmarkCountry' -benchmem \
+        -benchtime "${BENCHTIME:-3x}" "$@" . |
+        go run ./cmd/bench2json -label "$label" -o "BENCH_${label}.json"
+    echo "wrote BENCH_${label}.json"
+    exit 0
+fi
 
 echo "== go vet =="
 go vet ./...
