@@ -9,10 +9,12 @@
 //	    switching across every deployed cell) and write the raw diag
 //	    byte stream.
 //
-//	mmlab parse diag.bin
+//	mmlab parse [-strict] diag.bin
 //	    Decode a diag log: print each cell's crawled configuration and
 //	    every observed handoff (decisive event, latency, target) — the
-//	    Fig. 3 view.
+//	    Fig. 3 view. Damage is resynchronized past and reported on
+//	    stderr; -strict fails on the first damaged record instead, and a
+//	    stream that yields nothing is always an error.
 //
 //	mmlab verify diag.bin
 //	    Run the multi-cell structural checks of §6 over the crawled
@@ -94,6 +96,7 @@ func parse(args []string) {
 	var (
 		verbose = fs.Bool("v", false, "print every snapshot in full")
 		max     = fs.Int("n", 10, "snapshots to print (with -v)")
+		strict  = fs.Bool("strict", false, "fail on damaged captures instead of resynchronizing past damage")
 	)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -104,9 +107,19 @@ func parse(args []string) {
 		log.Fatal(err)
 	}
 	defer fh.Close()
-	snaps, events, err := crawler.ParseDiag(fh)
+	snaps, events, stats, err := crawler.ParseDiagOpts(fh, crawler.ParseOptions{Strict: *strict})
 	if err != nil {
 		log.Fatal(err)
+	}
+	// A capture can be damaged without failing the parse — the scanner
+	// resynchronizes — but damage must never pass silently, and a stream
+	// that yields nothing at all is an error, not an empty result.
+	if stats.Resyncs > 0 || stats.Bad > 0 {
+		fmt.Fprintf(os.Stderr, "mmlab: capture damage: %d bytes skipped across %d regions, %d undecodable records (%d records recovered)\n",
+			stats.SkippedBytes, stats.Resyncs, stats.Bad, stats.Records)
+	}
+	if stats.Records == 0 && (stats.SkippedBytes > 0 || *strict) {
+		log.Fatalf("parse: no diag records decoded from %s (%d bytes skipped); not a diag log?", fs.Arg(0), stats.SkippedBytes)
 	}
 	fmt.Printf("%d configuration snapshots, %d handoff events\n", len(snaps), len(events))
 	if *verbose {

@@ -1,0 +1,221 @@
+// Command mmlabd is the streaming ingest daemon: the long-running
+// counterpart to `mmlab collect | mmlab parse`. It accepts many
+// concurrent diag streams over TCP and unix sockets, decodes them with
+// the resynchronizing scanner, extracts configuration snapshots and
+// handoff events through a bounded backpressured pipeline, and keeps
+// live per-carrier config catalogs and aggregates that a status query
+// can inspect while ingest continues. SIGTERM/SIGINT triggers a
+// graceful drain: stop accepting, flush every stage, checkpoint to
+// disk, exit 0.
+//
+// Subcommands:
+//
+//	mmlabd serve [-tcp :7733] [-unix path] [-control path] [-checkpoint dir]
+//	       [-extract N] [-queue N] [-aggqueue N] [-idle 30s] [-shed block|drop]
+//	    Run the daemon until a signal, then drain and checkpoint.
+//
+//	mmlabd status [-control path] [-format summary|json]
+//	    Query a running daemon's control socket: per-stream scan and
+//	    parse statistics, queue depths, drop and panic counters.
+//
+//	mmlabd feed -i diag.bin [-tcp addr|-unix path] [-carrier A] [-stream s0]
+//	       [-seed 1] [-fault.disconnect P] [-fault.corrupt P]
+//	       [-fault.garbage P] [-fault.stall P] [-fault.stallms N]
+//	    Replay a collected capture into a daemon through the seeded
+//	    lossless fault model (for soak and smoke testing).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mmlab/internal/pipeline"
+	"mmlab/internal/pipeline/feeder"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mmlabd: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "serve":
+		serve(os.Args[2:])
+	case "status":
+		statusCmd(os.Args[2:])
+	case "feed":
+		feed(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mmlabd serve|status|feed [flags]")
+	os.Exit(2)
+}
+
+func serve(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		tcp        = fs.String("tcp", ":7733", "TCP ingest address (empty to disable)")
+		unix       = fs.String("unix", "", "unix-socket ingest path (empty to disable)")
+		control    = fs.String("control", "", "control socket path for `mmlabd status` (empty to disable)")
+		checkpoint = fs.String("checkpoint", "", "directory receiving checkpoint.json on drain")
+		extract    = fs.Int("extract", 0, "extract worker pool size (0 = default)")
+		queue      = fs.Int("queue", 0, "per-shard record queue bound (0 = default)")
+		aggqueue   = fs.Int("aggqueue", 0, "aggregate update queue bound (0 = default)")
+		idle       = fs.Duration("idle", 30*time.Second, "per-connection idle timeout")
+		shed       = fs.String("shed", "block", "saturation policy: block (backpressure) or drop (shed newest, counted)")
+		drainT     = fs.Duration("drain", time.Minute, "graceful drain deadline")
+	)
+	fs.Parse(args)
+
+	cfg := pipeline.Config{
+		ExtractWorkers: *extract,
+		ShardQueue:     *queue,
+		AggregateQueue: *aggqueue,
+		IdleTimeout:    *idle,
+		CheckpointDir:  *checkpoint,
+	}
+	switch *shed {
+	case "block":
+		cfg.Shed = pipeline.ShedBlock
+	case "drop":
+		cfg.Shed = pipeline.ShedDropNewest
+	default:
+		log.Fatalf("serve: unknown -shed %q (want block or drop)", *shed)
+	}
+
+	d := pipeline.NewDaemon(cfg)
+	if *tcp != "" {
+		addr, err := d.ListenTCP(*tcp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("ingest on tcp %s", addr)
+	}
+	if *unix != "" {
+		if err := d.ListenUnix(*unix); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("ingest on unix %s", *unix)
+	}
+	if *tcp == "" && *unix == "" {
+		log.Fatal("serve: no ingest listener (-tcp and -unix both empty)")
+	}
+	if *control != "" {
+		if err := d.ListenControl(*control); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("control on unix %s", *control)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("%s: draining (deadline %s)", s, *drainT)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	cp, err := d.Shutdown(ctx)
+	if err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	log.Printf("drained: %s", d.Status().Summary())
+	if *checkpoint != "" {
+		log.Printf("checkpoint: %s/checkpoint.json (%d streams, %d carriers)",
+			*checkpoint, len(cp.Streams), len(cp.Carriers))
+	}
+}
+
+func statusCmd(args []string) {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	var (
+		control = fs.String("control", "", "control socket path of the daemon")
+		format  = fs.String("format", "summary", "output format: summary or json")
+	)
+	fs.Parse(args)
+	if *control == "" {
+		log.Fatal("status: -control is required")
+	}
+	st, err := pipeline.QueryStatus(*control)
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch *format {
+	case "summary":
+		fmt.Println(st.Summary())
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(st); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("status: unknown -format %q (want summary or json)", *format)
+	}
+}
+
+func feed(args []string) {
+	fs := flag.NewFlagSet("feed", flag.ExitOnError)
+	var (
+		in      = fs.String("i", "", "input diag capture (from `mmlab collect`)")
+		tcp     = fs.String("tcp", "", "daemon TCP address")
+		unix    = fs.String("unix", "", "daemon unix-socket path")
+		carrier = fs.String("carrier", "A", "stream's carrier label")
+		stream  = fs.String("stream", "s0", "stream name within the carrier")
+		seed    = fs.Int64("seed", 1, "fault schedule seed")
+		fDisc   = fs.Float64("fault.disconnect", 0, "per-record mid-record disconnect probability")
+		fCorr   = fs.Float64("fault.corrupt", 0, "per-record corrupt-then-retransmit probability")
+		fGarb   = fs.Float64("fault.garbage", 0, "per-record junk-run probability")
+		fStall  = fs.Float64("fault.stall", 0, "per-record stall probability")
+		fStallM = fs.Int("fault.stallms", 50, "stall duration in milliseconds")
+	)
+	fs.Parse(args)
+	if *in == "" {
+		log.Fatal("feed: -i is required")
+	}
+	opt := feeder.Options{
+		Carrier: *carrier,
+		Stream:  *stream,
+		Seed:    *seed,
+		Faults: feeder.Faults{
+			Disconnect: *fDisc,
+			Corrupt:    *fCorr,
+			Garbage:    *fGarb,
+			Stall:      *fStall,
+			StallMs:    *fStallM,
+		},
+	}
+	switch {
+	case *tcp != "" && *unix != "":
+		log.Fatal("feed: -tcp and -unix are mutually exclusive")
+	case *tcp != "":
+		opt.Network, opt.Addr = "tcp", *tcp
+	case *unix != "":
+		opt.Network, opt.Addr = "unix", *unix
+	default:
+		log.Fatal("feed: need -tcp or -unix")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	st, err := feeder.Feed(ctx, data, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fed %d records as %s/%s (corrupted %d, garbage %d, disconnects %d, stalls %d, reconnects %d)\n",
+		st.Records, *carrier, *stream, st.Corrupted, st.Garbage, st.Disconnects, st.Stalls, st.Reconnects)
+}

@@ -94,31 +94,99 @@ func ParseDiagOpts(r io.Reader, opt ParseOptions) ([]ConfigSnapshot, []HandoffEv
 		return p.snaps, p.events, p.stats, nil
 	}
 
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, nil, p.stats, fmt.Errorf("crawler: reading diag stream: %w", err)
-	}
-	sc := sib.NewDiagScanner(data)
+	// Incremental path: scan the reader a bounded window at a time, so a
+	// multi-GB capture (or a live network feed) never lands in memory
+	// whole. Records are decoded immediately, so the scanner's zero-copy
+	// mode is safe here.
+	sp := NewStreamParser()
+	sc := sib.NewStreamScanner(r, sib.ScanOptions{})
 	for {
-		rec, ok := sc.Next()
+		rec, ok, err := sc.Next()
 		if !ok {
+			if err != nil {
+				st := sp.Stats()
+				st.SkippedBytes = sc.Stats().SkippedBytes
+				st.Resyncs = sc.Stats().Resyncs
+				return nil, nil, st, fmt.Errorf("crawler: reading diag stream: %w", err)
+			}
 			break
 		}
-		m, err := rec.Decode()
-		if err != nil {
-			// Envelope intact but payload undecodable (a writer-side bug or
-			// a checksum collision): skip the record, keep the stream.
-			p.stats.Bad++
-			continue
-		}
-		p.handle(rec, m)
+		sp.Feed(rec)
 	}
-	ss := sc.Stats()
-	p.stats.Records = ss.Records - p.stats.Bad
-	p.stats.SkippedBytes = ss.SkippedBytes
-	p.stats.Resyncs = ss.Resyncs
-	p.flush()
-	return p.snaps, p.events, p.stats, nil
+	sp.Close()
+	st := sp.Stats()
+	st.SkippedBytes = sc.Stats().SkippedBytes
+	st.Resyncs = sc.Stats().Resyncs
+	return sp.Snapshots(), sp.Events(), st, nil
+}
+
+// StreamParser is the incremental form of ParseDiagOpts' non-strict
+// path: records are fed one at a time (typically straight off a
+// sib.StreamScanner), snapshots and handoff events become available as
+// they complete, and Close flushes the snapshot still open at end of
+// stream. The mmlabd ingest pipeline keeps one StreamParser per live
+// stream; feeding the records of a capture in order and Closing yields
+// exactly what a batch ParseDiagOpts over the same bytes yields.
+type StreamParser struct {
+	p         diagParser
+	snapTaken int
+	evTaken   int
+	closed    bool
+}
+
+// NewStreamParser returns an empty parser.
+func NewStreamParser() *StreamParser { return &StreamParser{} }
+
+// Feed consumes one scanned record. An undecodable message (envelope
+// intact but payload broken — a writer-side bug or a checksum collision)
+// is counted in Stats().Bad and skipped; the stream stays live.
+func (sp *StreamParser) Feed(rec sib.DiagRecord) {
+	if sp.closed {
+		return
+	}
+	m, err := rec.Decode()
+	if err != nil {
+		sp.p.stats.Bad++
+		return
+	}
+	sp.p.stats.Records++
+	sp.p.handle(rec, m)
+}
+
+// Close flushes the open snapshot, if any. Feeding after Close is a
+// caller bug; records fed after Close are ignored.
+func (sp *StreamParser) Close() {
+	if !sp.closed {
+		sp.closed = true
+		sp.p.flush()
+	}
+}
+
+// Stats returns the running parse statistics. The scanner-side fields
+// (SkippedBytes, Resyncs) belong to whatever framing layer feeds the
+// parser and are zero here.
+func (sp *StreamParser) Stats() ParseStats { return sp.p.stats }
+
+// Snapshots returns every completed snapshot so far.
+func (sp *StreamParser) Snapshots() []ConfigSnapshot { return sp.p.snaps }
+
+// Events returns every completed handoff event so far.
+func (sp *StreamParser) Events() []HandoffEvent { return sp.p.events }
+
+// TakeSnapshots returns the snapshots completed since the last call —
+// the pipeline's unit of routing. The returned slice is capped so later
+// appends by the parser cannot alias it.
+func (sp *StreamParser) TakeSnapshots() []ConfigSnapshot {
+	out := sp.p.snaps[sp.snapTaken:len(sp.p.snaps):len(sp.p.snaps)]
+	sp.snapTaken = len(sp.p.snaps)
+	return out
+}
+
+// TakeEvents returns the handoff events completed since the last call.
+func (sp *StreamParser) TakeEvents() []HandoffEvent {
+	out := sp.p.events[sp.evTaken:len(sp.p.events):len(sp.p.events)]
+	sp.evTaken = len(sp.p.events)
+	return out
 }
 
 // diagParser accumulates parse state across records; the record framing

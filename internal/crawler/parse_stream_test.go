@@ -1,0 +1,95 @@
+package crawler
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"reflect"
+	"testing"
+
+	"mmlab/internal/carrier"
+)
+
+// meteredReader serves fixed-size chunks and records the peak single
+// read, proving the parse path consumed the reader incrementally rather
+// than slurping it (io.ReadAll grows its destination and issues large
+// reads against a plain Reader).
+type meteredReader struct {
+	r    io.Reader
+	max  int
+	read int64
+}
+
+func (m *meteredReader) Read(p []byte) (int, error) {
+	if len(p) > m.max {
+		m.max = len(p)
+	}
+	n, err := m.r.Read(p)
+	m.read += int64(n)
+	return n, err
+}
+
+// TestParseDiagIncrementalMultiMB streams a multi-MB capture through the
+// incremental path and checks it decodes identically to a batch parse of
+// the same bytes.
+func TestParseDiagIncrementalMultiMB(t *testing.T) {
+	f, err := carrier.BuildFleet("A", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seg bytes.Buffer
+	if _, err := CrawlFleet(context.Background(), f, &seg, 7, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Concatenated diag segments are one valid stream; repeat the crawl
+	// segment until the capture tops 2 MiB.
+	var stream []byte
+	copies := 0
+	for len(stream) < 2<<20 {
+		stream = append(stream, seg.Bytes()...)
+		copies++
+	}
+	t.Logf("stream: %d copies, %d bytes", copies, len(stream))
+
+	wantSnaps, wantEvents, wantStats, err := ParseDiagOpts(bytes.NewReader(stream), ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mr := &meteredReader{r: bytes.NewReader(stream)}
+	snaps, events, stats, err := ParseDiagOpts(mr, ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.read != int64(len(stream)) {
+		t.Fatalf("consumed %d of %d bytes", mr.read, len(stream))
+	}
+	if mr.max > 256<<10 {
+		t.Fatalf("single read of %d bytes — parse is not incremental", mr.max)
+	}
+	if stats != wantStats {
+		t.Fatalf("stats %+v, want %+v", stats, wantStats)
+	}
+	if len(snaps) != len(wantSnaps) || len(events) != len(wantEvents) {
+		t.Fatalf("decoded %d/%d, want %d/%d", len(snaps), len(events), len(wantSnaps), len(wantEvents))
+	}
+	if !reflect.DeepEqual(snaps[:50], wantSnaps[:50]) {
+		t.Fatal("snapshot prefix differs between readers")
+	}
+}
+
+// TestParseDiagJunkSurfacesStats: a 100%-junk stream must report its
+// damage instead of quietly yielding nothing.
+func TestParseDiagJunkSurfacesStats(t *testing.T) {
+	junk := bytes.Repeat([]byte{0xA5, 0x3C, 0x77}, 500)
+	snaps, events, stats, err := ParseDiagOpts(bytes.NewReader(junk), ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 0 || len(events) != 0 {
+		t.Fatalf("decoded %d/%d from junk", len(snaps), len(events))
+	}
+	if stats.Records != 0 || stats.SkippedBytes != len(junk) || stats.Resyncs == 0 {
+		t.Fatalf("junk stats not surfaced: %+v", stats)
+	}
+}

@@ -1,0 +1,311 @@
+package pipeline
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mmlab/internal/sib"
+)
+
+// Daemon is the long-running ingest service. Connections arrive over TCP
+// or unix sockets, identify a (carrier, stream) pair, and deliver framed
+// diag bytes; the daemon decodes them with a resynchronizing scanner,
+// extracts configuration snapshots and handoff events through the
+// bounded pipeline, and keeps live per-carrier catalogs and aggregates
+// that a status query can inspect while ingest continues.
+//
+// Robustness contract: a damaged, stalled, panicking, or half-dead
+// stream costs at most that one stream. Decode damage resynchronizes and
+// is counted; an idle connection is cut but its stream state survives
+// for the reconnect; a panic in extraction poisons only its stream; and
+// Shutdown drains every stage and checkpoints what was ingested.
+type Daemon struct {
+	cfg Config
+	p   *pipeline
+
+	regMu sync.Mutex
+	reg   map[streamKey]*streamState
+
+	lnMu      sync.Mutex
+	listeners []net.Listener
+	ctl       net.Listener
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	acceptWG sync.WaitGroup
+	connWG   sync.WaitGroup
+	ctlWG    sync.WaitGroup
+
+	accepted      atomic.Int64
+	rejected      atomic.Int64
+	connPanics    atomic.Int64
+	seqViolations atomic.Int64
+
+	stopping  chan struct{}
+	stopOnce  sync.Once
+	drainOnce sync.Once
+	drainedCP *Checkpoint
+	drainErr  error
+	started   time.Time
+}
+
+// NewDaemon builds a daemon and starts its pipeline stages. It serves
+// nothing until ListenTCP/ListenUnix attach ingest listeners.
+func NewDaemon(cfg Config) *Daemon {
+	cfg = cfg.withDefaults()
+	return &Daemon{
+		cfg:      cfg,
+		p:        newPipeline(cfg),
+		reg:      map[streamKey]*streamState{},
+		conns:    map[net.Conn]struct{}{},
+		stopping: make(chan struct{}),
+		started:  time.Now(),
+	}
+}
+
+// ListenTCP attaches an ingest listener on a TCP address and returns the
+// bound address (useful with ":0").
+func (d *Daemon) ListenTCP(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	d.addListener(ln)
+	return ln.Addr().String(), nil
+}
+
+// ListenUnix attaches an ingest listener on a unix socket path.
+func (d *Daemon) ListenUnix(path string) error {
+	ln, err := net.Listen("unix", path)
+	if err != nil {
+		return err
+	}
+	d.addListener(ln)
+	return nil
+}
+
+func (d *Daemon) addListener(ln net.Listener) {
+	d.lnMu.Lock()
+	d.listeners = append(d.listeners, ln)
+	d.lnMu.Unlock()
+	d.acceptWG.Add(1)
+	go d.acceptLoop(ln)
+}
+
+func (d *Daemon) acceptLoop(ln net.Listener) {
+	defer d.acceptWG.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed (shutdown) or fatal
+		}
+		select {
+		case <-d.stopping:
+			conn.Close()
+			return
+		default:
+		}
+		d.accepted.Add(1)
+		d.trackConn(conn, true)
+		d.connWG.Add(1)
+		go d.handle(conn)
+	}
+}
+
+func (d *Daemon) trackConn(c net.Conn, add bool) {
+	d.connMu.Lock()
+	if add {
+		d.conns[c] = struct{}{}
+	} else {
+		delete(d.conns, c)
+	}
+	d.connMu.Unlock()
+}
+
+// stream returns the persistent state for a stream identity, creating it
+// on first contact and pinning it to an extract shard by identity hash —
+// the routing decision that keeps a stream's records ordered.
+func (d *Daemon) stream(h Hello) *streamState {
+	key := streamKey{carrier: h.Carrier, stream: h.Stream}
+	d.regMu.Lock()
+	defer d.regMu.Unlock()
+	if st := d.reg[key]; st != nil {
+		return st
+	}
+	fh := fnv.New64a()
+	fh.Write([]byte(h.Carrier))
+	fh.Write([]byte{0})
+	fh.Write([]byte(h.Stream))
+	st := &streamState{key: key, shard: int(fh.Sum64() % uint64(len(d.p.shards)))}
+	d.reg[key] = st
+	return st
+}
+
+// deadlineReader arms the idle timeout before every read, so a stream
+// that stops delivering bytes is cut instead of pinning a handler (and
+// its stream lock) forever.
+type deadlineReader struct {
+	c net.Conn
+	d time.Duration
+}
+
+func (r deadlineReader) Read(p []byte) (int, error) {
+	if err := r.c.SetReadDeadline(time.Now().Add(r.d)); err != nil {
+		return 0, err
+	}
+	return r.c.Read(p)
+}
+
+// handle is the per-connection decode stage, run under a supervisor: a
+// panic is counted and closes this connection only.
+func (d *Daemon) handle(conn net.Conn) {
+	defer d.connWG.Done()
+	defer d.trackConn(conn, false)
+	defer conn.Close()
+	defer func() {
+		if r := recover(); r != nil {
+			d.connPanics.Add(1)
+		}
+	}()
+
+	br := bufio.NewReader(deadlineReader{c: conn, d: d.cfg.IdleTimeout})
+	hello, err := ReadHello(br)
+	if err != nil {
+		d.rejected.Add(1)
+		return
+	}
+	st := d.stream(hello)
+
+	// Take the stream's turnstile: connections are admitted one at a
+	// time and in hello-seq order, so a reconnect cannot overtake the
+	// still-draining handler of the connection it replaces even when
+	// goroutine scheduling starts the newer handler first.
+	if !st.beginConn(hello.Seq, d.cfg.IdleTimeout) {
+		d.seqViolations.Add(1)
+	}
+	defer st.endConn(hello.Seq)
+	st.connects.Add(1)
+	st.conns.Add(1)
+	defer st.conns.Add(-1)
+
+	fr := NewFrameReader(br)
+	// Decode: the scanner resynchronizes past payload damage and copies
+	// records out (Copy on — records cross stage queues and outlive the
+	// scanner's reused buffer).
+	sc := sib.NewStreamScanner(fr, sib.ScanOptions{Copy: true})
+	var last sib.ScanStats
+	publish := func() {
+		cur := sc.Stats()
+		st.records.Add(int64(cur.Records - last.Records))
+		st.resyncs.Add(int64(cur.Resyncs - last.Resyncs))
+		st.skipped.Add(int64(cur.SkippedBytes - last.SkippedBytes))
+		last = cur
+	}
+	for {
+		rec, ok, scanErr := sc.Next()
+		publish()
+		if !ok {
+			if scanErr == nil && fr.End() {
+				// Clean end of stream: tell extract to flush and seal it.
+				d.p.send(item{st: st, kind: itemEnd})
+			} else {
+				// Disconnect (idle cut, transport death, bad frame):
+				// keep the stream's state for a reconnect.
+				st.disconnects.Add(1)
+			}
+			return
+		}
+		if st.poisoned.Load() {
+			return // poisoned streams are shed at intake
+		}
+		if !d.p.send(item{st: st, kind: itemRecord, rec: rec}) {
+			return // pipeline torn down
+		}
+	}
+}
+
+// Shutdown is the graceful drain: stop accepting, cut the remaining
+// connections, flush every stage in order, checkpoint, and return the
+// final state. The context bounds the drain; on expiry the pipeline is
+// aborted (blocking sends released) and what was already aggregated is
+// still checkpointed.
+func (d *Daemon) Shutdown(ctx context.Context) (*Checkpoint, error) {
+	d.drainOnce.Do(func() { d.drainedCP, d.drainErr = d.shutdown(ctx) })
+	return d.drainedCP, d.drainErr
+}
+
+func (d *Daemon) shutdown(ctx context.Context) (*Checkpoint, error) {
+	d.stopOnce.Do(func() { close(d.stopping) })
+
+	d.lnMu.Lock()
+	for _, ln := range d.listeners {
+		ln.Close()
+	}
+	d.lnMu.Unlock()
+	d.acceptWG.Wait()
+
+	// Cut live connections; handlers push what they already scanned and
+	// exit via the disconnect path.
+	d.connMu.Lock()
+	for c := range d.conns {
+		c.Close()
+	}
+	d.connMu.Unlock()
+
+	var timedOut bool
+	if !waitCtx(ctx, &d.connWG) {
+		timedOut = true
+		d.p.abort()
+		d.connWG.Wait()
+	}
+
+	// Flush stage by stage: close the shard queues, let extract drain
+	// and flush every open parser, then close the aggregate queue.
+	for _, ch := range d.p.shards {
+		close(ch)
+	}
+	if !waitCtx(ctx, &d.p.extractWG) {
+		timedOut = true
+		d.p.abort()
+		d.p.extractWG.Wait()
+	}
+	close(d.p.aggCh)
+	d.p.aggWG.Wait()
+
+	if d.ctl != nil {
+		d.ctl.Close()
+		d.ctlWG.Wait()
+	}
+
+	cp := BuildCheckpoint(d.p.agg.results())
+	var err error
+	if d.cfg.CheckpointDir != "" {
+		err = cp.WriteFile(d.cfg.CheckpointDir)
+	}
+	if err == nil && timedOut {
+		err = fmt.Errorf("pipeline: drain deadline expired; checkpoint may be partial: %w", ctx.Err())
+	}
+	return cp, err
+}
+
+// waitCtx waits for wg or the context, whichever first.
+func waitCtx(ctx context.Context, wg *sync.WaitGroup) bool {
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,56 @@
+package pipeline_test
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+
+	"mmlab/internal/pipeline"
+	"mmlab/internal/sib"
+)
+
+// FuzzFrame throws arbitrary bytes at the daemon's connection-facing
+// decode path — hello, framing, resynchronizing scan — which must never
+// panic and never allocate past its bounds, no matter how hostile the
+// peer. This is the same code a network connection reaches before any
+// supervision.
+func FuzzFrame(f *testing.F) {
+	var good bytes.Buffer
+	if err := pipeline.WriteHello(&good, pipeline.Hello{Carrier: "A", Stream: "s0"}); err != nil {
+		f.Fatal(err)
+	}
+	if err := pipeline.WriteFrame(&good, []byte("not a diag record")); err != nil {
+		f.Fatal(err)
+	}
+	if err := pipeline.WriteEnd(&good); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add(good.Bytes()[:len(good.Bytes())/2])
+	f.Add([]byte{})
+	f.Add([]byte("garbage that is not a hello"))
+	f.Add([]byte{0x4D, 0x4D, 0x4C, 0x42, 1, 0xFF, 0xFF, 0xFF}) // magic + huge label length
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		if _, err := pipeline.ReadHello(br); err != nil {
+			return
+		}
+		fr := pipeline.NewFrameReader(br)
+		sc := sib.NewStreamScanner(fr, sib.ScanOptions{Copy: true})
+		records := 0
+		for {
+			_, ok, err := sc.Next()
+			if !ok {
+				if err == nil && !fr.End() {
+					t.Error("clean EOF without an end frame")
+				}
+				break
+			}
+			records++
+		}
+		if st := sc.Stats(); st.Records != records {
+			t.Errorf("stats claim %d records, scanned %d", st.Records, records)
+		}
+	})
+}

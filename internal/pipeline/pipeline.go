@@ -1,0 +1,347 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mmlab/internal/crawler"
+	"mmlab/internal/sib"
+)
+
+// ShedPolicy decides what happens when the aggregate queue saturates.
+type ShedPolicy int
+
+const (
+	// ShedBlock applies backpressure: the extract stage blocks, its
+	// shard queues fill, connection readers stop pulling, and the
+	// kernel's socket buffers slow the senders down. Nothing is lost;
+	// intake slows instead of memory growing. The default.
+	ShedBlock ShedPolicy = iota
+	// ShedDropNewest drops the update that found the queue full and
+	// counts it — ingest keeps absorbing bytes at full speed at the
+	// price of counted data loss. For deployments where liveness of the
+	// live counters beats completeness of the aggregates.
+	ShedDropNewest
+)
+
+// Hooks are fault-injection points for robustness tests: they let a test
+// poison a stream mid-flight or stall the aggregate stage to force the
+// queues into saturation. Zero value: no interference.
+type Hooks struct {
+	// PanicRecord, when non-nil, is consulted for every record entering
+	// the extract stage; returning true panics that stream's extraction
+	// — the supervisor must contain the blast to the one stream.
+	PanicRecord func(carrier, stream string, rec sib.DiagRecord) bool
+	// AggregateDelay stalls the aggregate stage per update.
+	AggregateDelay time.Duration
+}
+
+// Config parameterizes the daemon.
+type Config struct {
+	// ExtractWorkers is the extract-stage pool size; streams are sharded
+	// across workers by identity so per-stream record order is
+	// preserved. Default: min(4, GOMAXPROCS).
+	ExtractWorkers int
+	// ShardQueue bounds each extract shard's record queue. Default 1024.
+	ShardQueue int
+	// AggregateQueue bounds the route→aggregate update queue. Default 256.
+	AggregateQueue int
+	// Shed is the saturation policy at the aggregate queue.
+	Shed ShedPolicy
+	// IdleTimeout bounds how long a connection may sit without
+	// delivering a byte before it is cut (the stream's extraction state
+	// survives the cut; a reconnect resumes it). Default 30s.
+	IdleTimeout time.Duration
+	// CheckpointDir, when set, receives checkpoint.json on drain.
+	CheckpointDir string
+	// Hooks inject faults for tests.
+	Hooks Hooks
+}
+
+func (c Config) withDefaults() Config {
+	if c.ExtractWorkers <= 0 {
+		c.ExtractWorkers = 4
+		if n := runtime.GOMAXPROCS(0); n < 4 {
+			c.ExtractWorkers = n
+		}
+	}
+	if c.ShardQueue <= 0 {
+		c.ShardQueue = 1024
+	}
+	if c.AggregateQueue <= 0 {
+		c.AggregateQueue = 256
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// streamKey identifies one diag stream across reconnects.
+type streamKey struct {
+	carrier, stream string
+}
+
+// streamState is the daemon-side identity of a stream. It outlives any
+// one connection: the intake counters, the shard assignment, and the
+// poison flag all survive disconnects, so a reconnecting feeder resumes
+// exactly where the transport cut it.
+type streamState struct {
+	key   streamKey
+	shard int
+
+	// The turnstile admits this stream's connections one at a time and
+	// in hello-seq order: a reconnect waits until the handler of every
+	// earlier connection has pushed what it scanned, even if goroutine
+	// scheduling started the newer handler first — the ordering
+	// guarantee that makes resumed streams byte-equivalent to
+	// uninterrupted ones. A seq gap (a connection whose hello never
+	// arrived) stops blocking successors after maxWait, so a broken
+	// client degrades ordering instead of wedging its stream.
+	turnMu   sync.Mutex
+	turnCond *sync.Cond
+	active   bool   // a connection handler currently owns the stream
+	nextSeq  uint64 // lowest hello seq not yet completed
+
+	// Intake-side counters, written by the connection handler.
+	records     atomic.Int64
+	resyncs     atomic.Int64
+	skipped     atomic.Int64
+	connects    atomic.Int64
+	disconnects atomic.Int64
+	conns       atomic.Int64
+	drops       atomic.Int64
+
+	poisoned atomic.Bool
+}
+
+// beginConn blocks until this connection may process the stream: no
+// other handler active and every earlier seq completed. After maxWait
+// the seq-ordering wait is abandoned (exclusivity never is) and the
+// return value reports the ordering violation.
+func (st *streamState) beginConn(seq uint64, maxWait time.Duration) (ordered bool) {
+	st.turnMu.Lock()
+	defer st.turnMu.Unlock()
+	if st.turnCond == nil {
+		st.turnCond = sync.NewCond(&st.turnMu)
+	}
+	deadline := time.Now().Add(maxWait)
+	ordered = true
+	for {
+		if !st.active && (st.nextSeq >= seq || !ordered) {
+			break
+		}
+		if ordered && st.nextSeq < seq && time.Now().After(deadline) {
+			ordered = false
+			continue
+		}
+		if ordered && st.nextSeq < seq {
+			// Waiting on a missing predecessor: arm a wake-up so the
+			// deadline is honored even if no handler ever broadcasts.
+			wake := time.AfterFunc(time.Until(deadline)+time.Millisecond, st.turnCond.Broadcast)
+			st.turnCond.Wait()
+			wake.Stop()
+		} else {
+			st.turnCond.Wait()
+		}
+	}
+	st.active = true
+	return ordered
+}
+
+// endConn releases the turnstile and retires every seq up to this one.
+func (st *streamState) endConn(seq uint64) {
+	st.turnMu.Lock()
+	st.active = false
+	if st.nextSeq <= seq {
+		st.nextSeq = seq + 1
+	}
+	st.turnCond.Broadcast()
+	st.turnMu.Unlock()
+}
+
+// itemKind tags pipeline items.
+type itemKind uint8
+
+const (
+	itemRecord itemKind = iota
+	itemEnd
+)
+
+// item is one unit on a decode→extract shard queue.
+type item struct {
+	st   *streamState
+	kind itemKind
+	rec  sib.DiagRecord
+}
+
+// update is one unit on the route→aggregate queue. Stats is a cumulative
+// snapshot (not a delta), so a shed update costs only its data payload,
+// never the accounting.
+type update struct {
+	st     *streamState
+	snaps  []crawler.ConfigSnapshot
+	events []crawler.HandoffEvent
+	stats  crawler.ParseStats
+	end    bool
+}
+
+// pipeline is the bounded stage graph.
+type pipeline struct {
+	cfg    Config
+	shards []chan item
+	aggCh  chan update
+	agg    *aggregator
+
+	extractWG sync.WaitGroup
+	aggWG     sync.WaitGroup
+
+	// aborted is closed when a drain deadline expires: every blocking
+	// stage send selects on it, so a wedged pipeline can still be torn
+	// down deterministically.
+	aborted   chan struct{}
+	abortOnce sync.Once
+
+	drops  atomic.Int64
+	panics atomic.Int64
+}
+
+func newPipeline(cfg Config) *pipeline {
+	p := &pipeline{
+		cfg:     cfg,
+		shards:  make([]chan item, cfg.ExtractWorkers),
+		aggCh:   make(chan update, cfg.AggregateQueue),
+		agg:     newAggregator(),
+		aborted: make(chan struct{}),
+	}
+	for i := range p.shards {
+		p.shards[i] = make(chan item, cfg.ShardQueue)
+	}
+	for i := range p.shards {
+		p.extractWG.Add(1)
+		go p.extract(i)
+	}
+	p.aggWG.Add(1)
+	go p.aggregate()
+	return p
+}
+
+func (p *pipeline) abort() { p.abortOnce.Do(func() { close(p.aborted) }) }
+
+// send enqueues an item on the stream's shard, blocking for backpressure.
+// false means the pipeline is being torn down.
+func (p *pipeline) send(it item) bool {
+	select {
+	case p.shards[it.st.shard] <- it:
+		return true
+	case <-p.aborted:
+		return false
+	}
+}
+
+// extract is one extract-stage worker: it owns the StreamParser of every
+// stream sharded onto it, so records of a stream are always parsed in
+// arrival order by a single goroutine. A panic while parsing — a
+// poisoned record, a bug tickled by hostile bytes — is contained by the
+// supervisor below: the stream is marked poisoned and dropped, the
+// worker and every other stream keep running.
+func (p *pipeline) extract(w int) {
+	defer p.extractWG.Done()
+	parsers := map[*streamState]*crawler.StreamParser{}
+	for it := range p.shards[w] {
+		st := it.st
+		if st.poisoned.Load() {
+			continue
+		}
+		sp := parsers[st]
+		if sp == nil {
+			sp = crawler.NewStreamParser()
+			parsers[st] = sp
+		}
+		switch it.kind {
+		case itemRecord:
+			if !p.feedSupervised(st, sp, it.rec) {
+				delete(parsers, st)
+				continue
+			}
+			p.route(st, sp, false, false)
+		case itemEnd:
+			sp.Close()
+			p.route(st, sp, true, true)
+			delete(parsers, st)
+		}
+	}
+	// Drain: flush every stream still open (its feeder disconnected or
+	// the daemon is shutting down mid-stream) so partial data reaches
+	// the aggregates, exactly as a batch parse flushes at EOF.
+	for st, sp := range parsers {
+		sp.Close()
+		p.route(st, sp, false, true)
+	}
+}
+
+// feedSupervised runs one record through the parser under a supervisor;
+// false means the stream just got poisoned.
+func (p *pipeline) feedSupervised(st *streamState, sp *crawler.StreamParser, rec sib.DiagRecord) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Add(1)
+			st.poisoned.Store(true)
+			ok = false
+		}
+	}()
+	if h := p.cfg.Hooks.PanicRecord; h != nil && h(st.key.carrier, st.key.stream, rec) {
+		panic("pipeline: injected extract panic")
+	}
+	sp.Feed(rec)
+	return true
+}
+
+// route is the route stage: it takes what the parser completed since the
+// last call and forwards it to the aggregate queue under the configured
+// saturation policy. force bypasses shedding for the markers that must
+// not be lost (stream end, drain flush).
+func (p *pipeline) route(st *streamState, sp *crawler.StreamParser, end, force bool) {
+	snaps := sp.TakeSnapshots()
+	events := sp.TakeEvents()
+	if len(snaps) == 0 && len(events) == 0 && !end {
+		return
+	}
+	u := update{st: st, snaps: snaps, events: events, stats: sp.Stats(), end: end}
+	if p.cfg.Shed == ShedDropNewest && !force {
+		select {
+		case p.aggCh <- u:
+		default:
+			p.drops.Add(1)
+			st.drops.Add(1)
+		}
+		return
+	}
+	select {
+	case p.aggCh <- u:
+	case <-p.aborted:
+	}
+}
+
+// aggregate is the aggregate stage: the single goroutine that owns the
+// in-memory per-stream results and per-carrier aggregates.
+func (p *pipeline) aggregate() {
+	defer p.aggWG.Done()
+	for u := range p.aggCh {
+		if d := p.cfg.Hooks.AggregateDelay; d > 0 {
+			time.Sleep(d)
+		}
+		p.agg.apply(u)
+	}
+}
+
+// queueDepths samples the bounded queues (for status; racy by nature).
+func (p *pipeline) queueDepths() ([]int, int) {
+	depths := make([]int, len(p.shards))
+	for i, ch := range p.shards {
+		depths[i] = len(ch)
+	}
+	return depths, len(p.aggCh)
+}

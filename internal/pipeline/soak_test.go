@@ -1,0 +1,117 @@
+package pipeline_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"mmlab/internal/pipeline"
+	"mmlab/internal/pipeline/feeder"
+)
+
+// TestSoakLossyFleet is the full-system determinism proof: eight
+// concurrent feeders across two carriers hammer one daemon through a
+// seeded fault schedule — corrupted records, garbage runs, mid-record
+// disconnects, stalls — over deliberately tiny queues, and after a
+// graceful drain the checkpoint must be byte-identical to a batch parse
+// of the same uncorrupted captures. The transport may mangle delivery
+// however it likes; it must not be able to change what was ingested.
+func TestSoakLossyFleet(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	var inputs []pipeline.FeedInput
+	for ci, acr := range []string{"A", "V"} {
+		for s := 0; s < 4; s++ {
+			inputs = append(inputs, pipeline.FeedInput{
+				Carrier: acr,
+				Stream:  fmt.Sprintf("probe-%d", s),
+				Data:    capture(t, acr, int64(100*ci+s+1)),
+			})
+		}
+	}
+
+	ckdir := t.TempDir()
+	d, addr := startDaemon(t, pipeline.Config{
+		ExtractWorkers: 4,
+		ShardQueue:     8,
+		AggregateQueue: 4,
+		IdleTimeout:    2 * time.Second,
+		CheckpointDir:  ckdir,
+	})
+
+	stats, err := feeder.FeedFleet(context.Background(), inputs, feeder.Options{
+		Addr: addr,
+		Seed: 42,
+		Faults: feeder.Faults{
+			Disconnect: 0.03,
+			Corrupt:    0.05,
+			Garbage:    0.05,
+			Stall:      0.01,
+			StallMs:    5,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var injected feeder.Stats
+	for _, s := range stats {
+		injected.Records += s.Records
+		injected.Corrupted += s.Corrupted
+		injected.Garbage += s.Garbage
+		injected.Disconnects += s.Disconnects
+		injected.Stalls += s.Stalls
+	}
+	t.Logf("fleet injected: %+v", injected)
+	if injected.Corrupted == 0 || injected.Disconnects == 0 || injected.Garbage == 0 {
+		t.Fatal("fault schedule too sparse to prove anything; raise rates or records")
+	}
+
+	waitFor(t, d, func(s pipeline.Status) bool { return completeStreams(s) == len(inputs) })
+	status := d.Status()
+	var resyncs int64
+	for _, ss := range status.Streams {
+		resyncs += ss.Resyncs
+	}
+	if resyncs == 0 {
+		t.Error("corrupted feeds produced zero resyncs — the lossy path was not exercised")
+	}
+
+	cp := drain(t, d)
+	want, err := pipeline.Reference(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, wantB := encodeCP(t, cp), encodeCP(t, want)
+	if !bytes.Equal(got, wantB) {
+		t.Fatalf("drained checkpoint differs from batch reference (%d vs %d bytes)", len(got), len(wantB))
+	}
+
+	// The drain also persisted the checkpoint; the file must carry the
+	// same bytes.
+	onDisk, err := os.ReadFile(ckdir + "/checkpoint.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, wantB) {
+		t.Error("persisted checkpoint differs from reference")
+	}
+
+	// No goroutine may outlive the drain (a small grace period absorbs
+	// runtime bookkeeping goroutines winding down).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d -> %d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

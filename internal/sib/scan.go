@@ -21,6 +21,7 @@ import "encoding/binary"
 type DiagScanner struct {
 	data  []byte
 	off   int
+	opt   ScanOptions
 	stats ScanStats
 }
 
@@ -31,10 +32,26 @@ type ScanStats struct {
 	Resyncs      int // contiguous damaged regions skipped
 }
 
+// ScanOptions configures a scanner.
+type ScanOptions struct {
+	// Copy detaches each yielded record from the scanned buffer: Raw is
+	// copied into fresh memory, so the caller may reuse or mutate the
+	// input while records are live. Without Copy, records alias the
+	// input — cheaper, but a buffer-reusing caller silently corrupts
+	// every record it retained. The streaming pipeline scans with Copy
+	// on for exactly that reason.
+	Copy bool
+}
+
 // NewDiagScanner scans data. Returned records alias data; callers must
-// not mutate it while records are live.
+// not mutate it while records are live (see ScanOptions.Copy).
 func NewDiagScanner(data []byte) *DiagScanner {
 	return &DiagScanner{data: data}
+}
+
+// NewDiagScannerOpts scans data with explicit options.
+func NewDiagScannerOpts(data []byte, opt ScanOptions) *DiagScanner {
+	return &DiagScanner{data: data, opt: opt}
 }
 
 // Stats returns the running scan statistics.
@@ -51,6 +68,9 @@ func (s *DiagScanner) Next() (DiagRecord, bool) {
 			}
 			s.off += n
 			s.stats.Records++
+			if s.opt.Copy {
+				rec.Raw = append([]byte(nil), rec.Raw...)
+			}
 			return rec, true
 		}
 		s.off++
@@ -66,25 +86,51 @@ func (s *DiagScanner) Next() (DiagRecord, bool) {
 // frameAt validates a candidate frame at the head of b, returning the
 // record and its encoded size on success.
 func frameAt(b []byte) (DiagRecord, int, bool) {
+	rec, n, st := frameAtPartial(b, true)
+	return rec, n, st == frameOK
+}
+
+// frameStatus classifies a candidate frame at the head of a buffer.
+type frameStatus uint8
+
+const (
+	frameOK      frameStatus = iota
+	frameInvalid             // provably not a frame here; slide one byte
+	frameShort               // undecidable yet; a streaming caller reads more
+)
+
+// frameAtPartial is frameAt over a possibly-incomplete buffer: atEOF
+// reports whether b is all the bytes there will ever be. Before EOF a
+// candidate whose header is plausible but whose body has not fully
+// arrived is frameShort, not frameInvalid — the distinction that lets
+// StreamScanner resynchronize without buffering the whole stream.
+func frameAtPartial(b []byte, atEOF bool) (DiagRecord, int, frameStatus) {
 	const hdr = 13
+	short := frameShort
+	if atEOF {
+		short = frameInvalid
+	}
 	if len(b) < hdr {
-		return DiagRecord{}, 0, false
+		return DiagRecord{}, 0, short
 	}
 	dir := b[8]
 	if dir > 1 {
-		return DiagRecord{}, 0, false
+		return DiagRecord{}, 0, frameInvalid
 	}
 	n := binary.LittleEndian.Uint32(b[9:])
-	if n > maxDiagMsgLen || uint64(len(b)-hdr) < uint64(n) {
-		return DiagRecord{}, 0, false
+	if n > maxDiagMsgLen {
+		return DiagRecord{}, 0, frameInvalid
+	}
+	if uint64(len(b)-hdr) < uint64(n) {
+		return DiagRecord{}, 0, short
 	}
 	raw := b[hdr : hdr+int(n)]
 	if _, _, err := Open(raw); err != nil {
-		return DiagRecord{}, 0, false
+		return DiagRecord{}, 0, frameInvalid
 	}
 	return DiagRecord{
 		TimestampMs: binary.LittleEndian.Uint64(b),
 		Dir:         Direction(dir),
 		Raw:         raw,
-	}, hdr + int(n), true
+	}, hdr + int(n), frameOK
 }

@@ -1,0 +1,120 @@
+package sib
+
+import "io"
+
+// StreamScanner is DiagScanner over an io.Reader: it walks a possibly-
+// damaged diag byte stream incrementally, yielding every record whose
+// framing and envelope survive validation and resynchronizing past
+// damage, without ever holding more than a bounded window of the stream
+// in memory. The batch scanner slurps the whole capture; the streaming
+// one is what a long-running ingest daemon and a multi-GB parse need.
+//
+// Validation semantics are identical to DiagScanner's — a candidate is
+// accepted only if the 13-byte diag header is sane and the embedded
+// envelope opens cleanly — so scanning a stream in arbitrary chunks
+// yields exactly the records and ScanStats of a batch scan over the
+// concatenated bytes.
+//
+// The internal buffer is reused between records. Without ScanOptions.Copy
+// a yielded record's Raw aliases that buffer and is valid only until the
+// next Next call; with Copy (what the pipeline uses) records own their
+// bytes.
+type StreamScanner struct {
+	r   io.Reader
+	opt ScanOptions
+
+	buf        []byte
+	start, end int  // undecided window is buf[start:end]
+	eof        bool // underlying reader is exhausted
+	err        error
+
+	pendingSkip int // bytes slid past since the last accepted record
+	stats       ScanStats
+}
+
+// streamChunk is the read granularity. The buffer grows past it only
+// when a candidate frame header claims a body longer than the window —
+// bounded by maxDiagMsgLen, so memory stays O(1) in the stream length.
+const streamChunk = 32 << 10
+
+// NewStreamScanner scans the byte stream read from r.
+func NewStreamScanner(r io.Reader, opt ScanOptions) *StreamScanner {
+	return &StreamScanner{r: r, opt: opt, buf: make([]byte, streamChunk)}
+}
+
+// Stats returns the running scan statistics.
+func (s *StreamScanner) Stats() ScanStats { return s.stats }
+
+// Next returns the next valid record. ok=false marks the end of the
+// stream: err is nil on clean EOF and the underlying read error
+// otherwise (every record decodable before the error has already been
+// yielded).
+func (s *StreamScanner) Next() (DiagRecord, bool, error) {
+	for {
+		if rec, ok := s.scanWindow(); ok {
+			return rec, true, nil
+		}
+		if s.eof {
+			// Whatever remains is an undecidable tail.
+			s.pendingSkip += s.end - s.start
+			s.start = s.end
+			if s.pendingSkip > 0 {
+				s.stats.Resyncs++
+				s.stats.SkippedBytes += s.pendingSkip
+				s.pendingSkip = 0
+			}
+			return DiagRecord{}, false, s.err
+		}
+		s.fill()
+	}
+}
+
+// scanWindow scans the buffered window, stopping when the candidate at
+// the head needs more bytes to be decided.
+func (s *StreamScanner) scanWindow() (DiagRecord, bool) {
+	for s.start < s.end {
+		rec, n, st := frameAtPartial(s.buf[s.start:s.end], s.eof)
+		if st == frameShort {
+			break
+		}
+		if st == frameInvalid {
+			s.start++
+			s.pendingSkip++
+			continue
+		}
+		if s.pendingSkip > 0 {
+			s.stats.Resyncs++
+			s.stats.SkippedBytes += s.pendingSkip
+			s.pendingSkip = 0
+		}
+		s.start += n
+		s.stats.Records++
+		if s.opt.Copy {
+			rec.Raw = append([]byte(nil), rec.Raw...)
+		}
+		return rec, true
+	}
+	return DiagRecord{}, false
+}
+
+// fill compacts the window to the buffer head and reads more bytes.
+func (s *StreamScanner) fill() {
+	if s.start > 0 {
+		copy(s.buf, s.buf[s.start:s.end])
+		s.end -= s.start
+		s.start = 0
+	}
+	if s.end == len(s.buf) {
+		// The undecided head candidate claims a body longer than the
+		// buffer; grow toward the 13+maxDiagMsgLen decision bound.
+		s.buf = append(s.buf, make([]byte, len(s.buf))...)
+	}
+	n, err := s.r.Read(s.buf[s.end:])
+	s.end += n
+	if err != nil {
+		s.eof = true
+		if err != io.EOF {
+			s.err = err
+		}
+	}
+}
