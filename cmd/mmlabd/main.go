@@ -6,23 +6,33 @@
 // live per-carrier config catalogs and aggregates that a status query
 // can inspect while ingest continues. SIGTERM/SIGINT triggers a
 // graceful drain: stop accepting, flush every stage, checkpoint to
-// disk, exit 0.
+// disk, exit 0. A second signal mid-drain aborts the drain and exits
+// nonzero immediately.
 //
 // Subcommands:
 //
 //	mmlabd serve [-tcp :7733] [-unix path] [-control path] [-checkpoint dir]
-//	       [-extract N] [-queue N] [-aggqueue N] [-idle 30s] [-shed block|drop]
-//	    Run the daemon until a signal, then drain and checkpoint.
+//	       [-checkpoint.every 0] [-extract N] [-queue N] [-aggqueue N]
+//	       [-idle 30s] [-shed block|drop] [-restart.backoff 100ms]
+//	       [-restart.max 5s] [-breaker.fails 3] [-breaker.window 1m]
+//	    Run the daemon until a signal, then drain and checkpoint. With
+//	    -checkpoint.every > 0 a resumable checkpoint is also written
+//	    periodically, a restart resumes the previous one, and feeders
+//	    receive durable acks. Unix socket files left behind by a
+//	    crashed daemon are removed at startup (live ones are not).
 //
 //	mmlabd status [-control path] [-format summary|json]
 //	    Query a running daemon's control socket: per-stream scan and
-//	    parse statistics, queue depths, drop and panic counters.
+//	    parse statistics, queue depths, drop/panic/quarantine counters,
+//	    and the last periodic checkpoint time.
 //
 //	mmlabd feed -i diag.bin [-tcp addr|-unix path] [-carrier A] [-stream s0]
-//	       [-seed 1] [-fault.disconnect P] [-fault.corrupt P]
+//	       [-seed 1] [-retries N] [-backoff 10ms] [-maxbackoff 1s]
+//	       [-waitdurable] [-fault.disconnect P] [-fault.corrupt P]
 //	       [-fault.garbage P] [-fault.stall P] [-fault.stallms N]
 //	    Replay a collected capture into a daemon through the seeded
-//	    lossless fault model (for soak and smoke testing).
+//	    lossless fault model (for soak and smoke testing), resuming from
+//	    the daemon's acked position across daemon restarts.
 package main
 
 import (
@@ -31,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
@@ -70,21 +81,34 @@ func serve(args []string) {
 		unix       = fs.String("unix", "", "unix-socket ingest path (empty to disable)")
 		control    = fs.String("control", "", "control socket path for `mmlabd status` (empty to disable)")
 		checkpoint = fs.String("checkpoint", "", "directory receiving checkpoint.json on drain")
+		ckptEvery  = fs.Duration("checkpoint.every", 0, "periodic checkpoint interval (0 = drain-only); requires -checkpoint")
 		extract    = fs.Int("extract", 0, "extract worker pool size (0 = default)")
 		queue      = fs.Int("queue", 0, "per-shard record queue bound (0 = default)")
 		aggqueue   = fs.Int("aggqueue", 0, "aggregate update queue bound (0 = default)")
 		idle       = fs.Duration("idle", 30*time.Second, "per-connection idle timeout")
 		shed       = fs.String("shed", "block", "saturation policy: block (backpressure) or drop (shed newest, counted)")
 		drainT     = fs.Duration("drain", time.Minute, "graceful drain deadline")
+		rBackoff   = fs.Duration("restart.backoff", 0, "initial backoff before a poisoned stream restarts (0 = default 100ms)")
+		rMax       = fs.Duration("restart.max", 0, "restart backoff cap (0 = default 5s)")
+		bFails     = fs.Int("breaker.fails", 0, "poisons within -breaker.window that quarantine a stream (0 = default 3)")
+		bWindow    = fs.Duration("breaker.window", 0, "circuit-breaker failure window (0 = default 1m)")
 	)
 	fs.Parse(args)
+	if *ckptEvery > 0 && *checkpoint == "" {
+		log.Fatal("serve: -checkpoint.every requires -checkpoint")
+	}
 
 	cfg := pipeline.Config{
-		ExtractWorkers: *extract,
-		ShardQueue:     *queue,
-		AggregateQueue: *aggqueue,
-		IdleTimeout:    *idle,
-		CheckpointDir:  *checkpoint,
+		ExtractWorkers:  *extract,
+		ShardQueue:      *queue,
+		AggregateQueue:  *aggqueue,
+		IdleTimeout:     *idle,
+		CheckpointDir:   *checkpoint,
+		CheckpointEvery: *ckptEvery,
+		RestartBackoff:  *rBackoff,
+		RestartMax:      *rMax,
+		BreakerFails:    *bFails,
+		BreakerWindow:   *bWindow,
 	}
 	switch *shed {
 	case "block":
@@ -96,6 +120,11 @@ func serve(args []string) {
 	}
 
 	d := pipeline.NewDaemon(cfg)
+	if n, err := d.Restore(); err != nil {
+		log.Fatalf("serve: restoring checkpoint: %v", err)
+	} else if n > 0 {
+		log.Printf("restored %d streams from %s/checkpoint.json", n, *checkpoint)
+	}
 	if *tcp != "" {
 		addr, err := d.ListenTCP(*tcp)
 		if err != nil {
@@ -104,6 +133,7 @@ func serve(args []string) {
 		log.Printf("ingest on tcp %s", addr)
 	}
 	if *unix != "" {
+		removeStaleSocket(*unix)
 		if err := d.ListenUnix(*unix); err != nil {
 			log.Fatal(err)
 		}
@@ -113,16 +143,26 @@ func serve(args []string) {
 		log.Fatal("serve: no ingest listener (-tcp and -unix both empty)")
 	}
 	if *control != "" {
+		removeStaleSocket(*control)
 		if err := d.ListenControl(*control); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("control on unix %s", *control)
 	}
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
 	log.Printf("%s: draining (deadline %s)", s, *drainT)
+
+	// Double-tap: a second signal mid-drain aborts the drain and exits
+	// nonzero immediately, so a stuck drain never needs an external
+	// kill -9 (which would skip the checkpoint silently).
+	go func() {
+		s := <-sig
+		log.Printf("%s: drain aborted", s)
+		os.Exit(1)
+	}()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainT)
 	defer cancel()
@@ -134,6 +174,24 @@ func serve(args []string) {
 	if *checkpoint != "" {
 		log.Printf("checkpoint: %s/checkpoint.json (%d streams, %d carriers)",
 			*checkpoint, len(cp.Streams), len(cp.Carriers))
+	}
+}
+
+// removeStaleSocket unlinks a unix socket file left behind by a crashed
+// daemon (SIGKILL skips listener cleanup, and the stale file would make
+// the restart's bind fail — defeating crash recovery). A socket a live
+// process still answers on is left alone, so two daemons can't silently
+// steal each other's path; the bind then fails loudly as it should.
+func removeStaleSocket(path string) {
+	if fi, err := os.Stat(path); err != nil || fi.Mode()&os.ModeSocket == 0 {
+		return
+	}
+	if conn, err := net.DialTimeout("unix", path, time.Second); err == nil {
+		conn.Close()
+		return
+	}
+	if err := os.Remove(path); err == nil {
+		log.Printf("removed stale socket %s", path)
 	}
 }
 
@@ -174,6 +232,11 @@ func feed(args []string) {
 		carrier = fs.String("carrier", "A", "stream's carrier label")
 		stream  = fs.String("stream", "s0", "stream name within the carrier")
 		seed    = fs.Int64("seed", 1, "fault schedule seed")
+		retries = fs.Int("retries", 0, "consecutive connection attempts before giving up (0 = default 10)")
+		backoff = fs.Duration("backoff", 0, "initial reconnect backoff (0 = default 10ms)")
+		maxBack = fs.Duration("maxbackoff", 0, "reconnect backoff cap (0 = default 1s)")
+		waitDur = fs.Bool("waitdurable", false, "wait for the daemon's durable (checkpoint) ack before exiting")
+		durTime = fs.Duration("durabletimeout", 0, "bound on the -waitdurable wait (0 = default 30s)")
 		fDisc   = fs.Float64("fault.disconnect", 0, "per-record mid-record disconnect probability")
 		fCorr   = fs.Float64("fault.corrupt", 0, "per-record corrupt-then-retransmit probability")
 		fGarb   = fs.Float64("fault.garbage", 0, "per-record junk-run probability")
@@ -185,9 +248,14 @@ func feed(args []string) {
 		log.Fatal("feed: -i is required")
 	}
 	opt := feeder.Options{
-		Carrier: *carrier,
-		Stream:  *stream,
-		Seed:    *seed,
+		Carrier:        *carrier,
+		Stream:         *stream,
+		Seed:           *seed,
+		Retries:        *retries,
+		Backoff:        *backoff,
+		MaxBackoff:     *maxBack,
+		WaitDurable:    *waitDur,
+		DurableTimeout: *durTime,
 		Faults: feeder.Faults{
 			Disconnect: *fDisc,
 			Corrupt:    *fCorr,
@@ -216,6 +284,6 @@ func feed(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("fed %d records as %s/%s (corrupted %d, garbage %d, disconnects %d, stalls %d, reconnects %d)\n",
-		st.Records, *carrier, *stream, st.Corrupted, st.Garbage, st.Disconnects, st.Stalls, st.Reconnects)
+	fmt.Printf("fed %d records as %s/%s (corrupted %d, garbage %d, disconnects %d, stalls %d, reconnects %d, rewinds %d)\n",
+		st.Records, *carrier, *stream, st.Corrupted, st.Garbage, st.Disconnects, st.Stalls, st.Reconnects, st.Rewinds)
 }

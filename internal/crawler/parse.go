@@ -167,6 +167,89 @@ func (sp *StreamParser) Close() {
 // parser and are zero here.
 func (sp *StreamParser) Stats() ParseStats { return sp.p.stats }
 
+// ParserResume is the cross-record state a StreamParser carries between
+// records, in a form that survives a JSON round-trip: the snapshot still
+// open (a CellInfo stamp seen, its closing stamp not yet), the pending
+// measurement report awaiting its handover command, and the cumulative
+// statistics. Together with the already-emitted snapshots and events it
+// is a complete serialization of the parser — feeding the same records
+// to a parser restored from it yields exactly what the original parser
+// would have yielded. mmlabd's periodic checkpoints persist it so a
+// crashed daemon can resume mid-stream without losing the half-built
+// snapshot that spanned the checkpoint.
+type ParserResume struct {
+	Cur       *ConfigSnapshot        `json:"cur,omitempty"`
+	LastRep   *sib.MeasurementReport `json:"lastRep,omitempty"`
+	RepTimeMs uint64                 `json:"repTimeMs,omitempty"`
+	Stats     ParseStats             `json:"stats"`
+}
+
+// Resume snapshots the parser's cross-record state. The copy is deep:
+// later Feed calls mutate the open snapshot's slices and maps in place,
+// and a resume state must stay exactly what it was at capture time.
+func (sp *StreamParser) Resume() ParserResume {
+	r := ParserResume{RepTimeMs: sp.p.repTime, Stats: sp.p.stats}
+	if sp.p.cur != nil {
+		cp := cloneSnapshot(*sp.p.cur)
+		r.Cur = &cp
+	}
+	if sp.p.lastRep != nil {
+		rep := *sp.p.lastRep
+		rep.Neighbors = append([]sib.MeasResult(nil), rep.Neighbors...)
+		r.LastRep = &rep
+	}
+	return r
+}
+
+// NewStreamParserFrom rebuilds a parser from a resume state, deep-copying
+// it so the caller's copy stays immutable.
+func NewStreamParserFrom(r ParserResume) *StreamParser {
+	sp := &StreamParser{}
+	sp.p.stats = r.Stats
+	sp.p.repTime = r.RepTimeMs
+	if r.Cur != nil {
+		cp := cloneSnapshot(*r.Cur)
+		sp.p.cur = &cp
+	}
+	if r.LastRep != nil {
+		rep := *r.LastRep
+		rep.Neighbors = append([]sib.MeasResult(nil), rep.Neighbors...)
+		sp.p.lastRep = &rep
+	}
+	return sp
+}
+
+// cloneSnapshot deep-copies a snapshot's reference fields (the slices
+// SIB4/SIBFreq append to and the measurement maps RRCReconfig installs).
+func cloneSnapshot(s ConfigSnapshot) ConfigSnapshot {
+	s.Config.Freqs = append([]config.FreqRelation(nil), s.Config.Freqs...)
+	s.Config.ForbiddenCells = append([]uint32(nil), s.Config.ForbiddenCells...)
+	s.Config.Meas.Links = append([]config.MeasLink(nil), s.Config.Meas.Links...)
+	if s.Config.Meas.Objects != nil {
+		objs := make(map[int]config.MeasObject, len(s.Config.Meas.Objects))
+		for id, o := range s.Config.Meas.Objects {
+			if o.CellOffsets != nil {
+				co := make(map[uint16]float64, len(o.CellOffsets))
+				for pci, off := range o.CellOffsets {
+					co[pci] = off
+				}
+				o.CellOffsets = co
+			}
+			o.Blacklist = append([]uint16(nil), o.Blacklist...)
+			objs[id] = o
+		}
+		s.Config.Meas.Objects = objs
+	}
+	if s.Config.Meas.Reports != nil {
+		reps := make(map[int]config.EventConfig, len(s.Config.Meas.Reports))
+		for id, r := range s.Config.Meas.Reports {
+			reps[id] = r
+		}
+		s.Config.Meas.Reports = reps
+	}
+	return s
+}
+
 // Snapshots returns every completed snapshot so far.
 func (sp *StreamParser) Snapshots() []ConfigSnapshot { return sp.p.snaps }
 

@@ -23,6 +23,15 @@ type StreamResult struct {
 	Events    []crawler.HandoffEvent
 	Stats     crawler.ParseStats
 	Complete  bool // clean end frame seen
+
+	// Seq is the stream's applied high-water mark: how many of its
+	// records the data above accounts for. Resume is the parser's
+	// cross-record state at exactly that point (nil once the stream is
+	// complete, or before anything was routed). Together they make a
+	// periodic checkpoint resumable: a restarted daemon primes the
+	// parser from Resume and asks the feeder to replay from Seq.
+	Seq    uint64
+	Resume *crawler.ParserResume
 }
 
 // aggregator owns the per-stream results. It is written only by the
@@ -49,6 +58,44 @@ func (a *aggregator) apply(u update) {
 	r.Events = append(r.Events, u.events...)
 	r.Stats = u.stats
 	r.Complete = r.Complete || u.end
+	if u.seq >= r.Seq {
+		r.Seq = u.seq
+		r.Resume = u.resume // immutable once routed; shared, never mutated
+	}
+	if r.Complete {
+		r.Resume = nil
+	}
+}
+
+// seed pre-loads one stream's restored result (daemon restart path).
+func (a *aggregator) seed(st *streamState, r *StreamResult) {
+	a.mu.Lock()
+	a.streams[st] = r
+	a.mu.Unlock()
+}
+
+// snapshot returns consistent copies of every stream result without
+// pausing ingest: the struct is copied under the lock and the data
+// slices are capped, so the aggregate goroutine's later appends
+// reallocate instead of mutating what the checkpoint is encoding.
+// Resume states are immutable once routed, so sharing them is safe.
+func (a *aggregator) snapshot() []*StreamResult {
+	a.mu.Lock()
+	out := make([]*StreamResult, 0, len(a.streams))
+	for _, r := range a.streams {
+		cp := *r
+		cp.Snapshots = r.Snapshots[:len(r.Snapshots):len(r.Snapshots)]
+		cp.Events = r.Events[:len(r.Events):len(r.Events)]
+		out = append(out, &cp)
+	}
+	a.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Carrier != out[j].Carrier {
+			return out[i].Carrier < out[j].Carrier
+		}
+		return out[i].Stream < out[j].Stream
+	})
+	return out
 }
 
 // results returns the stream results sorted by (carrier, stream).
@@ -92,6 +139,24 @@ func (a *aggregator) resultFor(st *streamState) (StreamResult, bool) {
 type Checkpoint struct {
 	Streams  []StreamCheckpoint `json:"streams"`
 	Carriers []CarrierAggregate `json:"carriers"`
+
+	// Resume carries what a restarted daemon needs to continue ingest
+	// exactly where this checkpoint left off: one entry per stream with
+	// its applied record high-water mark and, for incomplete streams,
+	// the parser's pending cross-record state. Periodic checkpoints
+	// carry it; the final drain checkpoint omits it (a drained run is
+	// sealed, and the drain file stays byte-identical to the batch
+	// reference, pipeline.Reference).
+	Resume []StreamResume `json:"resume,omitempty"`
+}
+
+// StreamResume is one stream's entry in a checkpoint's resume section.
+type StreamResume struct {
+	Carrier  string                `json:"carrier"`
+	Stream   string                `json:"stream"`
+	Seq      uint64                `json:"seq"`
+	Complete bool                  `json:"complete,omitempty"`
+	Parser   *crawler.ParserResume `json:"parser,omitempty"`
 }
 
 // StreamCheckpoint is one stream's extracted data.
@@ -199,6 +264,8 @@ func (cp *Checkpoint) Encode(w io.Writer) error {
 }
 
 // WriteFile atomically writes the checkpoint into dir as checkpoint.json.
+// The tmp+rename dance means a crash at any instant leaves either the
+// previous checkpoint or this one, never a torn file.
 func (cp *Checkpoint) WriteFile(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -212,6 +279,37 @@ func (cp *Checkpoint) WriteFile(dir string) error {
 		return err
 	}
 	return os.Rename(tmp, filepath.Join(dir, "checkpoint.json"))
+}
+
+// LoadCheckpoint reads dir/checkpoint.json. A missing file is not an
+// error: it returns (nil, nil), meaning a fresh start.
+func LoadCheckpoint(dir string) (*Checkpoint, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "checkpoint.json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("pipeline: decoding checkpoint: %w", err)
+	}
+	return &cp, nil
+}
+
+// resumeSection builds the resume entries for a periodic checkpoint from
+// an aggregator snapshot (already in sorted order).
+func resumeSection(results []*StreamResult) []StreamResume {
+	out := make([]StreamResume, 0, len(results))
+	for _, r := range results {
+		sr := StreamResume{Carrier: r.Carrier, Stream: r.Stream, Seq: r.Seq, Complete: r.Complete}
+		if !r.Complete {
+			sr.Parser = r.Resume
+		}
+		out = append(out, sr)
+	}
+	return out
 }
 
 // FeedInput is one stream's identity and capture bytes — the unit both

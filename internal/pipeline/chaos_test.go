@@ -1,0 +1,191 @@
+package pipeline_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"mmlab/internal/pipeline"
+	"mmlab/internal/pipeline/feeder"
+)
+
+// The crash-chaos harness runs a real daemon in a child process and
+// SIGKILLs it at seeded points mid-ingest. The child is this same test
+// binary re-exec'd: TestMain diverts to chaosChild before the test
+// framework starts, so the child is a plain daemon process with the
+// test build's hooks available.
+func TestMain(m *testing.M) {
+	if os.Getenv("MMLABD_CHAOS_CHILD") == "1" {
+		chaosChild()
+		return // unreachable; chaosChild exits
+	}
+	os.Exit(m.Run())
+}
+
+// chaosChild is the daemon side of the crash-chaos harness: a
+// checkpointing daemon on unix sockets under MMLABD_CHAOS_DIR, slowed
+// by tiny queues and an aggregate-stage delay so the parent's kills
+// land mid-ingest. SIGTERM drains gracefully; SIGKILL (the chaos) takes
+// whatever the last periodic checkpoint saved.
+func chaosChild() {
+	dir := os.Getenv("MMLABD_CHAOS_DIR")
+	if dir == "" {
+		fmt.Fprintln(os.Stderr, "chaos child: MMLABD_CHAOS_DIR unset")
+		os.Exit(2)
+	}
+	cfg := pipeline.Config{
+		CheckpointDir:   filepath.Join(dir, "ckpt"),
+		CheckpointEvery: 2 * time.Millisecond,
+		ShardQueue:      8,
+		AggregateQueue:  2,
+		IdleTimeout:     2 * time.Second,
+	}
+	cfg.Hooks.AggregateDelay = 200 * time.Microsecond
+	d := pipeline.NewDaemon(cfg)
+	if n, err := d.Restore(); err != nil {
+		fmt.Fprintf(os.Stderr, "chaos child: restore: %v\n", err)
+		os.Exit(1)
+	} else if n > 0 {
+		fmt.Fprintf(os.Stderr, "chaos child: restored %d streams\n", n)
+	}
+	ingest := filepath.Join(dir, "ingest.sock")
+	ctl := filepath.Join(dir, "ctl.sock")
+	os.Remove(ingest)
+	os.Remove(ctl)
+	if err := d.ListenUnix(ingest); err != nil {
+		fmt.Fprintf(os.Stderr, "chaos child: listen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := d.ListenControl(ctl); err != nil {
+		fmt.Fprintf(os.Stderr, "chaos child: control: %v\n", err)
+		os.Exit(1)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM)
+	<-sig
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := d.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "chaos child: drain: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// TestCrashChaos SIGKILLs the daemon at three seeded ingest thresholds
+// while durable-ack feeders stream four lossy-free captures into it.
+// Each kill loses whatever the last checkpoint hadn't covered; the
+// resume protocol replays exactly that tail on reconnect. After all
+// kills the feeders must still report full durable delivery, and the
+// gracefully drained checkpoint file must be byte-identical to the
+// batch reference — exactly-once ingest across process death.
+func TestCrashChaos(t *testing.T) {
+	// MkdirTemp over t.TempDir: unix socket paths must stay under the
+	// 108-byte sun_path limit, and test names make t.TempDir long.
+	dir, err := os.MkdirTemp("", "mmchaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+
+	var inputs []pipeline.FeedInput
+	total := 0
+	for i, car := range []string{"A", "T"} {
+		for j := 0; j < 2; j++ {
+			data := capture(t, car, int64(71+i*2+j))
+			inputs = append(inputs, pipeline.FeedInput{
+				Carrier: car, Stream: fmt.Sprintf("s%d", j), Data: data,
+			})
+			total += countRecords(t, data)
+		}
+	}
+	// Seeded kill points: fixed fractions of the fleet's record count,
+	// so the chaos schedule is a pure function of the capture seeds.
+	killAt := []int64{int64(total) * 15 / 100, int64(total) * 40 / 100, int64(total) * 65 / 100}
+
+	start := func() *exec.Cmd {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), "MMLABD_CHAOS_CHILD=1", "MMLABD_CHAOS_DIR="+dir)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start chaos child: %v", err)
+		}
+		return cmd
+	}
+	cmd := start()
+	defer func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	base := feeder.Options{
+		Network: "unix", Addr: filepath.Join(dir, "ingest.sock"), Seed: 901,
+		Backoff: 2 * time.Millisecond, MaxBackoff: 50 * time.Millisecond, Retries: 2000,
+		WaitDurable: true, DurableTimeout: 120 * time.Second,
+	}
+	feedErr := make(chan error, 1)
+	go func() {
+		_, err := feeder.FeedFleet(context.Background(), inputs, base)
+		feedErr <- err
+	}()
+
+	ctl := filepath.Join(dir, "ctl.sock")
+	deadline := time.Now().Add(120 * time.Second)
+	for kills := 0; kills < len(killAt); {
+		select {
+		case err := <-feedErr:
+			t.Fatalf("feeders finished before kill %d landed (err=%v); the child must ingest slower", kills+1, err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("kill %d never landed (threshold %d records)", kills+1, killAt[kills])
+		}
+		if st, err := pipeline.QueryStatus(ctl); err == nil {
+			var recs int64
+			for _, ss := range st.Streams {
+				recs += ss.Records
+			}
+			if recs >= killAt[kills] {
+				cmd.Process.Kill() // SIGKILL: no drain, no final checkpoint
+				cmd.Wait()
+				kills++
+				t.Logf("kill %d/%d at %d records (threshold %d)", kills, len(killAt), recs, killAt[kills-1])
+				cmd = start()
+				continue
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if err := <-feedErr; err != nil {
+		t.Fatalf("feeders must recover across crashes: %v", err)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("chaos child drain must exit 0: %v", err)
+	}
+
+	got, err := os.ReadFile(filepath.Join(dir, "ckpt", "checkpoint.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pipeline.Reference(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, encodeCP(t, want)) {
+		t.Fatalf("post-chaos checkpoint differs from batch reference (%d vs %d bytes)", len(got), len(encodeCP(t, want)))
+	}
+}

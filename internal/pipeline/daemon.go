@@ -48,6 +48,11 @@ type Daemon struct {
 	connPanics    atomic.Int64
 	seqViolations atomic.Int64
 
+	ckptWG     sync.WaitGroup
+	lastCkptMs atomic.Int64
+	ckptCount  atomic.Int64
+	ckptErrs   atomic.Int64
+
 	stopping  chan struct{}
 	stopOnce  sync.Once
 	drainOnce sync.Once
@@ -57,17 +62,122 @@ type Daemon struct {
 }
 
 // NewDaemon builds a daemon and starts its pipeline stages. It serves
-// nothing until ListenTCP/ListenUnix attach ingest listeners.
+// nothing until ListenTCP/ListenUnix attach ingest listeners; call
+// Restore first to resume a prior periodic checkpoint.
 func NewDaemon(cfg Config) *Daemon {
 	cfg = cfg.withDefaults()
-	return &Daemon{
+	stopping := make(chan struct{})
+	d := &Daemon{
 		cfg:      cfg,
-		p:        newPipeline(cfg),
+		p:        newPipeline(cfg, stopping),
 		reg:      map[streamKey]*streamState{},
 		conns:    map[net.Conn]struct{}{},
-		stopping: make(chan struct{}),
+		stopping: stopping,
 		started:  time.Now(),
 	}
+	if d.ckptEnabled() {
+		d.ckptWG.Add(1)
+		go d.checkpointLoop()
+	}
+	return d
+}
+
+// ckptEnabled reports whether periodic checkpointing (and with it the
+// durable-ack machinery) is on.
+func (d *Daemon) ckptEnabled() bool {
+	return d.cfg.CheckpointDir != "" && d.cfg.CheckpointEvery > 0
+}
+
+// checkpointLoop writes a periodic checkpoint every CheckpointEvery
+// until shutdown (which writes the final drain checkpoint itself).
+func (d *Daemon) checkpointLoop() {
+	defer d.ckptWG.Done()
+	t := time.NewTicker(d.cfg.CheckpointEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stopping:
+			return
+		case <-t.C:
+			if err := d.CheckpointNow(); err != nil {
+				d.ckptErrs.Add(1)
+			}
+		}
+	}
+}
+
+// CheckpointNow snapshots the aggregator without pausing ingest, writes
+// a periodic (resumable) checkpoint atomically, and pushes durable acks
+// to every live feeder connection so they can trim their replay buffers.
+func (d *Daemon) CheckpointNow() error {
+	results := d.p.agg.snapshot()
+	cp := BuildCheckpoint(results)
+	cp.Resume = resumeSection(results)
+	if err := cp.WriteFile(d.cfg.CheckpointDir); err != nil {
+		return err
+	}
+	d.lastCkptMs.Store(time.Now().UnixMilli())
+	d.ckptCount.Add(1)
+	d.regMu.Lock()
+	states := make(map[streamKey]*streamState, len(d.reg))
+	for k, st := range d.reg {
+		states[k] = st
+	}
+	d.regMu.Unlock()
+	for _, r := range results {
+		if st := states[streamKey{carrier: r.Carrier, stream: r.Stream}]; st != nil {
+			st.durable.Store(r.Seq)
+			st.ackDurable(r.Seq)
+		}
+	}
+	return nil
+}
+
+// Restore loads a prior periodic checkpoint from CheckpointDir (if any)
+// and primes the daemon to continue it: the aggregator is seeded with
+// the restored per-stream results, each stream's intake high-water mark
+// is set so resume acks point feeders at the right record, and pending
+// parser state is staged for the extract stage. It must run before any
+// listener is attached. A missing checkpoint, or one without a resume
+// section (a sealed drain artifact), restores nothing. Returns the
+// number of streams restored.
+func (d *Daemon) Restore() (int, error) {
+	if d.cfg.CheckpointDir == "" {
+		return 0, nil
+	}
+	cp, err := LoadCheckpoint(d.cfg.CheckpointDir)
+	if err != nil || cp == nil {
+		return 0, err
+	}
+	if len(cp.Resume) == 0 {
+		return 0, nil
+	}
+	data := map[streamKey]*StreamCheckpoint{}
+	for i := range cp.Streams {
+		sc := &cp.Streams[i]
+		data[streamKey{carrier: sc.Carrier, stream: sc.Stream}] = sc
+	}
+	for i := range cp.Resume {
+		rs := &cp.Resume[i]
+		st := d.stream(Hello{Carrier: rs.Carrier, Stream: rs.Stream})
+		st.inSeq.Store(rs.Seq)
+		st.records.Store(int64(rs.Seq))
+		st.durable.Store(rs.Seq)
+		r := &StreamResult{Carrier: rs.Carrier, Stream: rs.Stream, Complete: rs.Complete, Seq: rs.Seq}
+		if sc := data[streamKey{carrier: rs.Carrier, stream: rs.Stream}]; sc != nil {
+			r.Snapshots = sc.Snapshots
+			r.Events = sc.Events
+		}
+		if rs.Parser != nil {
+			r.Resume = rs.Parser
+			r.Stats = rs.Parser.Stats
+			rstate := &routedState{seq: rs.Seq, parser: rs.Parser}
+			st.restore.Store(rstate)
+			st.lastRouted.Store(rstate)
+		}
+		d.p.agg.seed(st, r)
+	}
+	return len(cp.Resume), nil
 }
 
 // ListenTCP attaches an ingest listener on a TCP address and returns the
@@ -195,6 +305,18 @@ func (d *Daemon) handle(conn net.Conn) {
 	st.conns.Add(1)
 	defer st.conns.Add(-1)
 
+	// First ack: the resume point. Sent after the turnstile, so it
+	// already accounts for everything earlier connections scanned in —
+	// and, after a restart, for everything the restored checkpoint
+	// covers. Only then does the connection register for durable acks,
+	// so the resume ack is always the first frame the feeder reads.
+	if err := st.sendAck(conn, st.inSeq.Load()); err != nil {
+		st.disconnects.Add(1)
+		return
+	}
+	st.setAckConn(conn)
+	defer st.setAckConn(nil)
+
 	fr := NewFrameReader(br)
 	// Decode: the scanner resynchronizes past payload damage and copies
 	// records out (Copy on — records cross stage queues and outlive the
@@ -212,22 +334,63 @@ func (d *Daemon) handle(conn net.Conn) {
 		rec, ok, scanErr := sc.Next()
 		publish()
 		if !ok {
-			if scanErr == nil && fr.End() {
-				// Clean end of stream: tell extract to flush and seal it.
-				d.p.send(item{st: st, kind: itemEnd})
+			if scanErr == nil && fr.End() && !st.poisoned.Load() {
+				// Clean end of stream: tell extract to flush and seal it,
+				// then hold the connection open so the checkpointer can
+				// deliver the durable ack a waiting feeder needs.
+				if d.p.send(item{st: st, kind: itemEnd, seq: st.inSeq.Load(), epoch: st.epoch.Load()}) {
+					d.holdForAck(conn)
+				}
 			} else {
-				// Disconnect (idle cut, transport death, bad frame):
-				// keep the stream's state for a reconnect.
+				// Disconnect (idle cut, transport death, bad frame, or a
+				// poison landed mid-read): keep the stream's state for a
+				// reconnect.
 				st.disconnects.Add(1)
 			}
 			return
 		}
 		if st.poisoned.Load() {
-			return // poisoned streams are shed at intake
+			// Poisoned streams are shed at intake; cut the connection so
+			// the feeder reconnects and replays once the supervisor has
+			// rewound the stream.
+			st.shed.Add(1)
+			st.disconnects.Add(1)
+			return
 		}
-		if !d.p.send(item{st: st, kind: itemRecord, rec: rec}) {
+		seq := st.inSeq.Add(1)
+		if !d.p.send(item{st: st, kind: itemRecord, rec: rec, seq: seq, epoch: st.epoch.Load()}) {
 			return // pipeline torn down
 		}
+	}
+}
+
+// holdForAck keeps a cleanly-ended connection open until the feeder
+// hangs up (bounded by the idle timeout), so the durable ack covering
+// the stream's end can still be delivered: a WaitDurable feeder holds
+// its replay buffer until then. Without periodic checkpointing there is
+// no durable ack to wait for, and the hold is skipped. Any byte from
+// the feeder after its end frame is a protocol violation and drops the
+// connection.
+func (d *Daemon) holdForAck(conn net.Conn) {
+	if !d.ckptEnabled() {
+		return
+	}
+	buf := make([]byte, 1)
+	deadline := time.Now().Add(d.cfg.IdleTimeout)
+	for time.Now().Before(deadline) {
+		select {
+		case <-d.stopping:
+			return
+		default:
+		}
+		conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		if _, err := conn.Read(buf); err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return // feeder hung up
+		}
+		return // data after end: drop the connection
 	}
 }
 
@@ -265,6 +428,12 @@ func (d *Daemon) shutdown(ctx context.Context) (*Checkpoint, error) {
 		d.p.abort()
 		d.connWG.Wait()
 	}
+
+	// The periodic checkpointer and any pending supervisor restarts see
+	// d.stopping closed; wait them out before draining the stages so no
+	// goroutine mutates stream or aggregator state mid-flush.
+	d.ckptWG.Wait()
+	d.p.restartWG.Wait()
 
 	// Flush stage by stage: close the shard queues, let extract drain
 	// and flush every open parser, then close the aggregate queue.

@@ -142,10 +142,13 @@ func TestDaemonPanicIsolation(t *testing.T) {
 	}
 	poisoned := false
 	for _, ss := range status.Streams {
-		if ss.Stream == "bad" && ss.Poisoned {
+		// The supervisor may already have lifted the poison (restart
+		// with backoff); either the live flag or the restart counter
+		// proves the stream was contained.
+		if ss.Stream == "bad" && (ss.Poisoned || ss.Restarts > 0) {
 			poisoned = true
 		}
-		if ss.Stream == "good" && ss.Poisoned {
+		if ss.Stream == "good" && (ss.Poisoned || ss.Restarts > 0) {
 			t.Error("healthy stream marked poisoned")
 		}
 	}

@@ -12,9 +12,13 @@
 package feeder
 
 import (
+	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"net"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"mmlab/internal/fault"
@@ -59,11 +63,23 @@ type Options struct {
 	Seed    int64
 	Faults  Faults
 	// Backoff is the initial reconnect backoff, doubling per consecutive
-	// failure up to MaxBackoff. Default 10ms / 1s.
+	// failure up to MaxBackoff with seeded ±25% jitter (so a fleet whose
+	// daemon just crashed doesn't re-dial in lockstep). Default 10ms / 1s.
 	Backoff    time.Duration
 	MaxBackoff time.Duration
 	// Retries bounds consecutive failed connection attempts. Default 10.
 	Retries int
+	// AckTimeout bounds the wait for the resume ack that opens every
+	// connection. Default 30s.
+	AckTimeout time.Duration
+	// WaitDurable, when set, keeps the feeder attached after its end
+	// frame until the daemon's durable acks cover every record — i.e.
+	// until a periodic checkpoint has made the whole stream crash-proof.
+	// If the daemon dies first, the feeder reconnects and replays from
+	// the resume ack. Requires a daemon with -checkpoint.every.
+	WaitDurable bool
+	// DurableTimeout bounds the WaitDurable wait. Default 30s.
+	DurableTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -79,17 +95,24 @@ func (o Options) withDefaults() Options {
 	if o.Retries <= 0 {
 		o.Retries = 10
 	}
+	if o.AckTimeout <= 0 {
+		o.AckTimeout = 30 * time.Second
+	}
+	if o.DurableTimeout <= 0 {
+		o.DurableTimeout = 30 * time.Second
+	}
 	return o
 }
 
 // Stats counts what one feeder run did.
 type Stats struct {
-	Records     int // records delivered cleanly
+	Records     int // records delivered cleanly (replays included)
 	Corrupted   int // damaged copies sent (each followed by a retransmit)
 	Garbage     int // junk runs injected
 	Stalls      int
 	Disconnects int // deliberate mid-record cuts
 	Reconnects  int // successful re-dials (faults and write errors alike)
+	Rewinds     int // reconnects whose resume ack moved the cursor back
 }
 
 // Fault kinds for the per-record decision hash.
@@ -100,32 +123,67 @@ const (
 	kindStall
 	kindCut
 	kindJunk
+	kindJitter
 )
 
 // maxSendChunk bounds one data frame from the feeder; records larger
 // than this are split across frames (the payloads concatenate anyway).
 const maxSendChunk = 64 << 10
 
+// errRepositioned reports that a reconnect's resume ack moved the record
+// cursor (the daemon owns less — or more — than the feeder assumed, e.g.
+// after a daemon crash and restore). The delivery loop re-drives from
+// the new cursor.
+var errRepositioned = errors.New("feeder: repositioned by resume ack")
+
 // Feed replays data — a diag capture as written by `mmlab collect` — as
 // one stream into a daemon, applying the fault schedule, and finishes
 // with the end-of-stream frame. The input must be a clean capture: it is
 // split into records up front so faults land on record boundaries.
+//
+// Every connection opens with the daemon's resume ack — the number of
+// records it durably owns — and the feeder replays from exactly there.
+// The capture itself is the replay buffer: nothing sent is forgotten
+// until (with WaitDurable) a durable ack covers it, so a daemon that is
+// SIGKILLed mid-stream costs a rewind, never a record.
 func Feed(ctx context.Context, data []byte, opt Options) (Stats, error) {
 	opt = opt.withDefaults()
-	f := &feeder{opt: opt}
+	f := &feeder{opt: opt, stallPos: -1}
 	defer f.close()
 
 	segs, err := splitRecords(data)
 	if err != nil {
 		return f.stats, fmt.Errorf("feeder: %s/%s: %w", opt.Carrier, opt.Stream, err)
 	}
+	f.total = len(segs)
 	if err := f.connect(ctx); err != nil {
 		return f.stats, err
 	}
-	for i, seg := range segs {
-		if err := ctx.Err(); err != nil {
+	for {
+		if err := f.deliver(ctx, segs); err != nil {
 			return f.stats, err
 		}
+		err := f.finish(ctx)
+		if err == errRepositioned {
+			continue // daemon restarted behind us: replay the tail
+		}
+		return f.stats, err
+	}
+}
+
+// deliver drives the record cursor to the end of the capture, applying
+// the fault schedule. A rewind (resume ack behind the cursor) simply
+// re-enters the loop at the new position — fault rolls are a pure
+// function of (seed, kind, index), so a replayed record sees the same
+// faults it saw the first time.
+func (f *feeder) deliver(ctx context.Context, segs [][]byte) error {
+	opt := f.opt
+	for f.next < len(segs) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		i := f.next
+		seg := segs[i]
 		if f.roll(kindStall, i) < opt.Faults.Stall {
 			f.stats.Stalls++
 			// Go silent with the connection open (the daemon's idle
@@ -133,52 +191,114 @@ func Feed(ctx context.Context, data []byte, opt Options) (Stats, error) {
 			// we cannot know whether the far end kept the connection, so
 			// the lossless move is to always resume on a fresh one.
 			if err := sleep(ctx, time.Duration(opt.Faults.StallMs)*time.Millisecond); err != nil {
-				return f.stats, err
+				return err
 			}
 			f.close()
 		}
 		if f.roll(kindGarbage, i) < opt.Faults.Garbage {
 			f.stats.Garbage++
-			if err := f.send(ctx, f.junk(i)); err != nil {
-				return f.stats, err
+			if err := f.send(ctx, f.junk(i), i); err == errRepositioned {
+				continue
+			} else if err != nil {
+				return err
 			}
 		}
 		if f.roll(kindCorrupt, i) < opt.Faults.Corrupt {
 			damaged, derr := damageRecord(seg, sim.DeriveSeed(opt.Seed, i))
 			if derr != nil {
-				return f.stats, fmt.Errorf("feeder: damaging record %d: %w", i, derr)
+				return fmt.Errorf("feeder: damaging record %d: %w", i, derr)
 			}
 			f.stats.Corrupted++
-			if err := f.send(ctx, damaged); err != nil {
-				return f.stats, err
+			if err := f.send(ctx, damaged, i); err == errRepositioned {
+				continue
+			} else if err != nil {
+				return err
 			}
 		}
 		if f.roll(kindDisconnect, i) < opt.Faults.Disconnect {
 			f.stats.Disconnects++
 			if err := f.cutMidRecord(ctx, seg, i); err != nil {
-				return f.stats, err
+				return err
+			}
+			if f.next != i {
+				continue
 			}
 		}
-		if err := f.send(ctx, seg); err != nil {
-			return f.stats, err
+		if err := f.send(ctx, seg, i); err == errRepositioned {
+			continue
+		} else if err != nil {
+			return err
 		}
 		f.stats.Records++
+		f.next = i + 1
 	}
-	if err := f.ensureConn(ctx); err != nil {
-		return f.stats, err
+	return nil
+}
+
+// finish seals the stream: end frame, then (with WaitDurable) a wait for
+// the durable ack covering every record. Returns errRepositioned if a
+// reconnect finds the daemon owning less than the full stream.
+func (f *feeder) finish(ctx context.Context) error {
+	deadline := time.Now().Add(f.opt.DurableTimeout)
+	for {
+		if err := f.ensureConn(ctx); err != nil {
+			return err
+		}
+		if f.next < f.total {
+			return errRepositioned
+		}
+		if err := pipeline.WriteEnd(f.conn); err != nil {
+			f.close()
+			continue
+		}
+		if !f.opt.WaitDurable {
+			f.close()
+			return nil
+		}
+		dead := f.dead
+		for {
+			if f.acked.Load() >= uint64(f.total) {
+				f.close()
+				return nil
+			}
+			if time.Now().After(deadline) {
+				f.close()
+				return fmt.Errorf("feeder: %s/%s: durable ack not received within %v (acked %d of %d)",
+					f.opt.Carrier, f.opt.Stream, f.opt.DurableTimeout, f.acked.Load(), f.total)
+			}
+			select {
+			case <-dead:
+				// Connection died before the durable ack: reconnect; the
+				// resume ack decides whether anything must be replayed.
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(5 * time.Millisecond):
+				continue
+			}
+			break
+		}
+		f.close()
 	}
-	if err := pipeline.WriteEnd(f.conn); err != nil {
-		return f.stats, fmt.Errorf("feeder: %s/%s: end frame: %w", opt.Carrier, opt.Stream, err)
-	}
-	f.close()
-	return f.stats, nil
 }
 
 type feeder struct {
 	opt   Options
 	conn  net.Conn
+	dead  chan struct{} // closed when the current connection's ack reader exits
+	ackWG sync.WaitGroup
 	seq   uint64 // hello seq of the next connection
+	next  int    // index of the next record to deliver
+	total int
+	acked atomic.Uint64 // durable high-water mark from daemon checkpoints
+	dials int           // jitter counter
 	stats Stats
+
+	// Stalled-resume guard: consecutive reconnects whose resume ack sat
+	// at the same position. A daemon that keeps accepting but never
+	// admits records (e.g. a quarantined stream) would otherwise loop
+	// the feeder forever.
+	stallPos   int
+	stallCount int
 }
 
 func (f *feeder) close() {
@@ -186,16 +306,21 @@ func (f *feeder) close() {
 		f.conn.Close()
 		f.conn = nil
 	}
+	f.ackWG.Wait()
+	f.dead = nil
 }
 
-// connect dials and sends the hello, with exponential backoff across
-// consecutive failures.
+// connect dials, sends the hello, and reads the resume ack that opens
+// every connection, repositioning the record cursor to what the daemon
+// reports owning. Dial failures back off exponentially with seeded
+// jitter. On success an ack-reader goroutine consumes the connection's
+// later (durable) acks.
 func (f *feeder) connect(ctx context.Context) error {
 	backoff := f.opt.Backoff
 	var lastErr error
 	for attempt := 0; attempt < f.opt.Retries; attempt++ {
 		if attempt > 0 {
-			if err := sleep(ctx, backoff); err != nil {
+			if err := sleep(ctx, f.jitter(backoff)); err != nil {
 				return err
 			}
 			if backoff *= 2; backoff > f.opt.MaxBackoff {
@@ -212,12 +337,70 @@ func (f *feeder) connect(ctx context.Context) error {
 			lastErr = err
 			continue
 		}
+		br := bufio.NewReader(conn)
+		conn.SetReadDeadline(time.Now().Add(f.opt.AckTimeout))
+		resume, err := pipeline.ReadAck(br)
+		if err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		conn.SetReadDeadline(time.Time{})
 		f.seq++
 		f.conn = conn
+		if resume > uint64(f.total) {
+			resume = uint64(f.total) // defensive: the daemon cannot own more
+		}
+		if int(resume) == f.stallPos {
+			if f.stallCount++; f.stallCount >= f.opt.Retries {
+				conn.Close()
+				return fmt.Errorf("feeder: %s/%s: no progress after %d reconnects (daemon stuck at record %d, quarantined stream?)",
+					f.opt.Carrier, f.opt.Stream, f.stallCount, resume)
+			}
+		} else {
+			f.stallPos, f.stallCount = int(resume), 0
+		}
+		if int(resume) < f.next {
+			f.stats.Rewinds++
+		}
+		f.next = int(resume)
+		f.startAckReader(conn, br)
 		return nil
 	}
 	return fmt.Errorf("feeder: %s/%s: connecting to %s %s: %w",
 		f.opt.Carrier, f.opt.Stream, f.opt.Network, f.opt.Addr, lastErr)
+}
+
+// startAckReader consumes the connection's durable acks into f.acked
+// (monotonically) until the connection dies.
+func (f *feeder) startAckReader(conn net.Conn, br *bufio.Reader) {
+	dead := make(chan struct{})
+	f.dead = dead
+	f.ackWG.Add(1)
+	go func() {
+		defer f.ackWG.Done()
+		defer close(dead)
+		for {
+			seq, err := pipeline.ReadAck(br)
+			if err != nil {
+				return
+			}
+			for {
+				cur := f.acked.Load()
+				if seq <= cur || f.acked.CompareAndSwap(cur, seq) {
+					break
+				}
+			}
+		}
+	}()
+}
+
+// jitter spreads a backoff over ±25% with the seeded hash, so a fleet
+// sharing a crashed daemon staggers its reconnect storm.
+func (f *feeder) jitter(d time.Duration) time.Duration {
+	f.dials++
+	frac := float64(f.hash(kindJitter, f.dials)>>11) / float64(1<<53)
+	return time.Duration(float64(d) * (0.75 + 0.5*frac))
 }
 
 func (f *feeder) ensureConn(ctx context.Context) error {
@@ -231,15 +414,19 @@ func (f *feeder) ensureConn(ctx context.Context) error {
 	return nil
 }
 
-// send delivers one blob (a record, a damaged copy, or junk) to the
-// daemon, splitting it across frames and retrying the whole blob on a
-// fresh connection after any write error — a partial blob on a dead
-// connection is skipped by the daemon's scanner, so resending it in full
-// keeps the delivered record sequence intact.
-func (f *feeder) send(ctx context.Context, blob []byte) error {
+// send delivers one blob (a record, a damaged copy, or junk) belonging
+// to record index i, splitting it across frames and retrying the whole
+// blob on a fresh connection after any write error — a partial blob on a
+// dead connection is skipped by the daemon's scanner, so resending it in
+// full keeps the delivered record sequence intact. errRepositioned means
+// a reconnect moved the cursor away from i and the caller must re-drive.
+func (f *feeder) send(ctx context.Context, blob []byte, i int) error {
 	for attempt := 0; attempt < f.opt.Retries; attempt++ {
 		if err := f.ensureConn(ctx); err != nil {
 			return err
+		}
+		if f.next != i {
+			return errRepositioned
 		}
 		if f.writeBlob(blob) == nil {
 			return nil
@@ -272,6 +459,9 @@ func (f *feeder) writeBlob(blob []byte) error {
 func (f *feeder) cutMidRecord(ctx context.Context, seg []byte, i int) error {
 	if err := f.ensureConn(ctx); err != nil {
 		return err
+	}
+	if f.next != i {
+		return nil // repositioned on reconnect; caller re-drives
 	}
 	n := len(seg)
 	if n > maxSendChunk {

@@ -17,13 +17,28 @@ import (
 )
 
 // sink is a minimal ingest endpoint: it accepts the feeder's sequence of
-// connections, validates each hello, and concatenates every delivered
-// frame payload — the same byte stream a daemon's scanner would see.
+// connections, validates each hello, opens each connection with the
+// protocol's resume ack (the number of complete records it holds), and
+// concatenates every delivered frame payload — the same byte stream a
+// daemon's scanner would see.
 type sink struct {
 	ln      net.Listener
 	payload bytes.Buffer
 	hellos  []pipeline.Hello
 	done    chan struct{}
+}
+
+// recordCount scans the bytes received so far and counts the complete
+// records — the resume position a real daemon would ack.
+func (s *sink) recordCount() uint64 {
+	sc := sib.NewDiagScanner(s.payload.Bytes())
+	var n uint64
+	for {
+		if _, ok := sc.Next(); !ok {
+			return n
+		}
+		n++
+	}
 }
 
 func startSink(t *testing.T) *sink {
@@ -47,6 +62,10 @@ func startSink(t *testing.T) *sink {
 				continue
 			}
 			s.hellos = append(s.hellos, h)
+			if err := pipeline.WriteAck(conn, s.recordCount()); err != nil {
+				conn.Close()
+				continue
+			}
 			fr := pipeline.NewFrameReader(br)
 			io.Copy(&s.payload, fr)
 			conn.Close()

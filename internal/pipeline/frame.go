@@ -30,7 +30,7 @@ import (
 //	        carrierLen uvarint, carrier bytes |
 //	        streamLen uvarint, stream bytes |
 //	        seq uvarint
-//	frame:  type byte ('D' data, 'E' end) | payloadLen uint32 LE | payload
+//	frame:  type byte ('D' data, 'E' end, 'A' ack) | payloadLen uint32 LE | payload
 //
 // 'E' marks the clean end of the stream (the feeder got everything out).
 // A connection that dies without it is a disconnect: the daemon keeps
@@ -39,12 +39,26 @@ import (
 // for the first); the daemon admits same-stream connections strictly in
 // seq order, so a reconnect racing the still-draining handler of the
 // connection it replaces cannot replay the stream out of order.
+//
+// 'A' flows the other way — daemon to feeder — and carries a uvarint
+// record count. The first ack on every connection is the resume point:
+// how many of the stream's records the daemon owns (scanned into its
+// pipeline, or restored from its checkpoint after a restart), i.e. the
+// index of the record it wants next. It is sent after the connection
+// passes the stream's turnstile, so it already accounts for everything
+// an earlier connection delivered. Later acks on the same connection
+// report the durable high-water mark: how many records the last written
+// checkpoint covers. A feeder may discard its replay buffer up to a
+// durable ack, and after a daemon crash it rewinds to the resume point
+// of its next connection — together that is exactly-once ingest across
+// daemon restarts.
 const (
 	helloMagic   uint32 = 0x424C4D4D // "MMLB" little-endian
 	helloVersion byte   = 1
 
 	frameData byte = 'D'
 	frameEnd  byte = 'E'
+	frameAck  byte = 'A'
 
 	// maxLabelLen bounds the hello labels; maxFramePayload bounds a
 	// single frame so a corrupt length cannot trigger a huge allocation.
@@ -153,6 +167,44 @@ func WriteEnd(w io.Writer) error {
 	hdr := [5]byte{frameEnd}
 	_, err := w.Write(hdr[:])
 	return err
+}
+
+// WriteAck writes a daemon→feeder ack frame carrying a record count.
+func WriteAck(w io.Writer, seq uint64) error {
+	payload := binary.AppendUvarint(nil, seq)
+	buf := make([]byte, 0, 5+len(payload))
+	buf = append(buf, frameAck)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// maxAckPayload bounds an ack frame (a uvarint is at most 10 bytes).
+const maxAckPayload = 10
+
+// ReadAck reads one ack frame off a feeder's connection.
+func ReadAck(r *bufio.Reader) (uint64, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, fmt.Errorf("%w: ack: %v", ErrBadFrame, noEOF(err))
+	}
+	if hdr[0] != frameAck {
+		return 0, fmt.Errorf("%w: expected ack, got type %#x", ErrBadFrame, hdr[0])
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n == 0 || n > maxAckPayload {
+		return 0, fmt.Errorf("%w: ack payload %d", ErrBadFrame, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, fmt.Errorf("%w: ack: %v", ErrBadFrame, noEOF(err))
+	}
+	seq, used := binary.Uvarint(payload)
+	if used <= 0 {
+		return 0, fmt.Errorf("%w: ack varint", ErrBadFrame)
+	}
+	return seq, nil
 }
 
 // FrameReader presents the data payloads of a framed connection as one

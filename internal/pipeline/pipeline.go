@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"net"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -56,6 +57,24 @@ type Config struct {
 	IdleTimeout time.Duration
 	// CheckpointDir, when set, receives checkpoint.json on drain.
 	CheckpointDir string
+	// CheckpointEvery enables periodic incremental checkpointing: every
+	// interval the live per-carrier catalogs, per-stream data, and
+	// resume state are snapshotted (without pausing ingest) and written
+	// atomically to CheckpointDir, and live feeders receive a durable
+	// ack for the covered records. 0 (the default) keeps the historical
+	// drain-only behavior.
+	CheckpointEvery time.Duration
+	// RestartBackoff is the supervisor's initial delay before lifting a
+	// poisoned stream's quarantine-of-one and rewinding it to its last
+	// routed state; it doubles per consecutive poison up to RestartMax.
+	// Defaults 100ms / 5s.
+	RestartBackoff time.Duration
+	RestartMax     time.Duration
+	// BreakerFails poisons within BreakerWindow trip the circuit
+	// breaker: the stream is quarantined permanently (reported on the
+	// control socket) instead of being restarted again. Defaults 3 / 1m.
+	BreakerFails  int
+	BreakerWindow time.Duration
 	// Hooks inject faults for tests.
 	Hooks Hooks
 }
@@ -75,6 +94,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IdleTimeout <= 0 {
 		c.IdleTimeout = 30 * time.Second
+	}
+	if c.RestartBackoff <= 0 {
+		c.RestartBackoff = 100 * time.Millisecond
+	}
+	if c.RestartMax <= 0 {
+		c.RestartMax = 5 * time.Second
+	}
+	if c.BreakerFails <= 0 {
+		c.BreakerFails = 3
+	}
+	if c.BreakerWindow <= 0 {
+		c.BreakerWindow = time.Minute
 	}
 	return c
 }
@@ -104,6 +135,39 @@ type streamState struct {
 	turnCond *sync.Cond
 	active   bool   // a connection handler currently owns the stream
 	nextSeq  uint64 // lowest hello seq not yet completed
+	// seen flips on the first connection this process admits; that
+	// connection's hello seq becomes the turnstile baseline, so a feeder
+	// whose connection count survived a daemon restart isn't made to wait
+	// for predecessors the previous process already served.
+	seen bool
+
+	// inSeq is the intake high-water mark: how many of the stream's
+	// records this daemon owns — scanned off the wire into the pipeline,
+	// or restored from a checkpoint. It is the resume point sent as the
+	// first ack of every connection, and it is rewound by the supervisor
+	// when a poisoned stream restarts.
+	inSeq atomic.Uint64
+	// epoch fences the shard queue across supervisor restarts: items
+	// carry the epoch they were admitted under, and the extract stage
+	// drops items from an older epoch (their records are re-requested
+	// from the feeder after the rewind).
+	epoch atomic.Uint64
+	// durable is the record count covered by the last written checkpoint.
+	durable atomic.Uint64
+
+	// lastRouted is the most recent (seq, parser state) the extract stage
+	// handed to the aggregator — what a supervisor restart rewinds to.
+	// restore, when non-nil, is consumed once by the extract stage to
+	// prime the stream's next parser (set on daemon restore and on
+	// supervisor restart). Both hold immutable values.
+	lastRouted atomic.Pointer[routedState]
+	restore    atomic.Pointer[routedState]
+
+	// ackMu serializes ack writes to the stream's live connection: the
+	// handler's initial resume ack, the checkpointer's durable acks, and
+	// the supervisor's kick on poison.
+	ackMu   sync.Mutex
+	ackConn net.Conn
 
 	// Intake-side counters, written by the connection handler.
 	records     atomic.Int64
@@ -113,9 +177,76 @@ type streamState struct {
 	disconnects atomic.Int64
 	conns       atomic.Int64
 	drops       atomic.Int64
+	shed        atomic.Int64 // records discarded at intake while poisoned
+	restarts    atomic.Int64 // supervisor restarts granted
 
-	poisoned atomic.Bool
+	poisoned    atomic.Bool
+	quarantined atomic.Bool
+
+	// Circuit-breaker state: recent poison times and the current restart
+	// backoff.
+	failMu   sync.Mutex
+	failures []time.Time
+	backoff  time.Duration
 }
+
+// routedState is a parse position: a record count and the parser's
+// cross-record state at exactly that point (nil parser = fresh).
+type routedState struct {
+	seq    uint64
+	parser *crawler.ParserResume
+}
+
+// setAckConn registers (or clears) the stream's live connection for
+// daemon→feeder acks.
+func (st *streamState) setAckConn(c net.Conn) {
+	st.ackMu.Lock()
+	st.ackConn = c
+	st.ackMu.Unlock()
+}
+
+// sendAck writes one ack frame to the given connection under the ack
+// lock, so it cannot interleave with a checkpointer's durable ack.
+func (st *streamState) sendAck(c net.Conn, seq uint64) error {
+	st.ackMu.Lock()
+	defer st.ackMu.Unlock()
+	c.SetWriteDeadline(time.Now().Add(ackWriteTimeout))
+	err := WriteAck(c, seq)
+	c.SetWriteDeadline(time.Time{})
+	return err
+}
+
+// ackDurable pushes a durable high-water mark to the live connection, if
+// any. Failures are ignored: a feeder that misses a durable ack just
+// buffers longer.
+func (st *streamState) ackDurable(seq uint64) {
+	st.ackMu.Lock()
+	defer st.ackMu.Unlock()
+	if st.ackConn == nil {
+		return
+	}
+	st.ackConn.SetWriteDeadline(time.Now().Add(ackWriteTimeout))
+	if WriteAck(st.ackConn, seq) != nil {
+		st.ackConn.Close()
+		st.ackConn = nil
+		return
+	}
+	st.ackConn.SetWriteDeadline(time.Time{})
+}
+
+// kick closes the stream's live connection (used at poison time so the
+// feeder reconnects and replays instead of streaming into a void).
+func (st *streamState) kick() {
+	st.ackMu.Lock()
+	if st.ackConn != nil {
+		st.ackConn.Close()
+		st.ackConn = nil
+	}
+	st.ackMu.Unlock()
+}
+
+// ackWriteTimeout bounds any single daemon→feeder ack write.
+const ackWriteTimeout = 2 * time.Second
 
 // beginConn blocks until this connection may process the stream: no
 // other handler active and every earlier seq completed. After maxWait
@@ -126,6 +257,18 @@ func (st *streamState) beginConn(seq uint64, maxWait time.Duration) (ordered boo
 	defer st.turnMu.Unlock()
 	if st.turnCond == nil {
 		st.turnCond = sync.NewCond(&st.turnMu)
+	}
+	if !st.seen {
+		// First admission in this process: a feeder's connection count
+		// survives daemon restarts, so its seq seeds the baseline rather
+		// than being treated as a gap behind connections a previous
+		// process already retired. Safe because a feeder writes nothing
+		// before reading this connection's resume ack, which is sent
+		// after the turnstile is acquired.
+		st.seen = true
+		if st.nextSeq < seq {
+			st.nextSeq = seq
+		}
 	}
 	deadline := time.Now().Add(maxWait)
 	ordered = true
@@ -170,22 +313,29 @@ const (
 	itemEnd
 )
 
-// item is one unit on a decode→extract shard queue.
+// item is one unit on a decode→extract shard queue. seq is the record's
+// 1-based position in the stream; epoch is the stream epoch it was
+// admitted under (stale epochs are dropped by the extract stage).
 type item struct {
-	st   *streamState
-	kind itemKind
-	rec  sib.DiagRecord
+	st    *streamState
+	kind  itemKind
+	rec   sib.DiagRecord
+	seq   uint64
+	epoch uint64
 }
 
 // update is one unit on the route→aggregate queue. Stats is a cumulative
 // snapshot (not a delta), so a shed update costs only its data payload,
-// never the accounting.
+// never the accounting. seq is the record high-water mark the payload
+// accounts for, and resume the parser's state at exactly that point.
 type update struct {
 	st     *streamState
 	snaps  []crawler.ConfigSnapshot
 	events []crawler.HandoffEvent
 	stats  crawler.ParseStats
 	end    bool
+	seq    uint64
+	resume *crawler.ParserResume
 }
 
 // pipeline is the bounded stage graph.
@@ -204,17 +354,25 @@ type pipeline struct {
 	aborted   chan struct{}
 	abortOnce sync.Once
 
-	drops  atomic.Int64
-	panics atomic.Int64
+	// stop mirrors the daemon's stopping channel so supervisor restart
+	// goroutines can bail out of their backoff sleep at shutdown;
+	// restartWG tracks them.
+	stop      chan struct{}
+	restartWG sync.WaitGroup
+
+	drops       atomic.Int64
+	panics      atomic.Int64
+	quarantines atomic.Int64
 }
 
-func newPipeline(cfg Config) *pipeline {
+func newPipeline(cfg Config, stop chan struct{}) *pipeline {
 	p := &pipeline{
 		cfg:     cfg,
 		shards:  make([]chan item, cfg.ExtractWorkers),
 		aggCh:   make(chan update, cfg.AggregateQueue),
 		agg:     newAggregator(),
 		aborted: make(chan struct{}),
+		stop:    stop,
 	}
 	for i := range p.shards {
 		p.shards[i] = make(chan item, cfg.ShardQueue)
@@ -241,45 +399,69 @@ func (p *pipeline) send(it item) bool {
 	}
 }
 
+// extractState is one stream's position within an extract worker: its
+// parser and the seq of the last record fed into it.
+type extractState struct {
+	sp  *crawler.StreamParser
+	seq uint64
+}
+
 // extract is one extract-stage worker: it owns the StreamParser of every
 // stream sharded onto it, so records of a stream are always parsed in
 // arrival order by a single goroutine. A panic while parsing — a
 // poisoned record, a bug tickled by hostile bytes — is contained by the
 // supervisor below: the stream is marked poisoned and dropped, the
-// worker and every other stream keep running.
+// worker and every other stream keep running, and the supervisor later
+// rewinds and restarts the stream (or quarantines it if the breaker
+// trips).
 func (p *pipeline) extract(w int) {
 	defer p.extractWG.Done()
-	parsers := map[*streamState]*crawler.StreamParser{}
+	parsers := map[*streamState]*extractState{}
 	for it := range p.shards[w] {
 		st := it.st
-		if st.poisoned.Load() {
+		if st.poisoned.Load() || it.epoch != st.epoch.Load() {
 			continue
 		}
-		sp := parsers[st]
-		if sp == nil {
-			sp = crawler.NewStreamParser()
-			parsers[st] = sp
+		es := parsers[st]
+		if es == nil {
+			es = newExtractState(st)
+			parsers[st] = es
 		}
 		switch it.kind {
 		case itemRecord:
-			if !p.feedSupervised(st, sp, it.rec) {
+			if !p.feedSupervised(st, es.sp, it.rec) {
 				delete(parsers, st)
 				continue
 			}
-			p.route(st, sp, false, false)
+			es.seq = it.seq
+			p.route(st, es, false, false)
 		case itemEnd:
-			sp.Close()
-			p.route(st, sp, true, true)
+			es.sp.Close()
+			es.seq = it.seq
+			p.route(st, es, true, true)
 			delete(parsers, st)
 		}
 	}
 	// Drain: flush every stream still open (its feeder disconnected or
 	// the daemon is shutting down mid-stream) so partial data reaches
 	// the aggregates, exactly as a batch parse flushes at EOF.
-	for st, sp := range parsers {
-		sp.Close()
-		p.route(st, sp, false, true)
+	for st, es := range parsers {
+		es.sp.Close()
+		p.route(st, es, false, true)
 	}
+}
+
+// newExtractState builds the stream's parser, primed from a pending
+// restore position when one exists (daemon restore, supervisor restart)
+// and fresh otherwise.
+func newExtractState(st *streamState) *extractState {
+	if rs := st.restore.Swap(nil); rs != nil {
+		if rs.parser != nil {
+			return &extractState{sp: crawler.NewStreamParserFrom(*rs.parser), seq: rs.seq}
+		}
+		return &extractState{sp: crawler.NewStreamParser(), seq: rs.seq}
+	}
+	return &extractState{sp: crawler.NewStreamParser()}
 }
 
 // feedSupervised runs one record through the parser under a supervisor;
@@ -288,7 +470,7 @@ func (p *pipeline) feedSupervised(st *streamState, sp *crawler.StreamParser, rec
 	defer func() {
 		if r := recover(); r != nil {
 			p.panics.Add(1)
-			st.poisoned.Store(true)
+			p.poison(st)
 			ok = false
 		}
 	}()
@@ -299,17 +481,91 @@ func (p *pipeline) feedSupervised(st *streamState, sp *crawler.StreamParser, rec
 	return true
 }
 
+// poison marks the stream dead and kicks its live connection so the
+// feeder reconnects (and replays) instead of streaming into a void. Then
+// the circuit breaker decides: too many poisons inside the window and
+// the stream is quarantined for good; otherwise a supervised restart is
+// scheduled after an exponential backoff.
+func (p *pipeline) poison(st *streamState) {
+	st.poisoned.Store(true)
+	st.kick()
+
+	now := time.Now()
+	st.failMu.Lock()
+	st.failures = append(st.failures, now)
+	for len(st.failures) > 0 && now.Sub(st.failures[0]) > p.cfg.BreakerWindow {
+		st.failures = st.failures[1:]
+	}
+	trip := len(st.failures) >= p.cfg.BreakerFails
+	if st.backoff <= 0 {
+		st.backoff = p.cfg.RestartBackoff
+	} else if st.backoff < p.cfg.RestartMax {
+		st.backoff *= 2
+		if st.backoff > p.cfg.RestartMax {
+			st.backoff = p.cfg.RestartMax
+		}
+	}
+	backoff := st.backoff
+	st.failMu.Unlock()
+
+	if trip {
+		st.quarantined.Store(true)
+		p.quarantines.Add(1)
+		return
+	}
+	p.restartWG.Add(1)
+	go p.restartStream(st, backoff)
+}
+
+// restartStream waits out the backoff, then rewinds the stream to its
+// last routed position and lifts the poison: the next parser is primed
+// from exactly the state the aggregator holds, the intake high-water
+// mark drops to match, and the feeder — kicked at poison time — replays
+// the gap on its next connection. A transient panic therefore costs only
+// latency; a deterministic one re-fires on the same record and walks the
+// breaker to quarantine.
+func (p *pipeline) restartStream(st *streamState, backoff time.Duration) {
+	defer p.restartWG.Done()
+	select {
+	case <-time.After(backoff):
+	case <-p.stop:
+		return
+	}
+	st.turnMu.Lock()
+	for st.active {
+		st.turnCond.Wait()
+	}
+	lr := st.lastRouted.Load()
+	var seq uint64
+	if lr != nil {
+		seq = lr.seq
+	}
+	st.restore.Store(lr)
+	st.inSeq.Store(seq)
+	st.records.Store(int64(seq))
+	st.epoch.Add(1)
+	st.restarts.Add(1)
+	st.poisoned.Store(false)
+	st.turnMu.Unlock()
+}
+
 // route is the route stage: it takes what the parser completed since the
 // last call and forwards it to the aggregate queue under the configured
 // saturation policy. force bypasses shedding for the markers that must
 // not be lost (stream end, drain flush).
-func (p *pipeline) route(st *streamState, sp *crawler.StreamParser, end, force bool) {
+func (p *pipeline) route(st *streamState, es *extractState, end, force bool) {
+	sp := es.sp
 	snaps := sp.TakeSnapshots()
 	events := sp.TakeEvents()
 	if len(snaps) == 0 && len(events) == 0 && !end {
 		return
 	}
-	u := update{st: st, snaps: snaps, events: events, stats: sp.Stats(), end: end}
+	u := update{st: st, snaps: snaps, events: events, stats: sp.Stats(), end: end, seq: es.seq}
+	if !end {
+		r := sp.Resume()
+		u.resume = &r
+	}
+	st.lastRouted.Store(&routedState{seq: es.seq, parser: u.resume})
 	if p.cfg.Shed == ShedDropNewest && !force {
 		select {
 		case p.aggCh <- u:

@@ -14,16 +14,23 @@ import (
 // statistics, queue depths, and the shed/panic counters. It is served
 // over the control socket while ingest continues.
 type Status struct {
-	UptimeMs      int64          `json:"uptimeMs"`
-	Accepted      int64          `json:"accepted"`
-	Rejected      int64          `json:"rejected"`
-	ActiveConns   int            `json:"activeConns"`
-	Drops         int64          `json:"drops"`
-	Panics        int64          `json:"panics"`
-	ConnPanics    int64          `json:"connPanics"`
-	SeqViolations int64          `json:"seqViolations"`
-	Queues        QueueStatus    `json:"queues"`
-	Streams       []StreamStatus `json:"streams"`
+	UptimeMs      int64 `json:"uptimeMs"`
+	Accepted      int64 `json:"accepted"`
+	Rejected      int64 `json:"rejected"`
+	ActiveConns   int   `json:"activeConns"`
+	Drops         int64 `json:"drops"`
+	Panics        int64 `json:"panics"`
+	ConnPanics    int64 `json:"connPanics"`
+	SeqViolations int64 `json:"seqViolations"`
+	// Crash-safety counters: periodic checkpoints written (and failed),
+	// the wall-clock of the last one (unix ms, 0 if none yet), and the
+	// number of streams the circuit breaker has quarantined.
+	Checkpoints      int64          `json:"checkpoints"`
+	CheckpointErrs   int64          `json:"checkpointErrs,omitempty"`
+	LastCheckpointMs int64          `json:"lastCheckpointMs,omitempty"`
+	Quarantined      int64          `json:"quarantined"`
+	Queues           QueueStatus    `json:"queues"`
+	Streams          []StreamStatus `json:"streams"`
 }
 
 // QueueStatus samples the bounded queues.
@@ -54,20 +61,33 @@ type StreamStatus struct {
 	Drops        int64  `json:"drops"`
 	Complete     bool   `json:"complete"`
 	Poisoned     bool   `json:"poisoned"`
+	// Crash-safety counters: records discarded at intake while the
+	// stream was poisoned, supervisor restarts granted, whether the
+	// circuit breaker quarantined the stream, and the stream's intake
+	// vs durably-checkpointed record high-water marks.
+	ShedRecords int64  `json:"shedRecords"`
+	Restarts    int64  `json:"restarts"`
+	Quarantined bool   `json:"quarantined"`
+	IntakeSeq   uint64 `json:"intakeSeq"`
+	DurableSeq  uint64 `json:"durableSeq"`
 }
 
 // Status snapshots the daemon's live state.
 func (d *Daemon) Status() Status {
 	shards, agg := d.p.queueDepths()
 	s := Status{
-		UptimeMs:      time.Since(d.started).Milliseconds(),
-		Accepted:      d.accepted.Load(),
-		Rejected:      d.rejected.Load(),
-		Drops:         d.p.drops.Load(),
-		Panics:        d.p.panics.Load(),
-		ConnPanics:    d.connPanics.Load(),
-		SeqViolations: d.seqViolations.Load(),
-		Queues:        QueueStatus{Shards: shards, ShardCap: d.cfg.ShardQueue, Aggregate: agg, AggregateCap: d.cfg.AggregateQueue},
+		UptimeMs:         time.Since(d.started).Milliseconds(),
+		Accepted:         d.accepted.Load(),
+		Rejected:         d.rejected.Load(),
+		Drops:            d.p.drops.Load(),
+		Panics:           d.p.panics.Load(),
+		ConnPanics:       d.connPanics.Load(),
+		SeqViolations:    d.seqViolations.Load(),
+		Checkpoints:      d.ckptCount.Load(),
+		CheckpointErrs:   d.ckptErrs.Load(),
+		LastCheckpointMs: d.lastCkptMs.Load(),
+		Quarantined:      d.p.quarantines.Load(),
+		Queues:           QueueStatus{Shards: shards, ShardCap: d.cfg.ShardQueue, Aggregate: agg, AggregateCap: d.cfg.AggregateQueue},
 	}
 	d.connMu.Lock()
 	s.ActiveConns = len(d.conns)
@@ -97,6 +117,11 @@ func (d *Daemon) Status() Status {
 			SkippedBytes: st.skipped.Load(),
 			Drops:        st.drops.Load(),
 			Poisoned:     st.poisoned.Load(),
+			ShedRecords:  st.shed.Load(),
+			Restarts:     st.restarts.Load(),
+			Quarantined:  st.quarantined.Load(),
+			IntakeSeq:    st.inSeq.Load(),
+			DurableSeq:   st.durable.Load(),
 		}
 		if r, ok := d.p.agg.resultFor(st); ok {
 			ss.Decoded = r.Stats.Records
@@ -112,7 +137,7 @@ func (d *Daemon) Status() Status {
 
 // Summary renders the one-line operator view.
 func (s Status) Summary() string {
-	var records, resyncs, skipped, bad, snaps, events int64
+	var records, resyncs, skipped, bad, snaps, events, shed, restarts int64
 	complete := 0
 	for _, st := range s.Streams {
 		records += st.Records
@@ -121,14 +146,21 @@ func (s Status) Summary() string {
 		bad += int64(st.Bad)
 		snaps += int64(st.Snapshots)
 		events += int64(st.Events)
+		shed += st.ShedRecords
+		restarts += st.Restarts
 		if st.Complete {
 			complete++
 		}
 	}
+	lastCkpt := "none"
+	if s.LastCheckpointMs > 0 {
+		lastCkpt = time.UnixMilli(s.LastCheckpointMs).UTC().Format(time.RFC3339)
+	}
 	return fmt.Sprintf(
-		"streams=%d complete=%d conns=%d records=%d snapshots=%d events=%d resyncs=%d skipped_bytes=%d bad=%d drops=%d panics=%d",
+		"streams=%d complete=%d conns=%d records=%d snapshots=%d events=%d resyncs=%d skipped_bytes=%d bad=%d drops=%d panics=%d shed=%d restarts=%d quarantined=%d checkpoints=%d last_checkpoint=%s",
 		len(s.Streams), complete, s.ActiveConns, records, snaps, events,
-		resyncs, skipped, bad, s.Drops, s.Panics+s.ConnPanics)
+		resyncs, skipped, bad, s.Drops, s.Panics+s.ConnPanics,
+		shed, restarts, s.Quarantined, s.Checkpoints, lastCkpt)
 }
 
 // ListenControl serves status queries on a unix socket: one line of
