@@ -1,0 +1,150 @@
+// Command mmvet runs the repo's determinism-invariant static analyzers
+// (maprange, wallclock, globalrand, gorphan — see internal/lint) over
+// the module.
+//
+// Usage:
+//
+//	go run ./cmd/mmvet ./...            all packages of the enclosing module
+//	go run ./cmd/mmvet DIR [DIR...]     specific directories, self-contained
+//	go run ./cmd/mmvet -checks maprange,gorphan ./...
+//	go run ./cmd/mmvet -write-baseline ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure. Findings
+// already present in the baseline file (default .mmvet-baseline at the
+// module root) are suppressed and summarized; -write-baseline accepts
+// the current findings into the baseline instead of failing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mmlab/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		checks        = flag.String("checks", "", "comma-separated checks to run (default: all of "+strings.Join(lint.AllChecks, ",")+")")
+		baselinePath  = flag.String("baseline", "", "baseline file (default: <module root>/.mmvet-baseline)")
+		writeBaseline = flag.Bool("write-baseline", false, "accept current findings into the baseline file and exit 0")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mmvet [flags] ./... | DIR [DIR...]")
+		return 2
+	}
+
+	cfg := lint.Config{}
+	if *checks != "" {
+		for _, c := range strings.Split(*checks, ",") {
+			cfg.Checks = append(cfg.Checks, strings.TrimSpace(c))
+		}
+	}
+
+	var units []*lint.Unit
+	var root string
+	for _, arg := range flag.Args() {
+		switch {
+		case arg == "./..." || arg == "...":
+			r, err := moduleRoot(".")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mmvet:", err)
+				return 2
+			}
+			root = r
+			us, err := lint.LoadModule(r)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mmvet:", err)
+				return 2
+			}
+			units = append(units, us...)
+		default:
+			dir := strings.TrimSuffix(arg, "/...")
+			us, err := lint.LoadDir(dir, filepath.ToSlash(filepath.Clean(dir)))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mmvet:", err)
+				return 2
+			}
+			units = append(units, us...)
+		}
+	}
+
+	findings := lint.Analyze(units, cfg)
+
+	bp := *baselinePath
+	if bp == "" && root != "" {
+		bp = filepath.Join(root, ".mmvet-baseline")
+	}
+	if *writeBaseline {
+		if bp == "" {
+			fmt.Fprintln(os.Stderr, "mmvet: -write-baseline needs -baseline or a module root")
+			return 2
+		}
+		if err := lint.WriteBaseline(bp, findings, root); err != nil {
+			fmt.Fprintln(os.Stderr, "mmvet:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "mmvet: wrote %d finding(s) to %s\n", len(findings), bp)
+		return 0
+	}
+
+	var baseline lint.Baseline
+	if bp != "" {
+		var err error
+		baseline, err = lint.LoadBaseline(bp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mmvet:", err)
+			return 2
+		}
+	}
+	fresh, baselined := baseline.Filter(findings, root)
+	for _, f := range fresh {
+		fmt.Println(rel(root, f))
+	}
+	if baselined > 0 {
+		fmt.Fprintf(os.Stderr, "mmvet: %d baselined finding(s) suppressed\n", baselined)
+	}
+	if len(fresh) > 0 {
+		fmt.Fprintf(os.Stderr, "mmvet: %d finding(s)\n", len(fresh))
+		return 1
+	}
+	return 0
+}
+
+// rel renders a finding with the path relative to root for stable,
+// readable output.
+func rel(root string, f lint.Finding) string {
+	s := f.String()
+	if root == "" {
+		return s
+	}
+	if r, err := filepath.Rel(root, f.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+		return fmt.Sprintf("%s:%d:%d: %s: %s", r, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+	}
+	return s
+}
+
+// moduleRoot walks up from dir to the nearest go.mod.
+func moduleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

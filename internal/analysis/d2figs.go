@@ -364,6 +364,7 @@ func Fig18(d2 *dataset.D2, carrierAcr string) Fig18Result {
 	seen := map[uint32]bool{}
 	for ch, cells := range servingVals {
 		var vals []float64
+		//mmvet:ordered NewDistribution tallies into a Counts map and emits sorted values; input order is irrelevant
 		for _, v := range cells {
 			vals = append(vals, v)
 		}
@@ -385,6 +386,7 @@ func Fig18(d2 *dataset.D2, carrierAcr string) Fig18Result {
 	total, deviants := 0, 0
 	for ak, cells := range areaVals {
 		var vals []float64
+		//mmvet:ordered CountValues tallies into a map and Dominant tie-breaks toward the smaller value; input order is irrelevant
 		for _, v := range cells {
 			vals = append(vals, v)
 		}

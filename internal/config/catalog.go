@@ -103,6 +103,7 @@ func extractEvent(t EventType, get func(EventConfig) float64) func(*CellConfig) 
 
 func sortedReportIDs(m map[int]EventConfig) []int {
 	ids := make([]int, 0, len(m))
+	//mmvet:ordered keys are insertion-sorted immediately below
 	for id := range m {
 		ids = append(ids, id)
 	}

@@ -244,15 +244,20 @@ func (s ServingCellConfig) Validate() error {
 	if s.Priority < 0 || s.Priority > 7 {
 		return fmt.Errorf("%w: Ps=%d", ErrPriorityRange, s.Priority)
 	}
-	for name, v := range map[string]float64{
-		"sIntraSearch":     s.SIntraSearch,
-		"sIntraSearchQ":    s.SIntraSearchQ,
-		"sNonIntraSearch":  s.SNonIntraSearch,
-		"sNonIntraSearchQ": s.SNonIntraSearchQ,
-		"threshServingLow": s.ThreshServingLow,
+	// Fixed order, not a map: with several fields out of range the
+	// returned error must name the same one on every run.
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"sIntraSearch", s.SIntraSearch},
+		{"sIntraSearchQ", s.SIntraSearchQ},
+		{"sNonIntraSearch", s.SNonIntraSearch},
+		{"sNonIntraSearchQ", s.SNonIntraSearchQ},
+		{"threshServingLow", s.ThreshServingLow},
 	} {
-		if v < 0 || v > 62 {
-			return fmt.Errorf("%w: %s=%g", ErrThresholdRange, name, v)
+		if f.v < 0 || f.v > 62 {
+			return fmt.Errorf("%w: %s=%g", ErrThresholdRange, f.name, f.v)
 		}
 	}
 	if s.QRxLevMin < -140 || s.QRxLevMin > -44 {
@@ -332,8 +337,15 @@ func (e EventConfig) Validate() error {
 
 // Validate checks a measurement configuration, including link integrity.
 func (m MeasConfig) Validate() error {
-	for id, r := range m.Reports {
-		if err := r.Validate(); err != nil {
+	// Sorted ids, not map order: the first invalid report named in the
+	// error must be the same on every run.
+	ids := make([]int, 0, len(m.Reports))
+	for id := range m.Reports {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if err := m.Reports[id].Validate(); err != nil {
 			return fmt.Errorf("report %d: %w", id, err)
 		}
 	}

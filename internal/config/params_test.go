@@ -268,3 +268,41 @@ func TestCellValidateWrapsContext(t *testing.T) {
 		t.Error("invalid identity RAT should fail")
 	}
 }
+
+// Validation errors must be deterministic when several fields are
+// invalid at once: serving thresholds are checked in a fixed field
+// order and measurement reports in ascending id order, never in map
+// iteration order (mmvet: maprange).
+func TestValidationErrorDeterministic(t *testing.T) {
+	s := validServing()
+	s.SNonIntraSearch = 63
+	s.ThreshServingLow = 63
+	s.SIntraSearchQ = 63
+	for i := 0; i < 20; i++ {
+		err := s.Validate()
+		if !errors.Is(err, ErrThresholdRange) {
+			t.Fatalf("want threshold error, got %v", err)
+		}
+		if !strings.Contains(err.Error(), "sIntraSearchQ=63") {
+			t.Fatalf("want lexically-first field sIntraSearchQ named, got %v", err)
+		}
+	}
+
+	m := validCell().Meas
+	bad := validA3()
+	bad.Hysteresis = 31 // out of 0..15
+	m.Reports = map[int]EventConfig{}
+	for id := 2; id <= 9; id++ {
+		m.Reports[id] = bad
+	}
+	m.Links = nil
+	for i := 0; i < 20; i++ {
+		err := m.Validate()
+		if err == nil {
+			t.Fatal("want invalid-report error")
+		}
+		if !strings.Contains(err.Error(), "report 2:") {
+			t.Fatalf("want smallest report id named, got %v", err)
+		}
+	}
+}

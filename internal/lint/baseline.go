@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// The baseline file lets mmvet land on a repo with pre-existing
+// findings: known findings are committed once, newly introduced ones
+// still fail the build, and the baseline is burned down over time.
+// This repo's committed baseline is empty — every finding was fixed or
+// explicitly annotated when the suite landed — and must stay empty.
+//
+// Format: one finding per line, tab-separated
+//
+//	relative/path.go<TAB>check<TAB>message
+//
+// with '#' comments and blank lines ignored. Lines carry no line
+// numbers, so unrelated edits do not invalidate entries.
+
+// Baseline is a set of accepted finding keys.
+type Baseline map[string]bool
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, not an error.
+func LoadBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Baseline{}, nil
+		}
+		return nil, err
+	}
+	b := Baseline{}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, "\t") != 2 {
+			return nil, fmt.Errorf("lint: %s:%d: malformed baseline entry (want path<TAB>check<TAB>message)", path, i+1)
+		}
+		b[line] = true
+	}
+	return b, nil
+}
+
+// Filter splits findings into new ones (not in the baseline) and the
+// count of baselined ones that were suppressed.
+func (b Baseline) Filter(findings []Finding, root string) (fresh []Finding, baselined int) {
+	for _, f := range findings {
+		if b[f.Key(root)] {
+			baselined++
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh, baselined
+}
+
+// WriteBaseline writes the findings as a baseline file, sorted and
+// deduplicated, with a header explaining the contract.
+func WriteBaseline(path string, findings []Finding, root string) error {
+	keys := make([]string, 0, len(findings))
+	seen := map[string]bool{}
+	for _, f := range findings {
+		k := f.Key(root)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString("# mmvet findings baseline. Entries here are accepted pre-existing\n")
+	sb.WriteString("# findings; new findings still fail. Burn this file down to empty.\n")
+	sb.WriteString("# Format: path<TAB>check<TAB>message (regenerate: mmvet -write-baseline ./...)\n")
+	for _, k := range keys {
+		sb.WriteString(k)
+		sb.WriteString("\n")
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}

@@ -1,0 +1,310 @@
+// Package lint is mmvet: a static-analysis suite enforcing the repo's
+// determinism invariants at compile time rather than by differential
+// test. Every headline artifact (D1 taxonomy, D2 catalogs, mmlabd
+// checkpoints) is required to be byte-identical across worker counts
+// and process restarts; the analyzers here flag the construct classes
+// that have historically broken that invariant — unordered map
+// iteration feeding output, wall-clock reads in deterministic
+// packages, the process-global math/rand source, and unsupervised
+// goroutines in the pipeline.
+//
+// Checks:
+//
+//   - maprange: a for-range over a map whose body appends to a slice,
+//     writes through an encoder/writer/printer, sends on a channel, or
+//     returns a value derived from the iteration variables is
+//     order-sensitive. Iterate sorted keys instead, or annotate the
+//     loop with //mmvet:ordered <reason>.
+//   - wallclock: time.Now, time.Since, time.Until and timer
+//     constructors are banned in the deterministic packages (core,
+//     netsim, sim, fault, radio, mobility, experiment, crawler,
+//     analysis). Simulated time must flow from the event clock.
+//     Wall-clock stays legal in pipeline, cmd/*, and _test.go files.
+//   - globalrand: math/rand (and math/rand/v2) package-level draw
+//     functions are banned everywhere, tests included; randomness must
+//     flow from an injected seeded *rand.Rand.
+//   - gorphan: a go statement inside internal/pipeline must be
+//     lexically paired with its supervision — a WaitGroup.Add in the
+//     immediately preceding statements, or a deferred Done inside the
+//     spawned func literal — so drain and restart cannot leak
+//     goroutines.
+//
+// Suppressions are per-line comments with a mandatory reason:
+//
+//	//mmvet:allow <check> <reason>
+//	//mmvet:ordered <reason>          (shorthand for allow maprange)
+//
+// placed on the offending line or on the line directly above it. An
+// annotation without a reason is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic.
+type Finding struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+}
+
+// Key is the position-independent identity used by the baseline file:
+// path (relative to root when possible), check, and message — no line
+// numbers, so unrelated edits do not invalidate baseline entries.
+func (f Finding) Key(root string) string {
+	name := f.Pos.Filename
+	if root != "" {
+		if rel, ok := strings.CutPrefix(name, strings.TrimSuffix(root, "/")+"/"); ok {
+			name = rel
+		}
+	}
+	return name + "\t" + f.Check + "\t" + f.Message
+}
+
+// Config selects and parameterizes the checks.
+type Config struct {
+	// Checks to run; nil means all.
+	Checks []string
+	// DeterministicPkgs are import-path suffixes where wallclock is
+	// banned; nil means DefaultDeterministicPkgs.
+	DeterministicPkgs []string
+	// SupervisedPkgs are import-path prefixes where gorphan applies;
+	// nil means DefaultSupervisedPkgs.
+	SupervisedPkgs []string
+}
+
+// DefaultDeterministicPkgs are the packages whose outputs feed the
+// byte-identical campaign artifacts.
+var DefaultDeterministicPkgs = []string{
+	"internal/core",
+	"internal/netsim",
+	"internal/sim",
+	"internal/fault",
+	"internal/radio",
+	"internal/mobility",
+	"internal/experiment",
+	"internal/crawler",
+	"internal/analysis",
+}
+
+// DefaultSupervisedPkgs are the packages whose goroutines must be
+// lexically supervised (drain/restart machinery).
+var DefaultSupervisedPkgs = []string{"internal/pipeline"}
+
+// AllChecks lists every analyzer name.
+var AllChecks = []string{"maprange", "wallclock", "globalrand", "gorphan"}
+
+func (c Config) wantCheck(name string) bool {
+	if len(c.Checks) == 0 {
+		return true
+	}
+	for _, w := range c.Checks {
+		if w == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (c Config) deterministicPkgs() []string {
+	if c.DeterministicPkgs != nil {
+		return c.DeterministicPkgs
+	}
+	return DefaultDeterministicPkgs
+}
+
+func (c Config) supervisedPkgs() []string {
+	if c.SupervisedPkgs != nil {
+		return c.SupervisedPkgs
+	}
+	return DefaultSupervisedPkgs
+}
+
+// Analyze runs the configured checks over the units and returns the
+// surviving findings sorted by position. Annotation suppressions are
+// applied here; baseline filtering is the caller's business.
+func Analyze(units []*Unit, cfg Config) []Finding {
+	var out []Finding
+	for _, u := range units {
+		dirs := directives(u)
+		var raw []Finding
+		if cfg.wantCheck("maprange") {
+			raw = append(raw, checkMapRange(u)...)
+		}
+		if cfg.wantCheck("wallclock") {
+			raw = append(raw, checkWallClock(u, cfg.deterministicPkgs())...)
+		}
+		if cfg.wantCheck("globalrand") {
+			raw = append(raw, checkGlobalRand(u)...)
+		}
+		if cfg.wantCheck("gorphan") {
+			raw = append(raw, checkGorphan(u, cfg.supervisedPkgs())...)
+		}
+		for _, f := range raw {
+			if !u.Report(f.Pos.Filename) {
+				continue
+			}
+			if dirs.suppresses(f.Pos.Filename, f.Pos.Line, f.Check) {
+				continue
+			}
+			out = append(out, f)
+		}
+		// Malformed annotations are findings in their own right, so a
+		// reasonless //mmvet:allow can never silently ship.
+		for _, f := range dirs.errors {
+			if u.Report(f.Pos.Filename) {
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return dedupe(out)
+}
+
+func dedupe(fs []Finding) []Finding {
+	var out []Finding
+	for i, f := range fs {
+		if i > 0 && f == fs[i-1] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// directiveSet indexes the //mmvet: comments of one unit. A directive
+// at line L suppresses matching findings on line L (trailing comment)
+// and line L+1 (comment on its own line above the construct).
+type directiveSet struct {
+	allow  map[string]map[int][]string // file -> line -> suppressed checks
+	errors []Finding
+}
+
+func directives(u *Unit) *directiveSet {
+	ds := &directiveSet{allow: map[string]map[int][]string{}}
+	for _, file := range u.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//mmvet:")
+				if !ok {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				verb, rest, _ := strings.Cut(strings.TrimSpace(text), " ")
+				rest = strings.TrimSpace(rest)
+				var check, reason string
+				switch verb {
+				case "ordered":
+					check, reason = "maprange", rest
+				case "allow":
+					check, reason, _ = strings.Cut(rest, " ")
+					reason = strings.TrimSpace(reason)
+					if !knownCheck(check) {
+						ds.errors = append(ds.errors, Finding{Pos: pos, Check: "annotation",
+							Message: fmt.Sprintf("//mmvet:allow names unknown check %q (want one of %s)", check, strings.Join(AllChecks, ", "))})
+						continue
+					}
+				default:
+					ds.errors = append(ds.errors, Finding{Pos: pos, Check: "annotation",
+						Message: fmt.Sprintf("unknown directive //mmvet:%s (want allow or ordered)", verb)})
+					continue
+				}
+				if reason == "" {
+					ds.errors = append(ds.errors, Finding{Pos: pos, Check: "annotation",
+						Message: fmt.Sprintf("//mmvet:%s requires a reason", verb)})
+					continue
+				}
+				m := ds.allow[pos.Filename]
+				if m == nil {
+					m = map[int][]string{}
+					ds.allow[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], check)
+			}
+		}
+	}
+	return ds
+}
+
+func (ds *directiveSet) suppresses(file string, line int, check string) bool {
+	m := ds.allow[file]
+	if m == nil {
+		return false
+	}
+	for _, l := range []int{line, line - 1} {
+		for _, c := range m[l] {
+			if c == check {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func knownCheck(name string) bool {
+	for _, c := range AllChecks {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// pathMatches reports whether importPath ends with (or equals) one of
+// the suffix patterns, on path-segment boundaries.
+func pathMatches(importPath string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if importPath == s || strings.HasSuffix(importPath, "/"+s) {
+			return true
+		}
+		// Prefix-style match for subpackages: pattern "internal/pipeline"
+		// also covers ".../internal/pipeline/feeder".
+		if i := strings.Index(importPath, "/"+s+"/"); i >= 0 {
+			return true
+		}
+		if strings.HasPrefix(importPath, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// isTestFile reports whether the file at pos is a _test.go file.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// funcName renders a called expression for messages, e.g. "time.Now".
+func funcName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return funcName(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return funcName(e.X)
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,274 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// writeMethods are method names whose call inside a map-range body
+// means the iteration order reaches an output stream.
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteTo": true, "WriteRecord": true, "Encode": true, "EncodeElement": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// fmtWriters are fmt package-level functions that emit in call order.
+var fmtWriters = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// sortFuncs are sort/slices package functions that establish a
+// deterministic order on their slice argument.
+var sortFuncs = map[string]bool{
+	"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+	"Ints": true, "Strings": true, "Float64s": true,
+	"SortFunc": true, "SortStableFunc": true,
+}
+
+// checkMapRange flags for-range statements over map types whose body
+// is order-sensitive: it appends to a slice, writes through an
+// encoder/writer/printer, sends on a channel, or returns a value
+// derived from the iteration variables. Go randomizes map iteration
+// order, so any of these makes output depend on the runtime's seed.
+//
+// The sorted-keys idiom is recognized and waived: an append whose
+// target is later passed to a sort/slices ordering call in the same
+// function is order-insensitive (collect, then sort). Appends into a
+// slice declared inside the loop body are per-iteration and equally
+// harmless. Everything else needs a rewrite or an explicit
+// //mmvet:ordered <reason> annotation.
+func checkMapRange(u *Unit) []Finding {
+	var out []Finding
+	for _, file := range u.Files {
+		// Spans of every function body, innermost-match below.
+		var fnBodies []*ast.BlockStmt
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					fnBodies = append(fnBodies, n.Body)
+				}
+			case *ast.FuncLit:
+				fnBodies = append(fnBodies, n.Body)
+			}
+			return true
+		})
+		enclosing := func(pos token.Pos) *ast.BlockStmt {
+			var best *ast.BlockStmt
+			for _, b := range fnBodies {
+				if b.Pos() <= pos && pos < b.End() {
+					if best == nil || (best.Pos() <= b.Pos() && b.End() <= best.End()) {
+						best = b
+					}
+				}
+			}
+			return best
+		}
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := u.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if why := orderSensitive(u, rs, enclosing(rs.Pos())); why != "" {
+				out = append(out, Finding{
+					Pos:   u.Fset.Position(rs.For),
+					Check: "maprange",
+					Message: fmt.Sprintf("for-range over map %s; map order is randomized — iterate sorted keys or annotate //mmvet:ordered <reason>",
+						why),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// orderSensitive reports the first order-sensitive effect found in the
+// range body, or "" if the body is order-insensitive.
+func orderSensitive(u *Unit, rs *ast.RangeStmt, fnBody *ast.BlockStmt) string {
+	rangeVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := u.Info.Defs[id]; obj != nil {
+				rangeVars[obj] = true
+			}
+			if obj := u.Info.Uses[id]; obj != nil { // "=" form reusing outer vars
+				rangeVars[obj] = true
+			}
+		}
+	}
+	usesRangeVar := func(e ast.Node) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && rangeVars[u.Info.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	why := ""
+	var funcLits []*ast.FuncLit // nested literals: returns inside exit them, not the loop
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			funcLits = append(funcLits, fl)
+		}
+		return true
+	})
+	inNestedFunc := func(pos token.Pos) bool {
+		for _, fl := range funcLits {
+			if fl.Pos() <= pos && pos < fl.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			why = "sends on a channel"
+			return false
+		case *ast.ReturnStmt:
+			if inNestedFunc(n.Pos()) {
+				return true
+			}
+			for _, r := range n.Results {
+				if usesRangeVar(r) {
+					why = "returns a value derived from the iteration variables"
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			switch fn := n.Fun.(type) {
+			case *ast.Ident:
+				if obj, ok := u.Info.Uses[fn]; ok {
+					if b, ok := obj.(*types.Builtin); ok && b.Name() == "append" {
+						if target := baseObject(u, n.Args[0]); target != nil &&
+							!within(target.Pos(), rs.Body) &&
+							!sortedAfter(u, fnBody, rs.End(), target) {
+							why = "appends to a slice that is never sorted afterwards"
+							return false
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				name := fn.Sel.Name
+				if pkgOf(u, fn) == "fmt" && fmtWriters[name] {
+					why = fmt.Sprintf("writes via fmt.%s", name)
+					return false
+				}
+				if _, isMethod := u.Info.Selections[fn]; isMethod && writeMethods[name] {
+					why = fmt.Sprintf("writes via (…).%s", name)
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return why
+}
+
+// baseObject resolves an expression to the object of its root
+// identifier: out, out[k], s.Params[p], (*p).xs all resolve to the
+// leftmost variable. nil means no stable root (e.g. a fresh composite
+// literal), which cannot accumulate across iterations.
+func baseObject(u *Unit, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := u.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return u.Info.Defs[x]
+		case *ast.SelectorExpr:
+			// A package-qualified name has no root variable.
+			if _, ok := u.Info.Uses[x.Sel].(*types.Var); !ok {
+				return nil
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// within reports whether pos falls inside node's span.
+func within(pos token.Pos, node ast.Node) bool {
+	return node.Pos() <= pos && pos < node.End()
+}
+
+// sortedAfter reports whether fnBody contains, lexically after
+// `after`, a sort/slices ordering call whose arguments reach target.
+// This is the waiver for the collect-then-sort idiom; it matches on the
+// root identifier, which is deliberately generous — the goal is to
+// catch iteration orders that escape unsorted, not to prove sortedness.
+func sortedAfter(u *Unit, fnBody *ast.BlockStmt, after token.Pos, target types.Object) bool {
+	if fnBody == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < after {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !sortFuncs[sel.Sel.Name] {
+			return true
+		}
+		if p := pkgOf(u, sel); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok {
+					if u.Info.Uses[id] == target {
+						found = true
+					}
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// pkgOf returns the imported package path when sel.X is a package
+// qualifier (e.g. "fmt" for fmt.Fprintf), else "".
+func pkgOf(u *Unit, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := u.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}

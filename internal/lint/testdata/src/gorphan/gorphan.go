@@ -1,0 +1,80 @@
+// Package gorphan is mmvet analyzer testdata; the golden test loads it
+// under a supervised import path (mmlab/internal/pipeline), where every
+// go statement needs lexical supervision.
+package gorphan
+
+import "sync"
+
+type worker struct {
+	wg sync.WaitGroup
+}
+
+func (w *worker) run()  {}
+func (w *worker) tick() {}
+
+// supervisedAdd pairs the go statement with a WaitGroup.Add just before it.
+func (w *worker) supervisedAdd() {
+	w.wg.Add(1)
+	go w.run()
+}
+
+// supervisedAddGap tolerates one intervening statement.
+func (w *worker) supervisedAddGap(n *int) {
+	w.wg.Add(1)
+	*n++
+	go w.run()
+}
+
+// supervisedDefer pairs via a deferred Done inside the goroutine.
+func (w *worker) supervisedDefer() {
+	go func() {
+		defer w.wg.Done()
+		w.run()
+	}()
+}
+
+// orphan has no lexical pairing at all.
+func (w *worker) orphan() {
+	go w.run() // want "go statement without lexical supervision"
+}
+
+// orphanLit is unsupervised even as a literal: the Done is not deferred
+// and a panic in run would leak it past the drain.
+func (w *worker) orphanLit() {
+	go func() { // want "go statement without lexical supervision"
+		w.run()
+		w.wg.Done()
+	}()
+}
+
+// nestedDeferDoesNotCount: the Done belongs to an inner literal that
+// never runs at goroutine exit.
+func (w *worker) nestedDefer() {
+	go func() { // want "go statement without lexical supervision"
+		inner := func() {
+			defer w.wg.Done()
+		}
+		_ = inner
+		w.run()
+	}()
+}
+
+// caseClause pairing works inside select/switch bodies too.
+func (w *worker) caseClause(ch chan struct{}) {
+	select {
+	case <-ch:
+		w.wg.Add(1)
+		go w.run()
+	default:
+		go w.tick() // want "go statement without lexical supervision"
+	}
+}
+
+// annotated documents a goroutine joined by other means.
+func (w *worker) annotated(done chan struct{}) {
+	//mmvet:allow gorphan joined by a counted receive on done
+	go func() {
+		w.run()
+		done <- struct{}{}
+	}()
+}

@@ -1,0 +1,111 @@
+// Package maprange is mmvet analyzer testdata: each want-comment marks
+// a line that must produce a finding whose message contains the quoted
+// substring; lines without one must stay clean.
+package maprange
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// appendUnsorted leaks map order into the returned slice.
+func appendUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "appends to a slice that is never sorted"
+		out = append(out, k)
+	}
+	return out
+}
+
+// appendSorted is the blessed collect-then-sort idiom: no finding.
+func appendSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// appendSortSlice sorts through sort.Slice on a struct field: no finding.
+type holder struct{ keys []int }
+
+func appendSortSlice(m map[int]bool) holder {
+	var h holder
+	for k := range m {
+		h.keys = append(h.keys, k)
+	}
+	sort.Slice(h.keys, func(i, j int) bool { return h.keys[i] < h.keys[j] })
+	return h
+}
+
+// perIteration appends only to a slice declared inside the body: no finding.
+func perIteration(m map[string][]int) map[string][]int {
+	out := map[string][]int{}
+	for k, vs := range m {
+		var cp []int
+		cp = append(cp, vs...)
+		out[k] = cp
+	}
+	return out
+}
+
+// writes emits through a writer in iteration order.
+func writes(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "writes via fmt.Fprintf"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// sends leaks map order into a channel.
+func sends(ch chan string, m map[string]bool) {
+	for k := range m { // want "sends on a channel"
+		ch <- k
+	}
+}
+
+// returns exits with an iteration-dependent value.
+func returns(m map[string]float64) error {
+	for k, v := range m { // want "returns a value derived from the iteration"
+		if v < 0 {
+			return fmt.Errorf("negative %s", k)
+		}
+	}
+	return nil
+}
+
+// comparatorReturn only returns inside a nested sort comparator: no finding.
+func comparatorReturn(m map[string][]int) {
+	for _, vs := range m {
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	}
+}
+
+// commutative accumulation is order-insensitive: no finding.
+func commutative(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// annotated carries an explicit ordered annotation with a reason.
+func annotated(m map[string]int) []string {
+	var out []string
+	//mmvet:ordered downstream tally is order-insensitive
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// annotatedInline suppresses on the same line.
+func annotatedInline(m map[string]int) []string {
+	var out []string
+	for k := range m { //mmvet:ordered consumer sorts
+		out = append(out, k)
+	}
+	return out
+}

@@ -467,6 +467,7 @@ func (d *Daemon) shutdown(ctx context.Context) (*Checkpoint, error) {
 // waitCtx waits for wg or the context, whichever first.
 func waitCtx(ctx context.Context, wg *sync.WaitGroup) bool {
 	done := make(chan struct{})
+	//mmvet:allow gorphan exits when wg resolves; on timeout it outlives the select but is bounded by pipeline teardown, which joins every counted goroutine
 	go func() {
 		wg.Wait()
 		close(done)

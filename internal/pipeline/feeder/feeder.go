@@ -593,6 +593,7 @@ func FeedFleet(ctx context.Context, inputs []pipeline.FeedInput, base Options) (
 	errs := make([]error, len(inputs))
 	done := make(chan int, len(inputs))
 	for i := range inputs {
+		//mmvet:allow gorphan joined by the counting receive loop below: every goroutine sends its index on done exactly once
 		go func(i int) {
 			defer func() { done <- i }()
 			opt := base

@@ -488,6 +488,7 @@ func encodeObject(id int, o config.MeasObject) []byte {
 
 func sortedPCIs(m map[uint16]float64) []uint16 {
 	out := make([]uint16, 0, len(m))
+	//mmvet:ordered keys are insertion-sorted immediately below
 	for pci := range m {
 		out = append(out, pci)
 	}
@@ -573,6 +574,7 @@ func (m *RRCReconfig) payload() []byte {
 
 func sortedIntKeysObj(m map[int]config.MeasObject) []int {
 	out := make([]int, 0, len(m))
+	//mmvet:ordered keys are insertion-sorted immediately below
 	for k := range m {
 		out = append(out, k)
 	}
@@ -582,6 +584,7 @@ func sortedIntKeysObj(m map[int]config.MeasObject) []int {
 
 func sortedIntKeysRep(m map[int]config.EventConfig) []int {
 	out := make([]int, 0, len(m))
+	//mmvet:ordered keys are insertion-sorted immediately below
 	for k := range m {
 		out = append(out, k)
 	}

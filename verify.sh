@@ -1,8 +1,9 @@
 #!/bin/sh
-# Repository verification: vet, formatting, and the full test suite under
-# the race detector. Run before every push.
+# Repository verification: vet, formatting, determinism lint, and the
+# full test suite under the race detector. Run before every push.
 #
-#   ./verify.sh            full check (vet + gofmt + race tests)
+#   ./verify.sh            full check (vet + gofmt -s + mmvet + race tests)
+#   ./verify.sh lint       determinism static analysis only (mmvet)
 #   ./verify.sh bench LABEL [bench flags...]
 #                          run the country-scale benches and write
 #                          BENCH_LABEL.json via cmd/bench2json, e.g.:
@@ -21,16 +22,26 @@ if [ "$1" = "bench" ]; then
     exit 0
 fi
 
+if [ "$1" = "lint" ]; then
+    echo "== mmvet =="
+    go run ./cmd/mmvet ./...
+    echo "OK"
+    exit 0
+fi
+
 echo "== go vet =="
 go vet ./...
 
-echo "== gofmt =="
-badfmt=$(gofmt -l .)
+echo "== gofmt -s =="
+badfmt=$(gofmt -s -l .)
 if [ -n "$badfmt" ]; then
-    echo "gofmt needed:"
+    echo "gofmt -s needed:"
     echo "$badfmt"
     exit 1
 fi
+
+echo "== mmvet =="
+go run ./cmd/mmvet ./...
 
 echo "== go test -race =="
 # The root-package campaign tests can exceed go test's default 10-minute
