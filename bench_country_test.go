@@ -56,12 +56,6 @@ const countryISD = 700.0
 // towers — while the seed profile keeps the seed's untunable 4×ISD.
 func countryWorld(b *testing.B) *netsim.World {
 	b.Helper()
-	rowStep := countryISD * math.Sqrt(3) / 2
-	side := math.Sqrt(float64(*countryCells)/3*countryISD*rowStep) - 2*countryISD
-	gen, err := carrier.NewGenerator("A")
-	if err != nil {
-		b.Fatal(err)
-	}
 	radius := *countryRadius
 	if radius == 0 {
 		radius = 1.5 * countryISD
@@ -69,13 +63,27 @@ func countryWorld(b *testing.B) *netsim.World {
 			radius = 4 * countryISD
 		}
 	}
+	return countryWorldAt(b, radius, legacyPath())
+}
+
+// countryWorldAt builds the arena at an explicit radius and scan path,
+// shared by the benches (flag-driven) and the BENCH-golden determinism
+// test (pinned configs).
+func countryWorldAt(tb testing.TB, radius float64, linear bool) *netsim.World {
+	tb.Helper()
+	rowStep := countryISD * math.Sqrt(3) / 2
+	side := math.Sqrt(float64(*countryCells)/3*countryISD*rowStep) - 2*countryISD
+	gen, err := carrier.NewGenerator("A")
+	if err != nil {
+		tb.Fatal(err)
+	}
 	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(side, side))
 	return netsim.BuildWorld(gen, region, netsim.WorldOpts{
 		Seed:          benchSeed,
 		LTELayers:     3,
 		ISD:           countryISD,
 		MeasureRadius: radius,
-		LinearScan:    legacyPath(),
+		LinearScan:    linear,
 	})
 }
 
@@ -95,6 +103,24 @@ func countryStart(region geo.Rect, j int) geo.Point {
 	)
 }
 
+// runCountryCampaign executes one campaign iteration — ues highway
+// drives of durMs simulated milliseconds each — and returns the total
+// handoff count, the metric the BENCH_* goldens pin.
+func runCountryCampaign(w *netsim.World, durMs int64, ues int, tickLoop bool) int {
+	handoffs := 0
+	for j := 0; j < ues; j++ {
+		move := mobility.NewLinear(countryStart(w.Region, j), float64(j%8)*math.Pi/4, 100)
+		res := netsim.RunDrive(w, move, durMs, netsim.UEOpts{
+			Seed:     sim.DeriveSeed(benchSeed, j),
+			Active:   true,
+			App:      traffic.Speedtest{},
+			TickLoop: tickLoop,
+		})
+		handoffs += len(res.Handoffs)
+	}
+	return handoffs
+}
+
 // BenchmarkCountryCampaign is the headline bench: -country.ues highway
 // drives of -country.dur simulated seconds each, per iteration, across
 // one shared country-scale world.
@@ -104,16 +130,7 @@ func BenchmarkCountryCampaign(b *testing.B) {
 	b.ResetTimer()
 	handoffs := 0
 	for i := 0; i < b.N; i++ {
-		for j := 0; j < *countryUEs; j++ {
-			move := mobility.NewLinear(countryStart(w.Region, j), float64(j%8)*math.Pi/4, 100)
-			res := netsim.RunDrive(w, move, durMs, netsim.UEOpts{
-				Seed:     sim.DeriveSeed(benchSeed, j),
-				Active:   true,
-				App:      traffic.Speedtest{},
-				TickLoop: legacyPath(),
-			})
-			handoffs += len(res.Handoffs)
-		}
+		handoffs += runCountryCampaign(w, durMs, *countryUEs, legacyPath())
 	}
 	b.ReportMetric(float64(len(w.Cells)), "cells")
 	b.ReportMetric(float64(*countryUEs), "ues")

@@ -158,6 +158,7 @@ func serve(args []string) {
 	// Double-tap: a second signal mid-drain aborts the drain and exits
 	// nonzero immediately, so a stuck drain never needs an external
 	// kill -9 (which would skip the checkpoint silently).
+	//mmvet:allow gorphan process-lifetime watchdog: it blocks on a second signal and os.Exit(1)s, so joining it would defeat the double-tap abort
 	go func() {
 		s := <-sig
 		log.Printf("%s: drain aborted", s)

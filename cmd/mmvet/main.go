@@ -1,6 +1,6 @@
-// Command mmvet runs the repo's determinism-invariant static analyzers
-// (maprange, wallclock, globalrand, gorphan — see internal/lint) over
-// the module.
+// Command mmvet runs the repo's determinism- and concurrency-invariant
+// static analyzers (maprange, wallclock, globalrand, gorphan, units,
+// lockorder, chandir — see internal/lint) over the module.
 //
 // Usage:
 //
@@ -8,11 +8,19 @@
 //	go run ./cmd/mmvet DIR [DIR...]     specific directories, self-contained
 //	go run ./cmd/mmvet -checks maprange,gorphan ./...
 //	go run ./cmd/mmvet -write-baseline ./...
+//	go run ./cmd/mmvet -check-annotations ./...
+//	go run ./cmd/mmvet -v ./...
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load failure. Findings
 // already present in the baseline file (default .mmvet-baseline at the
 // module root) are suppressed and summarized; -write-baseline accepts
 // the current findings into the baseline instead of failing.
+//
+// -check-annotations runs no analyzers and only validates the
+// //mmvet: suppression comments themselves (unknown directives,
+// unknown check names, missing reasons); the baseline never applies,
+// so a reasonless annotation can never ship. -v prints per-analyzer
+// wall time to stderr.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"mmlab/internal/lint"
 )
@@ -34,6 +43,8 @@ func run() int {
 		checks        = flag.String("checks", "", "comma-separated checks to run (default: all of "+strings.Join(lint.AllChecks, ",")+")")
 		baselinePath  = flag.String("baseline", "", "baseline file (default: <module root>/.mmvet-baseline)")
 		writeBaseline = flag.Bool("write-baseline", false, "accept current findings into the baseline file and exit 0")
+		annotOnly     = flag.Bool("check-annotations", false, "validate //mmvet: annotations only; no analyzers, no baseline")
+		verbose       = flag.Bool("v", false, "print per-analyzer wall time to stderr")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -46,6 +57,11 @@ func run() int {
 		for _, c := range strings.Split(*checks, ",") {
 			cfg.Checks = append(cfg.Checks, strings.TrimSpace(c))
 		}
+	}
+	if *annotOnly {
+		// "annotation" is not an analyzer name, so this disables every
+		// analyzer; Analyze still validates the //mmvet: comments.
+		cfg.Checks = []string{"annotation"}
 	}
 
 	var units []*lint.Unit
@@ -76,7 +92,25 @@ func run() int {
 		}
 	}
 
-	findings := lint.Analyze(units, cfg)
+	findings, timings := lint.AnalyzeTimed(units, cfg)
+	if *verbose {
+		for _, t := range timings {
+			fmt.Fprintf(os.Stderr, "mmvet: %-10s %s\n", t.Check, t.Elapsed.Round(10*time.Microsecond))
+		}
+	}
+
+	if *annotOnly {
+		// Annotation problems are never baselined away: a suppression
+		// without a reason fails CI outright.
+		for _, f := range findings {
+			fmt.Println(rel(root, f))
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "mmvet: %d annotation finding(s)\n", len(findings))
+			return 1
+		}
+		return 0
+	}
 
 	bp := *baselinePath
 	if bp == "" && root != "" {

@@ -19,6 +19,7 @@ import (
 	"mmlab/internal/config"
 	"mmlab/internal/geo"
 	"mmlab/internal/netsim"
+	"mmlab/internal/units"
 )
 
 func main() {
@@ -42,7 +43,7 @@ func main() {
 					Enabled: true, NCellChangeMedium: 4, NCellChangeHigh: 7,
 					TEvaluationSec: 120, THystNormalSec: 120,
 					TReselectionSFMedium: 0.5, TReselectionSFHigh: 0.25,
-					QHystSFMedium: -2, QHystSFHigh: -4,
+					QHystSFMedium: units.Db(-2), QHystSFHigh: units.Db(-4),
 				}
 			} else {
 				s.SpeedScaling = config.SpeedScaling{}
@@ -52,7 +53,7 @@ func main() {
 		res := netsim.RunDrive(w, route, route.Duration(), netsim.UEOpts{Seed: *seed * 7, Active: false})
 		sum := 0.0
 		for _, h := range res.Handoffs {
-			sum += h.RSRPOld
+			sum += h.RSRPOld.V()
 		}
 		n := len(res.Handoffs)
 		if n > 0 {

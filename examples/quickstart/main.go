@@ -41,6 +41,6 @@ func main() {
 	for i, h := range res.Handoffs {
 		fmt.Printf("#%02d t=%6.1fs event %-2s  %v → %v  RSRP %.0f → %.0f dBm (δ %+0.f)  report→exec %d ms\n",
 			i+1, float64(h.Time)/1000, h.Event, h.From, h.To,
-			h.RSRPOld, h.RSRPNew, h.RSRPNew-h.RSRPOld, h.Time-h.ReportTime)
+			h.RSRPOld, h.RSRPNew, h.RSRPNew.Sub(h.RSRPOld), h.Time-h.ReportTime)
 	}
 }

@@ -1,6 +1,9 @@
 package carrier
 
-import "mmlab/internal/config"
+import (
+	"mmlab/internal/config"
+	"mmlab/internal/units"
+)
 
 // EARFCN↔frequency mapping (paper §5.4.1: "The channel number is called
 // EARFCN ... their mappings to frequency spectrum bands are regulated by
@@ -46,32 +49,32 @@ func LTEBand(earfcn uint32) int {
 // FreqMHz returns the downlink carrier frequency for a channel number of
 // the given RAT. Unknown channels fall back to 1900 MHz (mid-band) so the
 // radio model stays usable.
-func FreqMHz(rat config.RAT, ch uint32) float64 {
+func FreqMHz(rat config.RAT, ch uint32) units.MegaHz {
 	switch rat {
 	case config.RATLTE:
 		for _, b := range lteBands {
 			if ch >= b.NOffs && ch <= b.NLast {
-				return b.FDLLow + 0.1*float64(ch-b.NOffs)
+				return units.MegaHz(b.FDLLow + 0.1*float64(ch-b.NOffs))
 			}
 		}
 	case config.RATUMTS:
 		// UARFCN: DL frequency = UARFCN / 5 (general formula).
-		return float64(ch) / 5
+		return units.MegaHz(float64(ch) / 5)
 	case config.RATGSM:
 		// GSM-850: ARFCN 128..251; PCS-1900: 512..810.
 		if ch >= 128 && ch <= 251 {
-			return 869 + 0.2*float64(ch-128)
+			return units.MegaHz(869 + 0.2*float64(ch-128))
 		}
 		if ch >= 512 && ch <= 810 {
-			return 1930.2 + 0.2*float64(ch-512)
+			return units.MegaHz(1930.2 + 0.2*float64(ch-512))
 		}
 		return 900
 	case config.RATEVDO, config.RATCDMA1x:
 		// CDMA band class 0 (800) and 1 (1900), channel-coded coarsely.
 		if ch < 1000 {
-			return 869 + 0.03*float64(ch)
+			return units.MegaHz(869 + 0.03*float64(ch))
 		}
-		return 1930 + 0.05*float64(ch-1000)
+		return units.MegaHz(1930 + 0.05*float64(ch-1000))
 	}
 	return 1900
 }

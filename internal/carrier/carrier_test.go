@@ -191,15 +191,15 @@ func TestLTEBandMapping(t *testing.T) {
 
 func TestFreqMHz(t *testing.T) {
 	// Band 17: 734 + 0.1*(5780-5730) = 739 MHz.
-	if got := FreqMHz(config.RATLTE, 5780); math.Abs(got-739) > 0.01 {
+	if got := FreqMHz(config.RATLTE, 5780); math.Abs(got.V()-739) > 0.01 {
 		t.Errorf("FreqMHz(LTE,5780) = %v, want 739", got)
 	}
 	// Band 30: 2350 + 0.1*(9820-9770) = 2355 MHz.
-	if got := FreqMHz(config.RATLTE, 9820); math.Abs(got-2355) > 0.01 {
+	if got := FreqMHz(config.RATLTE, 9820); math.Abs(got.V()-2355) > 0.01 {
 		t.Errorf("FreqMHz(LTE,9820) = %v, want 2355", got)
 	}
 	// UMTS UARFCN 4435 → 887? DL = 4435/5 = 887 MHz... general formula.
-	if got := FreqMHz(config.RATUMTS, 10562); math.Abs(got-2112.4) > 0.01 {
+	if got := FreqMHz(config.RATUMTS, 10562); math.Abs(got.V()-2112.4) > 0.01 {
 		t.Errorf("FreqMHz(UMTS,10562) = %v, want 2112.4", got)
 	}
 	// GSM-850 ARFCN 128 → 869 MHz.

@@ -7,6 +7,7 @@ import (
 
 	"mmlab/internal/config"
 	"mmlab/internal/geo"
+	"mmlab/internal/units"
 )
 
 // CellSite places one cell in the world: who operates it, where it is, and
@@ -154,19 +155,19 @@ func (g *Generator) servingConfig(site CellSite, epoch int) config.ServingCellCo
 	}
 	s := config.ServingCellConfig{
 		Priority:         g.priorityFor(site, site.Identity.EARFCN, site.Identity.RAT, epoch),
-		QHyst:            config.QuantizeQHyst(g.draw("qHyst", p.QHyst, site, epoch, "idle", idle)),
-		SIntraSearch:     config.QuantizeSearchThresh(g.draw("sIntra", p.IntraSearch, site, epoch, "idle", idle)),
-		SNonIntraSearch:  config.QuantizeSearchThresh(g.draw("sNonIntra", p.NonIntraSearch, site, epoch, "idle", idle)),
-		QRxLevMin:        config.QuantizeRxLevMin(g.draw("deltaMin", p.DeltaMin, site, epoch, "idle", idle)),
-		QQualMin:         config.QuantizeEventRSRQThreshold(g.draw("qQualMin", p.QQualMin, site, epoch, "idle", idle)),
-		ThreshServingLow: config.QuantizeSearchThresh(g.draw("threshServLow", p.ThreshServLow, site, epoch, "idle", idle)),
+		QHyst:            config.QuantizeQHyst(units.Db(g.draw("qHyst", p.QHyst, site, epoch, "idle", idle))),
+		SIntraSearch:     config.QuantizeSearchThresh(units.Db(g.draw("sIntra", p.IntraSearch, site, epoch, "idle", idle))),
+		SNonIntraSearch:  config.QuantizeSearchThresh(units.Db(g.draw("sNonIntra", p.NonIntraSearch, site, epoch, "idle", idle))),
+		QRxLevMin:        config.QuantizeRxLevMin(units.Dbm(g.draw("deltaMin", p.DeltaMin, site, epoch, "idle", idle))),
+		QQualMin:         config.QuantizeEventRSRQThreshold(units.Db(g.draw("qQualMin", p.QQualMin, site, epoch, "idle", idle))),
+		ThreshServingLow: config.QuantizeSearchThresh(units.Db(g.draw("threshServLow", p.ThreshServLow, site, epoch, "idle", idle))),
 		TReselectionSec:  config.ClampTReselection(int(g.draw("tResel", p.TResel, site, epoch, "idle", idle))),
 		THigherMeasSec:   int(g.draw("tHigherMeas", p.THigherMeas, site, epoch, "idle", 0)),
 	}
 	// RSRQ legs scale off the RSRP legs (coarser, small range).
-	s.SIntraSearchQ = config.QuantizeSearchThresh(math.Min(s.SIntraSearch/4, 14))
-	s.SNonIntraSearchQ = config.QuantizeSearchThresh(math.Min(s.SNonIntraSearch/4, 12))
-	s.ThreshServingLowQ = config.QuantizeSearchThresh(math.Min(s.ThreshServingLow/2, 8))
+	s.SIntraSearchQ = config.QuantizeSearchThresh(units.Db(math.Min(s.SIntraSearch.V()/4, 14)))
+	s.SNonIntraSearchQ = config.QuantizeSearchThresh(units.Db(math.Min(s.SNonIntraSearch.V()/4, 12)))
+	s.ThreshServingLowQ = config.QuantizeSearchThresh(units.Db(math.Min(s.ThreshServingLow.V()/2, 8)))
 
 	// LTE cells broadcast the speed-scaling block with carrier-wide single
 	// values — the paper's Fig. 16 shows these among the single-valued /
@@ -180,8 +181,8 @@ func (g *Generator) servingConfig(site CellSite, epoch int) config.ServingCellCo
 			THystNormalSec:       60,
 			TReselectionSFMedium: 0.75,
 			TReselectionSFHigh:   0.5,
-			QHystSFMedium:        -2,
-			QHystSFHigh:          -4,
+			QHystSFMedium:        units.Db(-2),
+			QHystSFHigh:          units.Db(-4),
 		}
 	}
 
@@ -206,18 +207,18 @@ func (g *Generator) legacyServing(site CellSite) config.ServingCellConfig {
 	p := g.Profile
 	s := config.ServingCellConfig{
 		Priority:         g.priorityFor(site, site.Identity.EARFCN, site.Identity.RAT, 0),
-		QHyst:            config.QuantizeQHyst(g.legacyDraw("qHyst", p.QHyst, site)),
-		SIntraSearch:     config.QuantizeSearchThresh(g.legacyDraw("sIntra", p.IntraSearch, site)),
-		SNonIntraSearch:  config.QuantizeSearchThresh(g.legacyDraw("sNonIntra", p.NonIntraSearch, site)),
-		QRxLevMin:        config.QuantizeRxLevMin(g.legacyDraw("deltaMin", p.DeltaMin, site)),
-		QQualMin:         config.QuantizeEventRSRQThreshold(g.legacyDraw("qQualMin", p.QQualMin, site)),
-		ThreshServingLow: config.QuantizeSearchThresh(g.legacyDraw("threshServLow", p.ThreshServLow, site)),
+		QHyst:            config.QuantizeQHyst(units.Db(g.legacyDraw("qHyst", p.QHyst, site))),
+		SIntraSearch:     config.QuantizeSearchThresh(units.Db(g.legacyDraw("sIntra", p.IntraSearch, site))),
+		SNonIntraSearch:  config.QuantizeSearchThresh(units.Db(g.legacyDraw("sNonIntra", p.NonIntraSearch, site))),
+		QRxLevMin:        config.QuantizeRxLevMin(units.Dbm(g.legacyDraw("deltaMin", p.DeltaMin, site))),
+		QQualMin:         config.QuantizeEventRSRQThreshold(units.Db(g.legacyDraw("qQualMin", p.QQualMin, site))),
+		ThreshServingLow: config.QuantizeSearchThresh(units.Db(g.legacyDraw("threshServLow", p.ThreshServLow, site))),
 		TReselectionSec:  config.ClampTReselection(int(g.legacyDraw("tResel", p.TResel, site))),
 		THigherMeasSec:   60,
 	}
-	s.SIntraSearchQ = config.QuantizeSearchThresh(math.Min(s.SIntraSearch/4, 14))
-	s.SNonIntraSearchQ = config.QuantizeSearchThresh(math.Min(s.SNonIntraSearch/4, 12))
-	s.ThreshServingLowQ = config.QuantizeSearchThresh(math.Min(s.ThreshServingLow/2, 8))
+	s.SIntraSearchQ = config.QuantizeSearchThresh(units.Db(math.Min(s.SIntraSearch.V()/4, 14)))
+	s.SNonIntraSearchQ = config.QuantizeSearchThresh(units.Db(math.Min(s.SNonIntraSearch.V()/4, 12)))
+	s.ThreshServingLowQ = config.QuantizeSearchThresh(units.Db(math.Min(s.ThreshServingLow.V()/2, 8)))
 	if s.SNonIntraSearch > s.SIntraSearch {
 		s.SNonIntraSearch = s.SIntraSearch
 	}
@@ -287,10 +288,10 @@ func (g *Generator) freqRelations(site CellSite, epoch int) []config.FreqRelatio
 			EARFCN:           nb.EARFCN,
 			RAT:              nb.RAT,
 			Priority:         g.priorityFor(site, nb.EARFCN, nb.RAT, epoch),
-			ThreshHigh:       config.QuantizeSearchThresh(g.draw("threshXHigh", p.ThreshXHigh, fsite, epoch, "idle", idle)),
-			ThreshLow:        config.QuantizeSearchThresh(g.draw("threshXLow", p.ThreshXLow, fsite, epoch, "idle", idle)),
-			QRxLevMin:        config.QuantizeRxLevMin(g.draw("deltaMin", p.DeltaMin, fsite, epoch, "idle", idle) - 2),
-			QOffsetFreq:      config.QuantizeOffset(g.draw("qOffsetFreq", p.QOffsetFreq, fsite, epoch, "idle", idle)),
+			ThreshHigh:       config.QuantizeSearchThresh(units.Db(g.draw("threshXHigh", p.ThreshXHigh, fsite, epoch, "idle", idle))),
+			ThreshLow:        config.QuantizeSearchThresh(units.Db(g.draw("threshXLow", p.ThreshXLow, fsite, epoch, "idle", idle))),
+			QRxLevMin:        config.QuantizeRxLevMin(units.Dbm(g.draw("deltaMin", p.DeltaMin, fsite, epoch, "idle", idle) - 2)),
+			QOffsetFreq:      config.QuantizeOffset(units.Db(g.draw("qOffsetFreq", p.QOffsetFreq, fsite, epoch, "idle", idle))),
 			TReselectionSec:  config.ClampTReselection(int(g.draw("tResel", p.TResel, fsite, epoch, "idle", idle))),
 			MeasBandwidthRBs: 50,
 		}
@@ -347,8 +348,8 @@ func (g *Generator) measConfig(site CellSite, epoch int) config.MeasConfig {
 		objID++
 	}
 
-	ttt := config.NearestTimeToTrigger(int(g.draw("ttt", p.TTT, site, epoch, "active", act)))
-	repInt := int(g.draw("reportInterval", p.ReportInterval, site, epoch, "active", act))
+	ttt := units.Millis(config.NearestTimeToTrigger(int(g.draw("ttt", p.TTT, site, epoch, "active", act))))
+	repInt := units.Millis(g.draw("reportInterval", p.ReportInterval, site, epoch, "active", act))
 	if !config.ValidReportInterval(repInt) {
 		repInt = 240
 	}
@@ -357,9 +358,9 @@ func (g *Generator) measConfig(site CellSite, epoch int) config.MeasConfig {
 	// "one or multiple A2/A5/P events" before the decisive one).
 	mc.Reports[1] = config.EventConfig{
 		Type: config.EventA2, Quantity: config.RSRP,
-		Threshold1:      config.QuantizeEventRSRPThreshold(g.draw("a2Thresh", p.A2Thresh, site, epoch, "active", act)),
-		Hysteresis:      1,
-		TimeToTriggerMs: 320, ReportIntervalMs: repInt, MaxReportCells: 4,
+		Threshold1:      config.QuantizeEventRSRPThreshold(units.Dbm(g.draw("a2Thresh", p.A2Thresh, site, epoch, "active", act))),
+		Hysteresis:      units.Db(1),
+		TimeToTriggerMs: units.Millis(320), ReportIntervalMs: repInt, MaxReportCells: 4,
 	}
 
 	// Report 2: the primary handoff event.
@@ -370,30 +371,30 @@ func (g *Generator) measConfig(site CellSite, epoch int) config.MeasConfig {
 	}
 	switch primary {
 	case config.EventA3:
-		ev.Offset = config.QuantizeOffset(g.draw("a3Offset", p.A3Offset, site, epoch, "active", act))
-		ev.Hysteresis = config.QuantizeHysteresis(g.draw("a3Hyst", p.A3Hyst, site, epoch, "active", act))
+		ev.Offset = config.QuantizeOffset(units.Db(g.draw("a3Offset", p.A3Offset, site, epoch, "active", act)))
+		ev.Hysteresis = config.QuantizeHysteresis(units.Db(g.draw("a3Hyst", p.A3Hyst, site, epoch, "active", act)))
 	case config.EventA5:
 		useRSRQ := newRng(seedFor(g.Carrier.Acronym, "a5quant", "cell", fmt.Sprint(site.Identity.CellID))).Float64() < p.A5RSRQShare
 		if useRSRQ {
 			ev.Quantity = config.RSRQ
-			ev.Threshold1 = config.QuantizeEventRSRQThreshold(g.draw("a5t1q", p.A5T1RSRQ, site, epoch, "active", act))
-			ev.Threshold2 = config.QuantizeEventRSRQThreshold(g.draw("a5t2q", p.A5T2RSRQ, site, epoch, "active", act))
+			ev.Threshold1 = units.LevelFromDb(config.QuantizeEventRSRQThreshold(units.Db(g.draw("a5t1q", p.A5T1RSRQ, site, epoch, "active", act))))
+			ev.Threshold2 = units.LevelFromDb(config.QuantizeEventRSRQThreshold(units.Db(g.draw("a5t2q", p.A5T2RSRQ, site, epoch, "active", act))))
 		} else {
-			ev.Threshold1 = config.QuantizeEventRSRPThreshold(g.draw("a5t1p", p.A5T1RSRP, site, epoch, "active", act))
-			ev.Threshold2 = config.QuantizeEventRSRPThreshold(g.draw("a5t2p", p.A5T2RSRP, site, epoch, "active", act))
+			ev.Threshold1 = config.QuantizeEventRSRPThreshold(units.Dbm(g.draw("a5t1p", p.A5T1RSRP, site, epoch, "active", act)))
+			ev.Threshold2 = config.QuantizeEventRSRPThreshold(units.Dbm(g.draw("a5t2p", p.A5T2RSRP, site, epoch, "active", act)))
 		}
 		ev.Hysteresis = 1
 	case config.EventPeriodic:
-		ev.ReportIntervalMs = int(g.draw("periodicInt", p.PeriodicInt, site, epoch, "active", act))
+		ev.ReportIntervalMs = units.Millis(g.draw("periodicInt", p.PeriodicInt, site, epoch, "active", act))
 		ev.TimeToTriggerMs = 0
 	case config.EventA1:
-		ev.Threshold1 = config.QuantizeEventRSRPThreshold(-85)
+		ev.Threshold1 = config.QuantizeEventRSRPThreshold(units.Dbm(-85))
 		ev.Hysteresis = 1
 	case config.EventA2:
-		ev.Threshold1 = config.QuantizeEventRSRPThreshold(g.draw("a2Thresh", p.A2Thresh, site, epoch, "active", act) - 4)
+		ev.Threshold1 = config.QuantizeEventRSRPThreshold(units.Dbm(g.draw("a2Thresh", p.A2Thresh, site, epoch, "active", act) - 4))
 		ev.Hysteresis = 1
 	case config.EventA4:
-		ev.Threshold2 = config.QuantizeEventRSRPThreshold(-100)
+		ev.Threshold2 = config.QuantizeEventRSRPThreshold(units.Dbm(-100))
 		ev.Hysteresis = 1
 	}
 	mc.Reports[2] = ev
@@ -405,11 +406,11 @@ func (g *Generator) measConfig(site CellSite, epoch int) config.MeasConfig {
 	// into A2 rescues.
 	hasCoverageA5 := false
 	if primary == config.EventA3 && objID > 2 {
-		cov := config.QuantizeEventRSRPThreshold(g.draw("a2Thresh", p.A2Thresh, site, epoch, "active", act) - 7)
+		cov := config.QuantizeEventRSRPThreshold(units.Dbm(g.draw("a2Thresh", p.A2Thresh, site, epoch, "active", act) - 7))
 		mc.Reports[3] = config.EventConfig{
 			Type: config.EventA5, Quantity: config.RSRP,
 			Threshold1: cov, Threshold2: config.QuantizeEventRSRPThreshold(cov + 6),
-			Hysteresis: 1, TimeToTriggerMs: 320, ReportIntervalMs: ev.ReportIntervalMs,
+			Hysteresis: units.Db(1), TimeToTriggerMs: units.Millis(320), ReportIntervalMs: ev.ReportIntervalMs,
 			MaxReportCells: 4,
 		}
 		hasCoverageA5 = true
@@ -437,7 +438,7 @@ func (g *Generator) measConfig(site CellSite, epoch int) config.MeasConfig {
 func (g *Generator) Config(site CellSite, epoch int) *config.CellConfig {
 	c := &config.CellConfig{
 		Identity:   site.Identity,
-		TxPowerDBm: 12 + 3*newRng(seedFor(g.Carrier.Acronym, "txpower", fmt.Sprint(site.Identity.CellID))).Float64(),
+		TxPowerDBm: units.Dbm(12 + 3*newRng(seedFor(g.Carrier.Acronym, "txpower", fmt.Sprint(site.Identity.CellID))).Float64()),
 		Serving:    g.servingConfig(site, epoch),
 		Freqs:      g.freqRelations(site, epoch),
 	}

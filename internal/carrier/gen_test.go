@@ -6,6 +6,7 @@ import (
 
 	"mmlab/internal/config"
 	"mmlab/internal/geo"
+	"mmlab/internal/units"
 )
 
 func attSite(cellID uint32, earfcn uint32, city string, pos geo.Point) CellSite {
@@ -69,7 +70,7 @@ func TestGeneratedConfigsValidate(t *testing.T) {
 func TestATTCalibration(t *testing.T) {
 	g := mustGen(t, "A")
 	const n = 2000
-	hsCount := map[float64]int{}
+	hsCount := map[units.Db]int{}
 	dminDominant := 0
 	intraGE := 0
 	for id := uint32(1); id <= n; id++ {
@@ -188,7 +189,7 @@ func TestEventMixCalibration(t *testing.T) {
 
 func TestATTA5Thresholds(t *testing.T) {
 	g := mustGen(t, "A")
-	rsrpT1 := map[float64]int{}
+	rsrpT1 := map[units.Dbm]int{}
 	rsrqSeen, rsrpSeen := 0, 0
 	for id := uint32(1); id <= 3000; id++ {
 		site := attSite(id, 850, "C3", geo.Pt(float64(id%60)*200, float64(id/60)*200))
@@ -281,7 +282,7 @@ func TestTMobileSpatialUniformity(t *testing.T) {
 
 func TestATTSpatialDiversityExists(t *testing.T) {
 	g := mustGen(t, "A")
-	vals := map[float64]bool{}
+	vals := map[units.Db]bool{}
 	for id := uint32(1); id <= 40; id++ {
 		site := attSite(id, 850, "C3", geo.Pt(1000+float64(id)*40, 1000))
 		vals[g.servingConfig(site, 0).ThreshServingLow] = true

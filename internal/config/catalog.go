@@ -120,28 +120,28 @@ func lteCatalog() []ParamDescriptor {
 	ps := []ParamDescriptor{
 		// ---- SIB1 (3) ----
 		{Name: "qRxLevMin", Category: CatRadioEval, Message: "SIB1", UsedFor: "calibration",
-			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QRxLevMin })},
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QRxLevMin.V() })},
 		{Name: "qRxLevMinOffset", Category: CatRadioEval, Message: "SIB1", UsedFor: "calibration"},
 		{Name: "qQualMin", Category: CatRadioEval, Message: "SIB1", UsedFor: "calibration",
-			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QQualMin })},
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QQualMin.V() })},
 
 		// ---- SIB3 (15) ----
 		{Name: "cellReselectionPriority", Category: CatCellPriority, Message: "SIB3", UsedFor: "decision",
 			Extract: extractServing(func(s ServingCellConfig) float64 { return float64(s.Priority) })},
 		{Name: "qHyst", Category: CatRadioEval, Message: "SIB3", UsedFor: "decision",
-			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QHyst })},
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QHyst.V() })},
 		{Name: "sIntraSearchP", Category: CatRadioEval, Message: "SIB3", UsedFor: "measurement",
-			Extract: extractServing(func(s ServingCellConfig) float64 { return s.SIntraSearch })},
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.SIntraSearch.V() })},
 		{Name: "sIntraSearchQ", Category: CatRadioEval, Message: "SIB3", UsedFor: "measurement",
-			Extract: extractServing(func(s ServingCellConfig) float64 { return s.SIntraSearchQ })},
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.SIntraSearchQ.V() })},
 		{Name: "sNonIntraSearchP", Category: CatRadioEval, Message: "SIB3", UsedFor: "measurement",
-			Extract: extractServing(func(s ServingCellConfig) float64 { return s.SNonIntraSearch })},
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.SNonIntraSearch.V() })},
 		{Name: "sNonIntraSearchQ", Category: CatRadioEval, Message: "SIB3", UsedFor: "measurement",
-			Extract: extractServing(func(s ServingCellConfig) float64 { return s.SNonIntraSearchQ })},
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.SNonIntraSearchQ.V() })},
 		{Name: "threshServingLowP", Category: CatRadioEval, Message: "SIB3", UsedFor: "decision",
-			Extract: extractServing(func(s ServingCellConfig) float64 { return s.ThreshServingLow })},
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.ThreshServingLow.V() })},
 		{Name: "threshServingLowQ", Category: CatRadioEval, Message: "SIB3", UsedFor: "decision",
-			Extract: extractServing(func(s ServingCellConfig) float64 { return s.ThreshServingLowQ })},
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.ThreshServingLowQ.V() })},
 		{Name: "tReselectionEUTRA", Category: CatTimer, Message: "SIB3", UsedFor: "decision",
 			Extract: extractServing(func(s ServingCellConfig) float64 { return float64(s.TReselectionSec) })},
 		{Name: "tReselectionSFMedium", Category: CatTimer, Message: "SIB3", UsedFor: "decision",
@@ -149,9 +149,9 @@ func lteCatalog() []ParamDescriptor {
 		{Name: "tReselectionSFHigh", Category: CatTimer, Message: "SIB3", UsedFor: "decision",
 			Extract: extractSpeedScaling(func(sc SpeedScaling) float64 { return sc.TReselectionSFHigh })},
 		{Name: "qHystSFMedium", Category: CatRadioEval, Message: "SIB3", UsedFor: "decision",
-			Extract: extractSpeedScaling(func(sc SpeedScaling) float64 { return sc.QHystSFMedium })},
+			Extract: extractSpeedScaling(func(sc SpeedScaling) float64 { return sc.QHystSFMedium.V() })},
 		{Name: "qHystSFHigh", Category: CatRadioEval, Message: "SIB3", UsedFor: "decision",
-			Extract: extractSpeedScaling(func(sc SpeedScaling) float64 { return sc.QHystSFHigh })},
+			Extract: extractSpeedScaling(func(sc SpeedScaling) float64 { return sc.QHystSFHigh.V() })},
 		{Name: "tEvaluation", Category: CatTimer, Message: "SIB3", UsedFor: "measurement",
 			Extract: extractSpeedScaling(func(sc SpeedScaling) float64 { return float64(sc.TEvaluationSec) })},
 		{Name: "tHystNormal", Category: CatTimer, Message: "SIB3", UsedFor: "measurement",
@@ -168,15 +168,15 @@ func lteCatalog() []ParamDescriptor {
 		{Name: "interFreqPriority", Category: CatCellPriority, Message: "SIB5", UsedFor: "decision",
 			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return float64(f.Priority) })},
 		{Name: "threshXHighP", Category: CatRadioEval, Message: "SIB5", UsedFor: "decision",
-			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return f.ThreshHigh })},
+			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return f.ThreshHigh.V() })},
 		{Name: "threshXLowP", Category: CatRadioEval, Message: "SIB5", UsedFor: "decision",
-			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return f.ThreshLow })},
+			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return f.ThreshLow.V() })},
 		{Name: "threshXHighQ", Category: CatRadioEval, Message: "SIB5", UsedFor: "decision"},
 		{Name: "threshXLowQ", Category: CatRadioEval, Message: "SIB5", UsedFor: "decision"},
 		{Name: "interFreqQRxLevMin", Category: CatRadioEval, Message: "SIB5", UsedFor: "calibration",
-			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return f.QRxLevMin })},
+			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return f.QRxLevMin.V() })},
 		{Name: "qOffsetFreq", Category: CatRadioEval, Message: "SIB5", UsedFor: "decision",
-			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return f.QOffsetFreq })},
+			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return f.QOffsetFreq.V() })},
 		{Name: "tReselectionInterFreq", Category: CatTimer, Message: "SIB5", UsedFor: "decision",
 			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return float64(f.TReselectionSec) })},
 		{Name: "allowedMeasBandwidth", Category: CatMisc, Message: "SIB5", UsedFor: "measurement",
@@ -188,11 +188,11 @@ func lteCatalog() []ParamDescriptor {
 		{Name: "utraPriority", Category: CatCellPriority, Message: "SIB6", UsedFor: "decision",
 			Extract: extractFreq(isRAT(RATUMTS), func(f FreqRelation) float64 { return float64(f.Priority) })},
 		{Name: "utraThreshXHigh", Category: CatRadioEval, Message: "SIB6", UsedFor: "decision",
-			Extract: extractFreq(isRAT(RATUMTS), func(f FreqRelation) float64 { return f.ThreshHigh })},
+			Extract: extractFreq(isRAT(RATUMTS), func(f FreqRelation) float64 { return f.ThreshHigh.V() })},
 		{Name: "utraThreshXLow", Category: CatRadioEval, Message: "SIB6", UsedFor: "decision",
-			Extract: extractFreq(isRAT(RATUMTS), func(f FreqRelation) float64 { return f.ThreshLow })},
+			Extract: extractFreq(isRAT(RATUMTS), func(f FreqRelation) float64 { return f.ThreshLow.V() })},
 		{Name: "utraQRxLevMin", Category: CatRadioEval, Message: "SIB6", UsedFor: "calibration",
-			Extract: extractFreq(isRAT(RATUMTS), func(f FreqRelation) float64 { return f.QRxLevMin })},
+			Extract: extractFreq(isRAT(RATUMTS), func(f FreqRelation) float64 { return f.QRxLevMin.V() })},
 		{Name: "utraQQualMin", Category: CatRadioEval, Message: "SIB6", UsedFor: "calibration"},
 		{Name: "tReselectionUTRA", Category: CatTimer, Message: "SIB6", UsedFor: "decision",
 			Extract: extractFreq(isRAT(RATUMTS), func(f FreqRelation) float64 { return float64(f.TReselectionSec) })},
@@ -203,11 +203,11 @@ func lteCatalog() []ParamDescriptor {
 		{Name: "geranPriority", Category: CatCellPriority, Message: "SIB7", UsedFor: "decision",
 			Extract: extractFreq(isRAT(RATGSM), func(f FreqRelation) float64 { return float64(f.Priority) })},
 		{Name: "geranThreshXHigh", Category: CatRadioEval, Message: "SIB7", UsedFor: "decision",
-			Extract: extractFreq(isRAT(RATGSM), func(f FreqRelation) float64 { return f.ThreshHigh })},
+			Extract: extractFreq(isRAT(RATGSM), func(f FreqRelation) float64 { return f.ThreshHigh.V() })},
 		{Name: "geranThreshXLow", Category: CatRadioEval, Message: "SIB7", UsedFor: "decision",
-			Extract: extractFreq(isRAT(RATGSM), func(f FreqRelation) float64 { return f.ThreshLow })},
+			Extract: extractFreq(isRAT(RATGSM), func(f FreqRelation) float64 { return f.ThreshLow.V() })},
 		{Name: "geranQRxLevMin", Category: CatRadioEval, Message: "SIB7", UsedFor: "calibration",
-			Extract: extractFreq(isRAT(RATGSM), func(f FreqRelation) float64 { return f.QRxLevMin })},
+			Extract: extractFreq(isRAT(RATGSM), func(f FreqRelation) float64 { return f.QRxLevMin.V() })},
 		{Name: "tReselectionGERAN", Category: CatTimer, Message: "SIB7", UsedFor: "decision",
 			Extract: extractFreq(isRAT(RATGSM), func(f FreqRelation) float64 { return float64(f.TReselectionSec) })},
 
@@ -220,13 +220,13 @@ func lteCatalog() []ParamDescriptor {
 				func(f FreqRelation) float64 { return float64(f.Priority) })},
 		{Name: "cdmaThreshXHigh", Category: CatRadioEval, Message: "SIB8", UsedFor: "decision",
 			Extract: extractFreq(func(f FreqRelation) bool { return f.RAT == RATEVDO || f.RAT == RATCDMA1x },
-				func(f FreqRelation) float64 { return f.ThreshHigh })},
+				func(f FreqRelation) float64 { return f.ThreshHigh.V() })},
 		{Name: "cdmaThreshXLow", Category: CatRadioEval, Message: "SIB8", UsedFor: "decision",
 			Extract: extractFreq(func(f FreqRelation) bool { return f.RAT == RATEVDO || f.RAT == RATCDMA1x },
-				func(f FreqRelation) float64 { return f.ThreshLow })},
+				func(f FreqRelation) float64 { return f.ThreshLow.V() })},
 		{Name: "cdmaQRxLevMin", Category: CatRadioEval, Message: "SIB8", UsedFor: "calibration",
 			Extract: extractFreq(func(f FreqRelation) bool { return f.RAT == RATEVDO || f.RAT == RATCDMA1x },
-				func(f FreqRelation) float64 { return f.QRxLevMin })},
+				func(f FreqRelation) float64 { return f.QRxLevMin.V() })},
 		{Name: "tReselectionCDMA", Category: CatTimer, Message: "SIB8", UsedFor: "decision",
 			Extract: extractFreq(func(f FreqRelation) bool { return f.RAT == RATEVDO || f.RAT == RATCDMA1x },
 				func(f FreqRelation) float64 { return float64(f.TReselectionSec) })},
@@ -239,38 +239,38 @@ func lteCatalog() []ParamDescriptor {
 				if c.Meas.SMeasure == 0 {
 					return nil
 				}
-				return one(c.Meas.SMeasure)
+				return one(c.Meas.SMeasure.V())
 			}},
 		{Name: "a1Threshold", Category: CatRadioEval, Message: "event A1", UsedFor: "reporting",
-			Extract: extractEvent(EventA1, func(e EventConfig) float64 { return e.Threshold1 })},
+			Extract: extractEvent(EventA1, func(e EventConfig) float64 { return e.Threshold1.V() })},
 		{Name: "a1Hysteresis", Category: CatRadioEval, Message: "event A1", UsedFor: "reporting",
-			Extract: extractEvent(EventA1, func(e EventConfig) float64 { return e.Hysteresis })},
+			Extract: extractEvent(EventA1, func(e EventConfig) float64 { return e.Hysteresis.V() })},
 		{Name: "a1TimeToTrigger", Category: CatTimer, Message: "event A1", UsedFor: "reporting",
-			Extract: extractEvent(EventA1, func(e EventConfig) float64 { return float64(e.TimeToTriggerMs) })},
+			Extract: extractEvent(EventA1, func(e EventConfig) float64 { return float64(e.TimeToTriggerMs.V()) })},
 		{Name: "a2Threshold", Category: CatRadioEval, Message: "event A2", UsedFor: "reporting",
-			Extract: extractEvent(EventA2, func(e EventConfig) float64 { return e.Threshold1 })},
+			Extract: extractEvent(EventA2, func(e EventConfig) float64 { return e.Threshold1.V() })},
 		{Name: "a2Hysteresis", Category: CatRadioEval, Message: "event A2", UsedFor: "reporting",
-			Extract: extractEvent(EventA2, func(e EventConfig) float64 { return e.Hysteresis })},
+			Extract: extractEvent(EventA2, func(e EventConfig) float64 { return e.Hysteresis.V() })},
 		{Name: "a2TimeToTrigger", Category: CatTimer, Message: "event A2", UsedFor: "reporting",
-			Extract: extractEvent(EventA2, func(e EventConfig) float64 { return float64(e.TimeToTriggerMs) })},
+			Extract: extractEvent(EventA2, func(e EventConfig) float64 { return float64(e.TimeToTriggerMs.V()) })},
 		{Name: "a3Offset", Category: CatRadioEval, Message: "event A3", UsedFor: "reporting",
-			Extract: extractEvent(EventA3, func(e EventConfig) float64 { return e.Offset })},
+			Extract: extractEvent(EventA3, func(e EventConfig) float64 { return e.Offset.V() })},
 		{Name: "a3Hysteresis", Category: CatRadioEval, Message: "event A3", UsedFor: "reporting",
-			Extract: extractEvent(EventA3, func(e EventConfig) float64 { return e.Hysteresis })},
+			Extract: extractEvent(EventA3, func(e EventConfig) float64 { return e.Hysteresis.V() })},
 		{Name: "a3TimeToTrigger", Category: CatTimer, Message: "event A3", UsedFor: "reporting",
-			Extract: extractEvent(EventA3, func(e EventConfig) float64 { return float64(e.TimeToTriggerMs) })},
+			Extract: extractEvent(EventA3, func(e EventConfig) float64 { return float64(e.TimeToTriggerMs.V()) })},
 		{Name: "a4Threshold", Category: CatRadioEval, Message: "event A4", UsedFor: "reporting",
-			Extract: extractEvent(EventA4, func(e EventConfig) float64 { return e.Threshold2 })},
+			Extract: extractEvent(EventA4, func(e EventConfig) float64 { return e.Threshold2.V() })},
 		{Name: "a5Threshold1", Category: CatRadioEval, Message: "event A5", UsedFor: "reporting",
-			Extract: extractEvent(EventA5, func(e EventConfig) float64 { return e.Threshold1 })},
+			Extract: extractEvent(EventA5, func(e EventConfig) float64 { return e.Threshold1.V() })},
 		{Name: "a5Threshold2", Category: CatRadioEval, Message: "event A5", UsedFor: "reporting",
-			Extract: extractEvent(EventA5, func(e EventConfig) float64 { return e.Threshold2 })},
+			Extract: extractEvent(EventA5, func(e EventConfig) float64 { return e.Threshold2.V() })},
 		{Name: "a5TimeToTrigger", Category: CatTimer, Message: "event A5", UsedFor: "reporting",
-			Extract: extractEvent(EventA5, func(e EventConfig) float64 { return float64(e.TimeToTriggerMs) })},
+			Extract: extractEvent(EventA5, func(e EventConfig) float64 { return float64(e.TimeToTriggerMs.V()) })},
 		{Name: "b1Threshold", Category: CatRadioEval, Message: "event B1", UsedFor: "reporting",
-			Extract: extractEvent(EventB1, func(e EventConfig) float64 { return e.Threshold2 })},
+			Extract: extractEvent(EventB1, func(e EventConfig) float64 { return e.Threshold2.V() })},
 		{Name: "b2Threshold1", Category: CatRadioEval, Message: "event B2", UsedFor: "reporting",
-			Extract: extractEvent(EventB2, func(e EventConfig) float64 { return e.Threshold1 })},
+			Extract: extractEvent(EventB2, func(e EventConfig) float64 { return e.Threshold1.V() })},
 	}
 	return ps
 }
@@ -284,36 +284,36 @@ func lteCatalog() []ParamDescriptor {
 func umtsCatalog() []ParamDescriptor {
 	ps := []ParamDescriptor{
 		{Name: "qHyst1s", Category: CatRadioEval, Message: "SIB3", UsedFor: "decision",
-			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QHyst })},
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QHyst.V() })},
 		{Name: "qHyst2s", Category: CatRadioEval, Message: "SIB3", UsedFor: "decision"},
 		{Name: "sIntrasearch", Category: CatRadioEval, Message: "SIB3", UsedFor: "measurement",
-			Extract: extractServing(func(s ServingCellConfig) float64 { return s.SIntraSearch })},
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.SIntraSearch.V() })},
 		{Name: "sIntersearch", Category: CatRadioEval, Message: "SIB3", UsedFor: "measurement",
-			Extract: extractServing(func(s ServingCellConfig) float64 { return s.SNonIntraSearch })},
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.SNonIntraSearch.V() })},
 		{Name: "sSearchRAT", Category: CatRadioEval, Message: "SIB3", UsedFor: "measurement",
-			Extract: extractServing(func(s ServingCellConfig) float64 { return s.SNonIntraSearchQ })},
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.SNonIntraSearchQ.V() })},
 		{Name: "qRxLevMin", Category: CatRadioEval, Message: "SIB3", UsedFor: "calibration",
-			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QRxLevMin })},
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QRxLevMin.V() })},
 		{Name: "qQualMin", Category: CatRadioEval, Message: "SIB3", UsedFor: "calibration",
-			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QQualMin })},
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QQualMin.V() })},
 		{Name: "tReselectionS", Category: CatTimer, Message: "SIB3", UsedFor: "decision",
 			Extract: extractServing(func(s ServingCellConfig) float64 { return float64(s.TReselectionSec) })},
 		{Name: "cellReselectionPriority", Category: CatCellPriority, Message: "SIB19", UsedFor: "decision",
 			Extract: extractServing(func(s ServingCellConfig) float64 { return float64(s.Priority) })},
 		{Name: "threshServingLow", Category: CatRadioEval, Message: "SIB19", UsedFor: "decision",
-			Extract: extractServing(func(s ServingCellConfig) float64 { return s.ThreshServingLow })},
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.ThreshServingLow.V() })},
 		{Name: "eutraPriority", Category: CatCellPriority, Message: "SIB19", UsedFor: "decision",
 			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return float64(f.Priority) })},
 		{Name: "eutraThreshHigh", Category: CatRadioEval, Message: "SIB19", UsedFor: "decision",
-			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return f.ThreshHigh })},
+			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return f.ThreshHigh.V() })},
 		{Name: "eutraThreshLow", Category: CatRadioEval, Message: "SIB19", UsedFor: "decision",
-			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return f.ThreshLow })},
+			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return f.ThreshLow.V() })},
 		{Name: "eutraQRxLevMin", Category: CatRadioEval, Message: "SIB19", UsedFor: "calibration",
-			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return f.QRxLevMin })},
+			Extract: extractFreq(isRAT(RATLTE), func(f FreqRelation) float64 { return f.QRxLevMin.V() })},
 		{Name: "interFreqCarrier", Category: CatMisc, Message: "SIB11", UsedFor: "measurement",
 			Extract: extractFreq(isRAT(RATUMTS), func(f FreqRelation) float64 { return float64(f.EARFCN) })},
 		{Name: "interFreqQOffset", Category: CatRadioEval, Message: "SIB11", UsedFor: "decision",
-			Extract: extractFreq(isRAT(RATUMTS), func(f FreqRelation) float64 { return f.QOffsetFreq })},
+			Extract: extractFreq(isRAT(RATUMTS), func(f FreqRelation) float64 { return f.QOffsetFreq.V() })},
 	}
 	// HCS block (8): standardized, legacy, unobserved.
 	for _, n := range []string{"hcsPrio", "qHCS", "tCRMax", "nCR", "tCRMaxHyst", "penaltyTime", "temporaryOffset1", "temporaryOffset2"} {
@@ -341,12 +341,12 @@ func umtsCatalog() []ParamDescriptor {
 func gsmCatalog() []ParamDescriptor {
 	return []ParamDescriptor{
 		{Name: "cellReselectHysteresis", Category: CatRadioEval, Message: "SI3", UsedFor: "decision",
-			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QHyst })},
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QHyst.V() })},
 		{Name: "rxLevAccessMin", Category: CatRadioEval, Message: "SI3", UsedFor: "calibration",
-			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QRxLevMin })},
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QRxLevMin.V() })},
 		{Name: "msTxPwrMaxCCH", Category: CatMisc, Message: "SI3", UsedFor: "calibration"},
 		{Name: "cellReselectOffset", Category: CatRadioEval, Message: "SI4", UsedFor: "decision",
-			Extract: extractServing(func(s ServingCellConfig) float64 { return s.ThreshServingLow })},
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.ThreshServingLow.V() })},
 		{Name: "temporaryOffset", Category: CatRadioEval, Message: "SI4", UsedFor: "decision"},
 		{Name: "penaltyTime", Category: CatTimer, Message: "SI4", UsedFor: "decision"},
 		{Name: "cellBarQualify", Category: CatMisc, Message: "SI4", UsedFor: "decision"},
@@ -361,13 +361,13 @@ func gsmCatalog() []ParamDescriptor {
 func evdoCatalog() []ParamDescriptor {
 	ps := []ParamDescriptor{
 		{Name: "pilotAdd", Category: CatRadioEval, Message: "SectorParameters", UsedFor: "decision",
-			Extract: extractServing(func(s ServingCellConfig) float64 { return s.ThreshServingLow })},
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.ThreshServingLow.V() })},
 		{Name: "pilotDrop", Category: CatRadioEval, Message: "SectorParameters", UsedFor: "decision",
-			Extract: extractServing(func(s ServingCellConfig) float64 { return s.SIntraSearch })},
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.SIntraSearch.V() })},
 		{Name: "pilotDropTimer", Category: CatTimer, Message: "SectorParameters", UsedFor: "decision",
 			Extract: extractServing(func(s ServingCellConfig) float64 { return float64(s.TReselectionSec) })},
 		{Name: "pilotCompare", Category: CatRadioEval, Message: "SectorParameters", UsedFor: "decision",
-			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QHyst })},
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QHyst.V() })},
 		{Name: "pilotIncrement", Category: CatMisc, Message: "SectorParameters", UsedFor: "measurement"},
 	}
 	for _, n := range []string{"searchWindowActive", "searchWindowNeighbor", "searchWindowRemaining",
@@ -381,11 +381,11 @@ func evdoCatalog() []ParamDescriptor {
 func cdma1xCatalog() []ParamDescriptor {
 	return []ParamDescriptor{
 		{Name: "tAdd", Category: CatRadioEval, Message: "SystemParameters", UsedFor: "decision",
-			Extract: extractServing(func(s ServingCellConfig) float64 { return s.ThreshServingLow })},
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.ThreshServingLow.V() })},
 		{Name: "tDrop", Category: CatRadioEval, Message: "SystemParameters", UsedFor: "decision",
-			Extract: extractServing(func(s ServingCellConfig) float64 { return s.SIntraSearch })},
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.SIntraSearch.V() })},
 		{Name: "tComp", Category: CatRadioEval, Message: "SystemParameters", UsedFor: "decision",
-			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QHyst })},
+			Extract: extractServing(func(s ServingCellConfig) float64 { return s.QHyst.V() })},
 		{Name: "tTDrop", Category: CatTimer, Message: "SystemParameters", UsedFor: "decision",
 			Extract: extractServing(func(s ServingCellConfig) float64 { return float64(s.TReselectionSec) })},
 	}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"mmlab/internal/units"
 )
 
 // CellIdentity names a cell uniquely within a carrier and carries the two
@@ -27,24 +29,24 @@ func (id CellIdentity) String() string {
 type ServingCellConfig struct {
 	Priority int // Ps: cell-reselection priority, 0..7, 7 most preferred
 
-	QHyst float64 // Hs: hysteresis added to the serving cell's rank (dB)
+	QHyst units.Db // Hs: hysteresis added to the serving cell's rank
 
 	// Measurement-triggering thresholds (Eq. 1): intra-frequency neighbor
 	// measurement starts when rS ≤ Δmin + Θintra, non-intra-frequency
 	// measurement when rS ≤ Δmin + Θnonintra. Values are in dB above
 	// QRxLevMin, 0..62.
-	SIntraSearch     float64 // Θintra (RSRP leg)
-	SIntraSearchQ    float64 // Θintra,rsrq (dB above QQualMin)
-	SNonIntraSearch  float64 // Θnonintra (RSRP leg)
-	SNonIntraSearchQ float64 // Θnonintra,rsrq
+	SIntraSearch     units.Db // Θintra (RSRP leg)
+	SIntraSearchQ    units.Db // Θintra,rsrq (dB above QQualMin)
+	SNonIntraSearch  units.Db // Θnonintra (RSRP leg)
+	SNonIntraSearchQ units.Db // Θnonintra,rsrq
 
-	QRxLevMin float64 // Δmin: minimum required RSRP (dBm); calibration level
-	QQualMin  float64 // Δmin,rsrq: minimum required RSRQ (dB)
+	QRxLevMin units.Dbm // Δmin: minimum required RSRP; calibration level
+	QQualMin  units.Db  // Δmin,rsrq: minimum required RSRQ
 
 	// Decision thresholds for leaving toward a lower-priority layer
 	// (Eq. 3 case 3): serving must be below Δmin + ThreshServingLow.
-	ThreshServingLow  float64 // Θ(s)lower, dB above QRxLevMin
-	ThreshServingLowQ float64 // RSRQ leg
+	ThreshServingLow  units.Db // Θ(s)lower, dB above QRxLevMin
+	ThreshServingLowQ units.Db // RSRQ leg
 
 	TReselectionSec int // Treselect: seconds a ranking must hold (Tdecision for idle)
 
@@ -72,9 +74,9 @@ type SpeedScaling struct {
 	// Treselection scaling factors in {0.25, 0.5, 0.75, 1.0}.
 	TReselectionSFMedium float64
 	TReselectionSFHigh   float64
-	// QHyst additive deltas in dB, −6..0.
-	QHystSFMedium float64
-	QHystSFHigh   float64
+	// QHyst additive deltas, −6..0 dB.
+	QHystSFMedium units.Db
+	QHystSFHigh   units.Db
 }
 
 // Validate checks the speed-scaling block against TS 36.304 domains.
@@ -112,11 +114,11 @@ type FreqRelation struct {
 
 	Priority int // Pc (per-frequency P_freq)
 
-	ThreshHigh float64 // Θ(c)higher: entry level toward a higher-priority layer (dB above that layer's Δmin)
-	ThreshLow  float64 // Θ(c)lower: entry level toward a lower-priority layer
+	ThreshHigh units.Db // Θ(c)higher: entry level toward a higher-priority layer (dB above that layer's Δmin)
+	ThreshLow  units.Db // Θ(c)lower: entry level toward a lower-priority layer
 
-	QRxLevMin   float64 // Δmin for cells on this frequency (dBm)
-	QOffsetFreq float64 // Δfreq: frequency-specific rank offset for equal priority (dB)
+	QRxLevMin   units.Dbm // Δmin for cells on this frequency
+	QOffsetFreq units.Db  // Δfreq: frequency-specific rank offset for equal priority
 
 	TReselectionSec  int
 	MeasBandwidthRBs int // maximum measurement bandwidth (resource blocks)
@@ -131,17 +133,19 @@ type EventConfig struct {
 
 	// Threshold1 applies to the serving cell (A1, A2, and the first leg of
 	// A5/B2); Threshold2 to the neighbor (A4, second leg of A5/B2, B1).
-	// Absolute values: dBm for RSRP, dB for RSRQ.
-	Threshold1 float64
-	Threshold2 float64
+	// Absolute values on the level axis: dBm for RSRP; an RSRQ-quantity
+	// event's dB threshold rides the same axis via units.LevelFromDb,
+	// mirroring the TS 36.331 threshold IE CHOICE.
+	Threshold1 units.Dbm
+	Threshold2 units.Dbm
 
-	Offset     float64 // Δe: relative offset for A3/A6 (dB)
-	Hysteresis float64 // He (dB)
+	Offset     units.Db // Δe: relative offset for A3/A6
+	Hysteresis units.Db // He
 
-	TimeToTriggerMs  int // TreportTrigger
-	ReportIntervalMs int // TreportInterval
-	ReportAmount     int // number of periodic reports after trigger; 0 = infinity
-	MaxReportCells   int // cells per report (1..8)
+	TimeToTriggerMs  units.Millis // TreportTrigger
+	ReportIntervalMs units.Millis // TreportInterval
+	ReportAmount     int          // number of periodic reports after trigger; 0 = infinity
+	MaxReportCells   int          // cells per report (1..8)
 }
 
 // IsPeriodic reports whether this is a periodic (non-event) report config.
@@ -153,9 +157,9 @@ func (e EventConfig) IsPeriodic() bool { return e.Type == EventPeriodic }
 type MeasObject struct {
 	EARFCN      uint32
 	RAT         RAT
-	OffsetFreq  float64            // Δfreq applied to all cells on this carrier
-	CellOffsets map[uint16]float64 // Δcell, keyed by PCI
-	Blacklist   []uint16           // PCIs excluded from reporting (Listforbid)
+	OffsetFreq  units.Db            // Δfreq applied to all cells on this carrier
+	CellOffsets map[uint16]units.Db // Δcell, keyed by PCI
+	Blacklist   []uint16            // PCIs excluded from reporting (Listforbid)
 }
 
 // MeasLink ties a measurement object to a report configuration, as
@@ -172,8 +176,8 @@ type MeasConfig struct {
 	Reports map[int]EventConfig
 	Links   []MeasLink
 
-	FilterK  int     // L3 filter coefficient k (quantityConfig)
-	SMeasure float64 // s-Measure: neighbor measurement gate on serving RSRP (dBm); 0 = disabled
+	FilterK  int       // L3 filter coefficient k (quantityConfig)
+	SMeasure units.Dbm // s-Measure: neighbor measurement gate on serving RSRP; 0 = disabled
 }
 
 // LinkedPairs returns (object, report) pairs in deterministic order.
@@ -210,7 +214,7 @@ func (m MeasConfig) LinkedPairs() []struct {
 // cells").
 type CellConfig struct {
 	Identity   CellIdentity
-	TxPowerDBm float64 // reference-signal transmit power
+	TxPowerDBm units.Dbm // reference-signal transmit power
 
 	Serving ServingCellConfig
 	Freqs   []FreqRelation // candidate frequencies (SIB5/6/7/8)
@@ -248,7 +252,7 @@ func (s ServingCellConfig) Validate() error {
 	// returned error must name the same one on every run.
 	for _, f := range []struct {
 		name string
-		v    float64
+		v    units.Db
 	}{
 		{"sIntraSearch", s.SIntraSearch},
 		{"sIntraSearchQ", s.SIntraSearchQ},
@@ -318,7 +322,7 @@ func (e EventConfig) Validate() error {
 	if e.Offset < -15 || e.Offset > 15 {
 		return fmt.Errorf("%w: offset=%g", ErrThresholdRange, e.Offset)
 	}
-	check := func(v float64) bool {
+	check := func(v units.Dbm) bool {
 		if e.Quantity == RSRP {
 			return v >= -140 && v <= -44
 		}

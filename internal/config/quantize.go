@@ -1,5 +1,7 @@
 package config
 
+import "mmlab/internal/units"
+
 // 3GPP broadcasts most dB-valued parameters in coarse steps; working with
 // the quantized grids keeps our synthetic configurations shaped like the
 // paper's observed ones (discrete "options", Figs. 5, 14) and makes the
@@ -27,9 +29,9 @@ func NearestTimeToTrigger(ms int) int {
 }
 
 // ValidTimeToTrigger reports whether ms is in the legal set.
-func ValidTimeToTrigger(ms int) bool {
+func ValidTimeToTrigger(ms units.Millis) bool {
 	for _, v := range timeToTriggerMs {
-		if v == ms {
+		if units.Millis(v) == ms {
 			return true
 		}
 	}
@@ -45,9 +47,9 @@ func ReportIntervalValues() []int {
 }
 
 // ValidReportInterval reports whether ms is a legal report interval.
-func ValidReportInterval(ms int) bool {
+func ValidReportInterval(ms units.Millis) bool {
 	for _, v := range reportIntervalMs {
-		if v == ms {
+		if units.Millis(v) == ms {
 			return true
 		}
 	}
@@ -56,52 +58,52 @@ func ValidReportInterval(ms int) bool {
 
 // QuantizeHysteresis rounds a hysteresis in dB to the 0.5 dB grid of
 // TS 36.331 (hysteresis ∈ 0..30 half-dB) and clamps to [0, 15] dB.
-func QuantizeHysteresis(db float64) float64 {
-	return clampF(roundHalf(db), 0, 15)
+func QuantizeHysteresis(db units.Db) units.Db {
+	return units.Db(clampF(roundHalf(db.V()), 0, 15))
 }
 
 // QuantizeOffset rounds an event offset (a3-Offset etc.) to the 0.5 dB grid
 // and clamps to [−15, 15] dB.
-func QuantizeOffset(db float64) float64 {
-	return clampF(roundHalf(db), -15, 15)
+func QuantizeOffset(db units.Db) units.Db {
+	return units.Db(clampF(roundHalf(db.V()), -15, 15))
 }
 
 // QuantizeQHyst rounds the reselection hysteresis q-Hyst to the nearest
 // legal value of TS 36.304 {0,1,2,3,4,5,6,8,10,12,14,16,18,20,22,24} dB.
-func QuantizeQHyst(db float64) float64 {
+func QuantizeQHyst(db units.Db) units.Db {
 	legal := []float64{0, 1, 2, 3, 4, 5, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24}
-	best, bestDiff := legal[0], absF(db-legal[0])
+	best, bestDiff := legal[0], absF(db.V()-legal[0])
 	for _, v := range legal[1:] {
-		if d := absF(db - v); d < bestDiff {
+		if d := absF(db.V() - v); d < bestDiff {
 			best, bestDiff = v, d
 		}
 	}
-	return best
+	return units.Db(best)
 }
 
 // QuantizeRxLevMin rounds q-RxLevMin (Δmin in the paper) to the 2 dB grid
 // and clamps to [−140, −44] dBm (field is −70..−22 in 2 dB units).
-func QuantizeRxLevMin(dbm float64) float64 {
-	return clampF(2*round(dbm/2), -140, -44)
+func QuantizeRxLevMin(dbm units.Dbm) units.Dbm {
+	return units.Dbm(clampF(2*round(dbm.V()/2), -140, -44))
 }
 
 // QuantizeSearchThresh rounds a reselection search/decision threshold
 // (s-IntraSearch, s-NonIntraSearch, threshServingLow, threshX-High/Low) to
 // the 2 dB grid and clamps to [0, 62] dB per TS 36.331 (0..31 in 2 dB).
-func QuantizeSearchThresh(db float64) float64 {
-	return clampF(2*round(db/2), 0, 62)
+func QuantizeSearchThresh(db units.Db) units.Db {
+	return units.Db(clampF(2*round(db.V()/2), 0, 62))
 }
 
 // QuantizeEventRSRPThreshold rounds an absolute RSRP event threshold to the
 // 1 dB reporting grid [−140, −44] dBm.
-func QuantizeEventRSRPThreshold(dbm float64) float64 {
-	return clampF(round(dbm), -140, -44)
+func QuantizeEventRSRPThreshold(dbm units.Dbm) units.Dbm {
+	return units.Dbm(clampF(round(dbm.V()), -140, -44))
 }
 
 // QuantizeEventRSRQThreshold rounds an absolute RSRQ event threshold to the
 // 0.5 dB reporting grid [−19.5, −3] dB.
-func QuantizeEventRSRQThreshold(db float64) float64 {
-	return clampF(roundHalf(db), -19.5, -3)
+func QuantizeEventRSRQThreshold(db units.Db) units.Db {
+	return units.Db(clampF(roundHalf(db.V()), -19.5, -3))
 }
 
 // ClampPriority clamps a cell-reselection priority to 0..7 (paper Table 2:

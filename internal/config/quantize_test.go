@@ -3,6 +3,8 @@ package config
 import (
 	"testing"
 	"testing/quick"
+
+	"mmlab/internal/units"
 )
 
 func TestTimeToTriggerSet(t *testing.T) {
@@ -12,7 +14,7 @@ func TestTimeToTriggerSet(t *testing.T) {
 	}
 	// Paper Fig. 14: observed TreportTrigger spans [40, 1280] ms — both ends
 	// must be legal values.
-	for _, v := range []int{0, 40, 1280, 5120} {
+	for _, v := range []units.Millis{0, 40, 1280, 5120} {
 		if !ValidTimeToTrigger(v) {
 			t.Errorf("%d ms should be a legal TTT", v)
 		}
@@ -39,7 +41,7 @@ func TestNearestTimeToTrigger(t *testing.T) {
 }
 
 func TestNearestTimeToTriggerAlwaysLegal(t *testing.T) {
-	f := func(ms int16) bool { return ValidTimeToTrigger(NearestTimeToTrigger(int(ms))) }
+	f := func(ms int16) bool { return ValidTimeToTrigger(units.Millis(NearestTimeToTrigger(int(ms)))) }
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
 	}
@@ -60,7 +62,7 @@ func TestReportIntervals(t *testing.T) {
 }
 
 func TestQuantizeHysteresis(t *testing.T) {
-	tests := []struct{ in, want float64 }{
+	tests := []struct{ in, want units.Db }{
 		{0, 0}, {1.2, 1}, {1.3, 1.5}, {2.75, 3}, {-2, 0}, {20, 15}, {4.5, 4.5},
 	}
 	for _, tt := range tests {
@@ -71,7 +73,7 @@ func TestQuantizeHysteresis(t *testing.T) {
 }
 
 func TestQuantizeOffset(t *testing.T) {
-	tests := []struct{ in, want float64 }{
+	tests := []struct{ in, want units.Db }{
 		{-1, -1}, {-1.2, -1}, {3.3, 3.5}, {-20, -15}, {20, 15}, {0, 0},
 	}
 	for _, tt := range tests {
@@ -96,7 +98,7 @@ func TestQuantizeQHyst(t *testing.T) {
 }
 
 func TestQuantizeRxLevMin(t *testing.T) {
-	tests := []struct{ in, want float64 }{
+	tests := []struct{ in, want units.Dbm }{
 		{-122, -122}, {-121, -122}, {-121.5, -122}, {-44, -44}, {-200, -140}, {0, -44},
 	}
 	for _, tt := range tests {
@@ -117,8 +119,8 @@ func TestQuantizeRxLevMin(t *testing.T) {
 
 func TestQuantizeRxLevMinGrid(t *testing.T) {
 	f := func(raw int16) bool {
-		v := QuantizeRxLevMin(float64(raw) / 50)
-		return v >= -140 && v <= -44 && v == 2*float64(int(v/2))
+		v := QuantizeRxLevMin(units.Dbm(float64(raw) / 50))
+		return v >= -140 && v <= -44 && v.V() == 2*float64(int(v.V()/2))
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

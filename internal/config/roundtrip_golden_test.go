@@ -1,0 +1,201 @@
+package config_test
+
+// Pre-migration golden round-trip: the typed-quantity migration
+// (internal/units) is required to be a compile-time-only change, so the
+// JSON serialization of a fully-populated CellConfig, the exact error
+// strings Validate produces for each out-of-domain parameter, and the
+// quantizer outputs are pinned against goldens generated from the
+// pre-migration float64/int representation. If a unit type ever grows a
+// String/MarshalJSON method, or a migration reorders an arithmetic
+// expression, this test fails before any campaign artifact moves.
+//
+// Regenerate (only when adding NEW cases, never to absorb a diff):
+//
+//	UPDATE_GOLDEN=1 go test ./internal/config -run TestPreMigrationGolden
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mmlab/internal/config"
+	"mmlab/internal/units"
+)
+
+// fixtureCell is a CellConfig touching every unit-typed field with
+// fractional-dB values, so formatting differences cannot hide.
+func fixtureCell() config.CellConfig {
+	return config.CellConfig{
+		Identity:   config.CellIdentity{CellID: 311, PCI: 42, EARFCN: 5780, RAT: config.RATLTE},
+		TxPowerDBm: 15.5,
+		Serving: config.ServingCellConfig{
+			Priority:         5,
+			QHyst:            4,
+			SIntraSearch:     46,
+			SIntraSearchQ:    6,
+			SNonIntraSearch:  10,
+			SNonIntraSearchQ: 4,
+			QRxLevMin:        -124,
+			QQualMin:         -18,
+			ThreshServingLow: 12, ThreshServingLowQ: 4,
+			TReselectionSec: 2,
+			THigherMeasSec:  60,
+			SpeedScaling: config.SpeedScaling{
+				Enabled:           true,
+				NCellChangeMedium: 6, NCellChangeHigh: 10,
+				TEvaluationSec: 60, THystNormalSec: 30,
+				TReselectionSFMedium: 0.75, TReselectionSFHigh: 0.5,
+				QHystSFMedium: -2, QHystSFHigh: -4,
+			},
+		},
+		Freqs: []config.FreqRelation{
+			{EARFCN: 2050, RAT: config.RATLTE, Priority: 6, ThreshHigh: 8, ThreshLow: 4,
+				QRxLevMin: -122, QOffsetFreq: 2.5, TReselectionSec: 1, MeasBandwidthRBs: 100},
+			{EARFCN: 10562, RAT: config.RATUMTS, Priority: 3, ThreshHigh: 10, ThreshLow: 6,
+				QRxLevMin: -115, QOffsetFreq: -1.5, TReselectionSec: 2, MeasBandwidthRBs: 50},
+		},
+		Meas: config.MeasConfig{
+			Objects: map[int]config.MeasObject{
+				1: {EARFCN: 5780, RAT: config.RATLTE, OffsetFreq: 1,
+					CellOffsets: map[uint16]units.Db{7: -2, 12: 3.5}, Blacklist: []uint16{99}},
+				2: {EARFCN: 2050, RAT: config.RATLTE, OffsetFreq: -2},
+			},
+			Reports: map[int]config.EventConfig{
+				1: {Type: config.EventA3, Quantity: config.RSRP, Offset: 2.5, Hysteresis: 1.5,
+					TimeToTriggerMs: 320, ReportIntervalMs: 480, ReportAmount: 4, MaxReportCells: 4},
+				2: {Type: config.EventA5, Quantity: config.RSRP, Threshold1: -110.5, Threshold2: -104,
+					Hysteresis: 2, TimeToTriggerMs: 640, ReportIntervalMs: 1024, MaxReportCells: 8},
+				3: {Type: config.EventA2, Quantity: config.RSRQ, Threshold1: -17.5,
+					Hysteresis: 0.5, TimeToTriggerMs: 100, ReportIntervalMs: 240, MaxReportCells: 2},
+			},
+			Links: []config.MeasLink{
+				{ObjectID: 1, ReportID: 1},
+				{ObjectID: 1, ReportID: 2},
+				{ObjectID: 2, ReportID: 3},
+			},
+			FilterK:  4,
+			SMeasure: -106,
+		},
+		ForbiddenCells: []uint32{1001, 1002},
+	}
+}
+
+// brokenCases mutates the fixture one domain violation at a time; each
+// case's Validate error string is pinned.
+func brokenCases() []struct {
+	name string
+	mut  func(*config.CellConfig)
+} {
+	return []struct {
+		name string
+		mut  func(*config.CellConfig)
+	}{
+		{"priority", func(c *config.CellConfig) { c.Serving.Priority = 9 }},
+		{"sIntraSearch", func(c *config.CellConfig) { c.Serving.SIntraSearch = 63.5 }},
+		{"qRxLevMin", func(c *config.CellConfig) { c.Serving.QRxLevMin = -141.5 }},
+		{"qHyst", func(c *config.CellConfig) { c.Serving.QHyst = 24.5 }},
+		{"tReselection", func(c *config.CellConfig) { c.Serving.TReselectionSec = 8 }},
+		{"speedNCell", func(c *config.CellConfig) { c.Serving.SpeedScaling.NCellChangeMedium = 0 }},
+		{"speedSF", func(c *config.CellConfig) { c.Serving.SpeedScaling.TReselectionSFHigh = 0.6 }},
+		{"speedQHystSF", func(c *config.CellConfig) { c.Serving.SpeedScaling.QHystSFHigh = -6.5 }},
+		{"freqThresh", func(c *config.CellConfig) { c.Freqs[0].ThreshHigh = 63 }},
+		{"freqQRxLevMin", func(c *config.CellConfig) { c.Freqs[1].QRxLevMin = -20.5 }},
+		{"eventHysteresis", func(c *config.CellConfig) {
+			r := c.Meas.Reports[1]
+			r.Hysteresis = 15.5
+			c.Meas.Reports[1] = r
+		}},
+		{"eventOffset", func(c *config.CellConfig) {
+			r := c.Meas.Reports[1]
+			r.Offset = -16
+			c.Meas.Reports[1] = r
+		}},
+		{"eventTTT", func(c *config.CellConfig) {
+			r := c.Meas.Reports[1]
+			r.TimeToTriggerMs = 200
+			c.Meas.Reports[1] = r
+		}},
+		{"eventThreshRSRP", func(c *config.CellConfig) {
+			r := c.Meas.Reports[2]
+			r.Threshold2 = -141.5
+			c.Meas.Reports[2] = r
+		}},
+		{"eventThreshRSRQ", func(c *config.CellConfig) {
+			r := c.Meas.Reports[3]
+			r.Threshold1 = -2.5
+			c.Meas.Reports[3] = r
+		}},
+		{"danglingLink", func(c *config.CellConfig) {
+			c.Meas.Links = append(c.Meas.Links, config.MeasLink{ObjectID: 9, ReportID: 1})
+		}},
+	}
+}
+
+// renderGolden produces the full golden document: fixture JSON, per-case
+// Validate errors, and the quantizer grid.
+func renderGolden(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+
+	cell := fixtureCell()
+	if err := cell.Validate(); err != nil {
+		t.Fatalf("fixture must validate cleanly: %v", err)
+	}
+	data, err := json.MarshalIndent(&cell, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.WriteString("== cellconfig json ==\n")
+	sb.Write(data)
+	sb.WriteString("\n== validate errors ==\n")
+	for _, bc := range brokenCases() {
+		c := fixtureCell()
+		bc.mut(&c)
+		err := c.Validate()
+		if err == nil {
+			t.Fatalf("case %s: expected a validation error", bc.name)
+		}
+		fmt.Fprintf(&sb, "%s: %v\n", bc.name, err)
+	}
+	sb.WriteString("== quantize ==\n")
+	fmt.Fprintf(&sb, "hysteresis(3.24)=%g\n", config.QuantizeHysteresis(3.24))
+	fmt.Fprintf(&sb, "hysteresis(15.9)=%g\n", config.QuantizeHysteresis(15.9))
+	fmt.Fprintf(&sb, "offset(-3.26)=%g\n", config.QuantizeOffset(-3.26))
+	fmt.Fprintf(&sb, "offset(17)=%g\n", config.QuantizeOffset(17))
+	fmt.Fprintf(&sb, "qhyst(6.7)=%g\n", config.QuantizeQHyst(6.7))
+	fmt.Fprintf(&sb, "qhyst(23)=%g\n", config.QuantizeQHyst(23))
+	fmt.Fprintf(&sb, "rxlevmin(-123.4)=%g\n", config.QuantizeRxLevMin(-123.4))
+	fmt.Fprintf(&sb, "rxlevmin(-150)=%g\n", config.QuantizeRxLevMin(-150))
+	fmt.Fprintf(&sb, "search(45.1)=%g\n", config.QuantizeSearchThresh(45.1))
+	fmt.Fprintf(&sb, "rsrpthresh(-110.7)=%g\n", config.QuantizeEventRSRPThreshold(-110.7))
+	fmt.Fprintf(&sb, "rsrqthresh(-17.26)=%g\n", config.QuantizeEventRSRQThreshold(-17.26))
+	fmt.Fprintf(&sb, "ttt(300)=%d\n", config.NearestTimeToTrigger(300))
+	fmt.Fprintf(&sb, "ttt(5000)=%d\n", config.NearestTimeToTrigger(5000))
+	return sb.String()
+}
+
+func TestPreMigrationGolden(t *testing.T) {
+	got := renderGolden(t)
+	path := filepath.Join("testdata", "premigration_golden.txt")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (generate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("golden mismatch: config serialization/Validate output moved vs the pre-migration baseline.\n"+
+			"The units migration must be compile-time only.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"mmlab/internal/config"
 	"mmlab/internal/radio"
+	"mmlab/internal/units"
 )
 
 // ActiveMonitor is the UE side of active-state handoff (paper Fig. 1
@@ -50,14 +51,14 @@ func (m *ActiveMonitor) filter(raw RawMeas) MeasEntry {
 	}
 	return MeasEntry{
 		Cell: raw.Cell,
-		RSRP: fp.rsrp.Update(raw.RSRP),
-		RSRQ: fp.rsrq.Update(raw.RSRQ),
+		RSRP: units.Dbm(fp.rsrp.Update(raw.RSRP.V())),
+		RSRQ: units.Db(fp.rsrq.Update(raw.RSRQ.V())),
 	}
 }
 
 // measuresNeighbors applies the s-Measure gate: when set (non-zero), the
 // UE measures neighbors only while the serving RSRP is below it.
-func (m *ActiveMonitor) measuresNeighbors(servingRSRP float64) bool {
+func (m *ActiveMonitor) measuresNeighbors(servingRSRP units.Dbm) bool {
 	return m.cfg.SMeasure == 0 || servingRSRP < m.cfg.SMeasure
 }
 

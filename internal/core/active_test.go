@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"mmlab/internal/config"
+	"mmlab/internal/units"
 )
 
 func monitorConfig(primary config.EventConfig) config.MeasConfig {
@@ -19,7 +20,7 @@ func monitorConfig(primary config.EventConfig) config.MeasConfig {
 	}
 }
 
-func a3Primary(offset float64) config.EventConfig {
+func a3Primary(offset units.Db) config.EventConfig {
 	return config.EventConfig{
 		Type: config.EventA3, Quantity: config.RSRP, Offset: offset, Hysteresis: 1,
 		TimeToTriggerMs: 0, ReportIntervalMs: 240, MaxReportCells: 4,
@@ -85,7 +86,7 @@ func TestActiveMonitorL3FilterSmoothsJitter(t *testing.T) {
 	// which does not clear rs(−100)+Δ(3)+H(1).
 	fired := false
 	for ts := Clock(0); ts <= 4000; ts += 40 {
-		r := -108.0
+		r := units.Dbm(-108)
 		if (ts/40)%2 == 0 {
 			r = -90
 		}

@@ -4,6 +4,7 @@ import (
 	"hash/fnv"
 
 	"mmlab/internal/config"
+	"mmlab/internal/units"
 )
 
 // Decision is the network's response to a measurement report.
@@ -26,14 +27,14 @@ type Decider struct {
 	serving *config.CellConfig
 
 	// PeriodicMargin is the proprietary vendor margin for periodic-report
-	// decisions (dB).
-	PeriodicMargin float64
+	// decisions.
+	PeriodicMargin units.Db
 	// A2Emergency is the serving RSRP below which an A2 report triggers a
 	// rescue redirection (dBm). A2 alone "should not trigger a handoff
 	// unless there is a strong candidate cell" (§4.1); real networks use
 	// it to salvage a dying link, which is why A2-decisive handoffs are
 	// rare (1.7 % in AT&T, Fig. 5a).
-	A2Emergency float64
+	A2Emergency units.Dbm
 
 	// SanityMargin guards absolute-threshold events (A4/A5/B1/B2): the
 	// target may be up to this many dB weaker than the serving cell but no
@@ -42,16 +43,16 @@ type Decider struct {
 	// (§2.2 citing [22]); without this guard, AT&T's ΘA5,S = −44 setting
 	// would hand off to arbitrarily weak cells in loops. The margin still
 	// lets ~half of A5 handoffs land on weaker cells (Fig. 6).
-	SanityMargin float64
+	SanityMargin units.Db
 }
 
 // NewDecider builds the decision logic for a serving cell.
 func NewDecider(serving *config.CellConfig) *Decider {
 	return &Decider{
 		serving:        serving,
-		PeriodicMargin: 2,
-		A2Emergency:    -126,
-		SanityMargin:   6,
+		PeriodicMargin: units.Db(2),
+		A2Emergency:    units.Dbm(-126),
+		SanityMargin:   units.Db(6),
 	}
 }
 
@@ -92,7 +93,7 @@ func (d *Decider) OnReport(rep Report) Decision {
 			if d.forbidden(n.Cell) {
 				continue
 			}
-			if n.value(rep.Quantity) > rep.Serving.value(rep.Quantity)-d.SanityMargin {
+			if n.value(rep.Quantity) > rep.Serving.value(rep.Quantity).SubDb(d.SanityMargin) {
 				eligible = append(eligible, n)
 			}
 		}
@@ -105,7 +106,7 @@ func (d *Decider) OnReport(rep Report) Decision {
 			if d.forbidden(n.Cell) {
 				continue
 			}
-			if n.value(rep.Quantity) > rep.Serving.value(rep.Quantity)+d.PeriodicMargin {
+			if n.value(rep.Quantity) > rep.Serving.value(rep.Quantity).Add(d.PeriodicMargin) {
 				target = n
 				break
 			}

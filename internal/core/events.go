@@ -1,6 +1,9 @@
 package core
 
-import "mmlab/internal/config"
+import (
+	"mmlab/internal/config"
+	"mmlab/internal/units"
+)
 
 // eventState tracks one reporting configuration's trigger machinery for
 // one measurement link: per-cell time-to-trigger timers, the triggered
@@ -34,7 +37,7 @@ func newEventState(measID int, obj config.MeasObject, ev config.EventConfig) *ev
 
 // cellOffset returns Δcell + Δfreq for a neighbor under this measurement
 // object (Table 2's ∆equal family: ∆s,n, ∆freq, ∆cell).
-func (s *eventState) cellOffset(cell config.CellIdentity) float64 {
+func (s *eventState) cellOffset(cell config.CellIdentity) units.Db {
 	off := s.obj.OffsetFreq
 	if v, ok := s.obj.CellOffsets[cell.PCI]; ok {
 		off += v
@@ -63,21 +66,21 @@ func (s *eventState) blacklisted(cell config.CellIdentity) bool {
 func (s *eventState) entering(serving MeasEntry, n *MeasEntry) bool {
 	ev := s.ev
 	rs := serving.value(ev.Quantity)
-	var rn float64
+	var rn units.Dbm
 	if n != nil {
-		rn = n.value(ev.Quantity) + s.cellOffset(n.Cell)
+		rn = n.value(ev.Quantity).Add(s.cellOffset(n.Cell))
 	}
 	switch ev.Type {
 	case config.EventA1:
-		return rs-ev.Hysteresis > ev.Threshold1
+		return rs.SubDb(ev.Hysteresis) > ev.Threshold1
 	case config.EventA2:
-		return rs+ev.Hysteresis < ev.Threshold1
+		return rs.Add(ev.Hysteresis) < ev.Threshold1
 	case config.EventA3, config.EventA6:
-		return n != nil && rn > rs+ev.Offset+ev.Hysteresis
+		return n != nil && rn > rs.Add(ev.Offset).Add(ev.Hysteresis)
 	case config.EventA4, config.EventB1, config.EventC1:
-		return n != nil && rn-ev.Hysteresis > ev.Threshold2
+		return n != nil && rn.SubDb(ev.Hysteresis) > ev.Threshold2
 	case config.EventA5, config.EventB2:
-		return n != nil && rs+ev.Hysteresis < ev.Threshold1 && rn-ev.Hysteresis > ev.Threshold2
+		return n != nil && rs.Add(ev.Hysteresis) < ev.Threshold1 && rn.SubDb(ev.Hysteresis) > ev.Threshold2
 	default:
 		return false
 	}
@@ -88,21 +91,21 @@ func (s *eventState) entering(serving MeasEntry, n *MeasEntry) bool {
 func (s *eventState) leaving(serving MeasEntry, n *MeasEntry) bool {
 	ev := s.ev
 	rs := serving.value(ev.Quantity)
-	var rn float64
+	var rn units.Dbm
 	if n != nil {
-		rn = n.value(ev.Quantity) + s.cellOffset(n.Cell)
+		rn = n.value(ev.Quantity).Add(s.cellOffset(n.Cell))
 	}
 	switch ev.Type {
 	case config.EventA1:
-		return rs+ev.Hysteresis < ev.Threshold1
+		return rs.Add(ev.Hysteresis) < ev.Threshold1
 	case config.EventA2:
-		return rs-ev.Hysteresis > ev.Threshold1
+		return rs.SubDb(ev.Hysteresis) > ev.Threshold1
 	case config.EventA3, config.EventA6:
-		return n == nil || rn < rs+ev.Offset-ev.Hysteresis
+		return n == nil || rn < rs.Add(ev.Offset).SubDb(ev.Hysteresis)
 	case config.EventA4, config.EventB1, config.EventC1:
-		return n == nil || rn+ev.Hysteresis < ev.Threshold2
+		return n == nil || rn.Add(ev.Hysteresis) < ev.Threshold2
 	case config.EventA5, config.EventB2:
-		return n == nil || rs-ev.Hysteresis > ev.Threshold1 || rn+ev.Hysteresis < ev.Threshold2
+		return n == nil || rs.SubDb(ev.Hysteresis) > ev.Threshold1 || rn.Add(ev.Hysteresis) < ev.Threshold2
 	default:
 		return true
 	}
@@ -147,7 +150,7 @@ func (s *eventState) step(t Clock, serving MeasEntry, neighbors []MeasEntry) *Re
 			if _, ok := s.enterSince[key]; !ok {
 				s.enterSince[key] = t
 			}
-			if t-s.enterSince[key] >= Clock(ev.TimeToTriggerMs) {
+			if t-s.enterSince[key] >= Clock(ev.TimeToTriggerMs.V()) {
 				s.triggered[key] = true
 			}
 		} else {
@@ -203,7 +206,7 @@ func (s *eventState) step(t Clock, serving MeasEntry, neighbors []MeasEntry) *Re
 		return nil
 	}
 	s.reportsSent++
-	s.nextReport = t + Clock(ev.ReportIntervalMs)
+	s.nextReport = t + Clock(ev.ReportIntervalMs.V())
 
 	rep := &Report{
 		Time:     t,
@@ -234,13 +237,13 @@ func (s *eventState) step(t Clock, serving MeasEntry, neighbors []MeasEntry) *Re
 func (s *eventState) stepPeriodic(t Clock, serving MeasEntry, neighbors []MeasEntry) *Report {
 	if !s.active {
 		s.active = true
-		s.nextReport = t + Clock(s.ev.ReportIntervalMs)
+		s.nextReport = t + Clock(s.ev.ReportIntervalMs.V())
 		return nil
 	}
 	if t < s.nextReport {
 		return nil
 	}
-	s.nextReport = t + Clock(s.ev.ReportIntervalMs)
+	s.nextReport = t + Clock(s.ev.ReportIntervalMs.V())
 	var cand []MeasEntry
 	for _, n := range neighbors {
 		if n.Cell.EARFCN != s.obj.EARFCN || n.Cell.RAT != s.obj.RAT || s.blacklisted(n.Cell) {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"mmlab/internal/config"
+	"mmlab/internal/units"
 )
 
 var (
@@ -17,11 +18,11 @@ func lteObj() config.MeasObject {
 	return config.MeasObject{EARFCN: 5780, RAT: config.RATLTE}
 }
 
-func sv(rsrp float64) MeasEntry {
+func sv(rsrp units.Dbm) MeasEntry {
 	return MeasEntry{Cell: servingID, RSRP: rsrp, RSRQ: -10}
 }
 
-func nb(id config.CellIdentity, rsrp float64) MeasEntry {
+func nb(id config.CellIdentity, rsrp units.Dbm) MeasEntry {
 	return MeasEntry{Cell: id, RSRP: rsrp, RSRQ: -10}
 }
 
@@ -249,7 +250,7 @@ func TestBlacklistExcludesCell(t *testing.T) {
 func TestCellOffsetApplied(t *testing.T) {
 	obj := lteObj()
 	obj.OffsetFreq = 2
-	obj.CellOffsets = map[uint16]float64{neighborID.PCI: 3}
+	obj.CellOffsets = map[uint16]units.Db{neighborID.PCI: 3}
 	s := newEventState(1, obj, config.EventConfig{
 		Type: config.EventA3, Quantity: config.RSRP, Offset: 3, Hysteresis: 0,
 		TimeToTriggerMs: 0, ReportIntervalMs: 240, MaxReportCells: 4,

@@ -1,6 +1,9 @@
 package core
 
-import "mmlab/internal/config"
+import (
+	"mmlab/internal/config"
+	"mmlab/internal/units"
+)
 
 // MeasNeed says which neighbor measurements the idle UE must run at the
 // current serving level, per the paper's Eq. 1 gating: intra-frequency
@@ -14,8 +17,8 @@ type MeasNeed struct {
 }
 
 // MeasurementNeed evaluates Eq. 1 for a serving cell configuration.
-func MeasurementNeed(s config.ServingCellConfig, servingRSRP float64) MeasNeed {
-	srxlev := servingRSRP - s.QRxLevMin // the paper's calibrated level rS = ṙS − Δmin
+func MeasurementNeed(s config.ServingCellConfig, servingRSRP units.Dbm) MeasNeed {
+	srxlev := servingRSRP.Sub(s.QRxLevMin) // the paper's calibrated level rS = ṙS − Δmin
 	return MeasNeed{
 		Intra:          srxlev <= s.SIntraSearch,
 		NonIntra:       srxlev <= s.SNonIntraSearch,
@@ -40,7 +43,7 @@ type IdleReselector struct {
 	betterSince map[config.CellIdentity]Clock
 
 	// effQHyst is the per-round effective hysteresis (after scaling).
-	effQHyst float64
+	effQHyst units.Db
 }
 
 // NewIdleReselector builds the reselector for the current serving cell's
@@ -66,13 +69,13 @@ type candidate struct {
 // frequency).
 func (r *IdleReselector) outranks(serving RawMeas, cand RawMeas, fr config.FreqRelation) (bool, int) {
 	s := r.cfg.Serving
-	rs := serving.RSRP - s.QRxLevMin
-	rc := cand.RSRP - fr.QRxLevMin
+	rs := serving.RSRP.Sub(s.QRxLevMin)
+	rc := cand.RSRP.Sub(fr.QRxLevMin)
 	switch {
 	case fr.Priority > s.Priority:
 		return rc > fr.ThreshHigh, fr.Priority
 	case fr.Priority == s.Priority:
-		return cand.RSRP-fr.QOffsetFreq > serving.RSRP+r.effQHyst, fr.Priority
+		return cand.RSRP.SubDb(fr.QOffsetFreq) > serving.RSRP.Add(r.effQHyst), fr.Priority
 	default:
 		return rs < s.ThreshServingLow && rc > fr.ThreshLow, fr.Priority
 	}

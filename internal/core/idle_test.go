@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"mmlab/internal/config"
+	"mmlab/internal/units"
 )
 
 // idleCell builds a serving cell config matching the paper's §4.2 "common
@@ -36,7 +37,7 @@ func id(cellID uint32, earfcn uint32, rat config.RAT) config.CellIdentity {
 	return config.CellIdentity{CellID: cellID, PCI: uint16(cellID), EARFCN: earfcn, RAT: rat}
 }
 
-func meas(c config.CellIdentity, rsrp float64) RawMeas {
+func meas(c config.CellIdentity, rsrp units.Dbm) RawMeas {
 	return RawMeas{Cell: c, RSRP: rsrp, RSRQ: -10}
 }
 

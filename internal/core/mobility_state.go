@@ -1,6 +1,9 @@
 package core
 
-import "mmlab/internal/config"
+import (
+	"mmlab/internal/config"
+	"mmlab/internal/units"
+)
 
 // MobilityState is the TS 36.304 §5.2.4.3 speed state a device derives
 // from its own reselection rate.
@@ -82,8 +85,8 @@ func (m *MobilityTracker) State(t Clock, sc config.SpeedScaling) MobilityState {
 	return m.state
 }
 
-// Scaled returns the effective Treselect (ms) and QHyst (dB) for a state.
-func Scaled(s config.ServingCellConfig, state MobilityState) (treselMs Clock, qHyst float64) {
+// Scaled returns the effective Treselect (ms) and QHyst for a state.
+func Scaled(s config.ServingCellConfig, state MobilityState) (treselMs Clock, qHyst units.Db) {
 	treselMs = Clock(s.TReselectionSec) * 1000
 	qHyst = s.QHyst
 	if !s.SpeedScaling.Enabled {

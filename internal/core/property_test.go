@@ -6,14 +6,15 @@ import (
 	"testing/quick"
 
 	"mmlab/internal/config"
+	"mmlab/internal/units"
 )
 
 // clampRSRP keeps generated values in the reportable domain.
-func clampRSRP(x float64) float64 {
+func clampRSRP(x float64) units.Dbm {
 	if math.IsNaN(x) || math.IsInf(x, 0) {
 		return -100
 	}
-	return math.Mod(math.Abs(x), 96) - 140
+	return units.Dbm(math.Mod(math.Abs(x), 96) - 140)
 }
 
 func TestEventEnterLeaveMutuallyExclusive(t *testing.T) {
@@ -30,8 +31,8 @@ func TestEventEnterLeaveMutuallyExclusive(t *testing.T) {
 			Quantity:   config.RSRP,
 			Threshold1: clampRSRP(t1Raw),
 			Threshold2: clampRSRP(t2Raw),
-			Offset:     math.Mod(math.Abs(offRaw), 15),
-			Hysteresis: 0.5 + float64(hystRaw%29)/2, // strictly positive
+			Offset:     units.Db(math.Mod(math.Abs(offRaw), 15)),
+			Hysteresis: units.Db(0.5 + float64(hystRaw%29)/2), // strictly positive
 		}
 		st := newEventState(1, config.MeasObject{EARFCN: 5780, RAT: config.RATLTE}, ev)
 		serving := MeasEntry{Cell: servingID, RSRP: clampRSRP(rsRaw), RSRQ: -10}

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"mmlab/internal/config"
+	"mmlab/internal/units"
 )
 
 // Clock is simulation time in milliseconds.
@@ -19,14 +20,16 @@ type Clock = int64
 // the UE after L1 averaging (before L3 filtering).
 type RawMeas struct {
 	Cell config.CellIdentity
-	RSRP float64 // dBm
-	RSRQ float64 // dB
+	RSRP units.Dbm
+	RSRQ units.Db
 }
 
-// Quantity extracts the value for a configured trigger quantity.
-func (m RawMeas) Quantity(q config.Quantity) float64 {
+// Quantity extracts the value for a configured trigger quantity on the
+// level axis: an RSRQ quantity rides it via units.LevelFromDb, matching
+// how EventConfig types its thresholds.
+func (m RawMeas) Quantity(q config.Quantity) units.Dbm {
 	if q == config.RSRQ {
-		return m.RSRQ
+		return units.LevelFromDb(m.RSRQ)
 	}
 	return m.RSRP
 }
@@ -34,14 +37,15 @@ func (m RawMeas) Quantity(q config.Quantity) float64 {
 // MeasEntry is one cell's measurement inside a report (filtered values).
 type MeasEntry struct {
 	Cell config.CellIdentity
-	RSRP float64
-	RSRQ float64
+	RSRP units.Dbm
+	RSRQ units.Db
 }
 
-// value extracts the configured quantity.
-func (e MeasEntry) value(q config.Quantity) float64 {
+// value extracts the configured quantity on the level axis; see
+// RawMeas.Quantity.
+func (e MeasEntry) value(q config.Quantity) units.Dbm {
 	if q == config.RSRQ {
-		return e.RSRQ
+		return units.LevelFromDb(e.RSRQ)
 	}
 	return e.RSRP
 }

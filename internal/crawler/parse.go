@@ -14,6 +14,7 @@ import (
 	"mmlab/internal/config"
 	"mmlab/internal/radio"
 	"mmlab/internal/sib"
+	"mmlab/internal/units"
 )
 
 // ConfigSnapshot is one cell's reassembled broadcast configuration as
@@ -32,10 +33,10 @@ type HandoffEvent struct {
 	ExecTimeMs   uint64
 	Event        config.EventType
 	Serving      config.CellIdentity
-	ServingRSRP  float64 // dequantized
-	ServingRSRQ  float64
+	ServingRSRP  units.Dbm // dequantized
+	ServingRSRQ  units.Db
 	BestNeighbor config.CellIdentity
-	NeighborRSRP float64
+	NeighborRSRP units.Dbm
 	Target       config.CellIdentity
 }
 
@@ -229,7 +230,7 @@ func cloneSnapshot(s ConfigSnapshot) ConfigSnapshot {
 		objs := make(map[int]config.MeasObject, len(s.Config.Meas.Objects))
 		for id, o := range s.Config.Meas.Objects {
 			if o.CellOffsets != nil {
-				co := make(map[uint16]float64, len(o.CellOffsets))
+				co := make(map[uint16]units.Db, len(o.CellOffsets))
 				for pci, off := range o.CellOffsets {
 					co[pci] = off
 				}

@@ -1,0 +1,162 @@
+package crawler_test
+
+// Pre-migration golden for the wire path: sib envelope bytes for a full
+// broadcast set and the snapshots/events ParseDiag recovers from a
+// synthetic capture are pinned against goldens generated before the
+// typed-quantity (internal/units) migration. The unit types must be
+// invisible on the wire and in JSON — if any of this moves, the
+// migration stopped being compile-time only.
+//
+// Regenerate (only when adding NEW cases, never to absorb a diff):
+//
+//	UPDATE_GOLDEN=1 go test ./internal/crawler -run TestPreMigrationWireGolden
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mmlab/internal/config"
+	"mmlab/internal/crawler"
+	"mmlab/internal/sib"
+	"mmlab/internal/units"
+)
+
+func wireFixtureCell() config.CellConfig {
+	return config.CellConfig{
+		Identity:   config.CellIdentity{CellID: 4021, PCI: 133, EARFCN: 1850, RAT: config.RATLTE},
+		TxPowerDBm: 18.2,
+		Serving: config.ServingCellConfig{
+			Priority: 4, QHyst: 2,
+			SIntraSearch: 58, SIntraSearchQ: 8, SNonIntraSearch: 18, SNonIntraSearchQ: 6,
+			QRxLevMin: -120, QQualMin: -19.5,
+			ThreshServingLow: 10, ThreshServingLowQ: 2,
+			TReselectionSec: 1, THigherMeasSec: 30,
+			SpeedScaling: config.SpeedScaling{
+				Enabled:           true,
+				NCellChangeMedium: 4, NCellChangeHigh: 8,
+				TEvaluationSec: 120, THystNormalSec: 60,
+				TReselectionSFMedium: 0.5, TReselectionSFHigh: 0.25,
+				QHystSFMedium: -1, QHystSFHigh: -3,
+			},
+		},
+		Freqs: []config.FreqRelation{
+			{EARFCN: 5780, RAT: config.RATLTE, Priority: 5, ThreshHigh: 12, ThreshLow: 8,
+				QRxLevMin: -118.5, QOffsetFreq: 3, TReselectionSec: 2, MeasBandwidthRBs: 75},
+			{EARFCN: 10738, RAT: config.RATUMTS, Priority: 2, ThreshHigh: 14, ThreshLow: 10,
+				QRxLevMin: -113, QOffsetFreq: -2.5, TReselectionSec: 2, MeasBandwidthRBs: 25},
+		},
+		Meas: config.MeasConfig{
+			Objects: map[int]config.MeasObject{
+				1: {EARFCN: 1850, RAT: config.RATLTE, OffsetFreq: 0.5,
+					CellOffsets: map[uint16]units.Db{41: 1.5, 77: -3}, Blacklist: []uint16{200}},
+			},
+			Reports: map[int]config.EventConfig{
+				1: {Type: config.EventA3, Quantity: config.RSRP, Offset: 3, Hysteresis: 1,
+					TimeToTriggerMs: 160, ReportIntervalMs: 240, ReportAmount: 2, MaxReportCells: 4},
+			},
+			Links:    []config.MeasLink{{ObjectID: 1, ReportID: 1}},
+			FilterK:  8,
+			SMeasure: -102.5,
+		},
+		ForbiddenCells: []uint32{7001},
+	}
+}
+
+func renderWireGolden(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+	cell := wireFixtureCell()
+
+	sb.WriteString("== broadcast set hex ==\n")
+	for i, raw := range sib.BroadcastSet(&cell) {
+		fmt.Fprintf(&sb, "msg[%d]: %s\n", i, hex.EncodeToString(raw))
+	}
+	reconf := &sib.RRCReconfig{Meas: cell.Meas}
+	fmt.Fprintf(&sb, "rrcreconfig: %s\n", hex.EncodeToString(sib.Marshal(reconf)))
+
+	rep := &sib.MeasurementReport{
+		MeasID: 1, EventType: config.EventA3,
+		Serving:   sib.MeasResult{PCI: 133, EARFCN: 1850, RAT: config.RATLTE, RSRPIdx: 31, RSRQIdx: 14},
+		Neighbors: []sib.MeasResult{{PCI: 41, EARFCN: 1850, RAT: config.RATLTE, RSRPIdx: 40, RSRQIdx: 18}},
+	}
+	fmt.Fprintf(&sb, "measreport: %s\n", hex.EncodeToString(sib.Marshal(rep)))
+	ho := &sib.HandoverCommand{TargetCellID: 4100, TargetPCI: 41, TargetEARFCN: 1850, TargetRAT: config.RATLTE}
+	fmt.Fprintf(&sb, "handovercmd: %s\n", hex.EncodeToString(sib.Marshal(ho)))
+
+	// A synthetic capture: stamp, broadcast config, reconfig, then the
+	// decisive report + handover command, then a second stamp to close.
+	var buf bytes.Buffer
+	dw := sib.NewDiagWriter(&buf)
+	ts := uint64(1000)
+	write := func(dir sib.Direction, m sib.Message) {
+		if err := dw.WriteMsg(ts, dir, m); err != nil {
+			t.Fatal(err)
+		}
+		ts += 40
+	}
+	write(sib.Downlink, &sib.CellInfo{Identity: cell.Identity, TAC: 901})
+	write(sib.Downlink, &sib.SIB1{CellID: cell.Identity.CellID, TAC: 901,
+		QRxLevMin: cell.Serving.QRxLevMin, QQualMin: cell.Serving.QQualMin})
+	write(sib.Downlink, &sib.SIB3{Serving: cell.Serving})
+	write(sib.Downlink, &sib.SIB4{ForbiddenCells: cell.ForbiddenCells})
+	write(sib.Downlink, &sib.SIBFreq{Kind: sib.MsgSIB5, Freqs: cell.Freqs[:1]})
+	write(sib.Downlink, &sib.SIBFreq{Kind: sib.MsgSIB6, Freqs: cell.Freqs[1:]})
+	write(sib.Downlink, reconf)
+	write(sib.Uplink, rep)
+	write(sib.Downlink, ho)
+	write(sib.Downlink, &sib.CellInfo{
+		Identity: config.CellIdentity{CellID: 4100, PCI: 41, EARFCN: 1850, RAT: config.RATLTE},
+		TAC:      901,
+	})
+	if err := dw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	snaps, events, err := crawler.ParseDiag(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.WriteString("== parsed snapshots ==\n")
+	sj, err := json.MarshalIndent(snaps, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Write(sj)
+	sb.WriteString("\n== parsed events ==\n")
+	ej, err := json.MarshalIndent(events, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Write(ej)
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+func TestPreMigrationWireGolden(t *testing.T) {
+	got := renderWireGolden(t)
+	path := filepath.Join("testdata", "premigration_wire_golden.txt")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (generate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("wire golden mismatch: sib bytes or parsed JSON moved vs the pre-migration baseline.\n"+
+			"--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -109,21 +109,21 @@ func convert(h netsim.HandoffRecord, carrierAcr, city string) dataset.D1Record {
 		ToRAT:         h.To.RAT.String(),
 		FromPriority:  h.FromPriority,
 		ToPriority:    h.ToPriority,
-		RSRPOld:       h.RSRPOld,
-		RSRPNew:       h.RSRPNew,
-		RSRQOld:       h.RSRQOld,
-		RSRQNew:       h.RSRQNew,
+		RSRPOld:       h.RSRPOld.V(),
+		RSRPNew:       h.RSRPNew.V(),
+		RSRQOld:       h.RSRQOld.V(),
+		RSRQNew:       h.RSRQNew.V(),
 		MinThptBefore: h.MinThptBefore,
 		PingPong:      h.PingPong,
 	}
 	if h.Kind == netsim.ActiveHandoff {
 		rec.Event = h.Event.String()
 		rec.Quantity = h.EventConfig.Quantity.String()
-		rec.Offset = h.EventConfig.Offset
-		rec.Hysteresis = h.EventConfig.Hysteresis
-		rec.Threshold1 = h.EventConfig.Threshold1
-		rec.Threshold2 = h.EventConfig.Threshold2
-		rec.TTTMs = h.EventConfig.TimeToTriggerMs
+		rec.Offset = h.EventConfig.Offset.V()
+		rec.Hysteresis = h.EventConfig.Hysteresis.V()
+		rec.Threshold1 = h.EventConfig.Threshold1.V()
+		rec.Threshold2 = h.EventConfig.Threshold2.V()
+		rec.TTTMs = int(h.EventConfig.TimeToTriggerMs.V())
 	}
 	return rec
 }

@@ -9,6 +9,7 @@ import (
 	"mmlab/internal/sim"
 	"mmlab/internal/stats"
 	"mmlab/internal/traffic"
+	"mmlab/internal/units"
 )
 
 // Fig7Series is one run's throughput timeline around its first A3
@@ -27,20 +28,20 @@ type Fig7Series struct {
 
 // fig7Run drives one offset's timeline. Both offsets share the world and
 // UE seeds, so the two series differ only in the configured ΔA3.
-func fig7Run(off float64, seed int64) (Fig7Series, error) {
+func fig7Run(off units.Db, seed int64) (Fig7Series, error) {
 	w, err := worldFor("T", seed)
 	if err != nil {
 		return Fig7Series{}, err
 	}
 	netsim.OverridePrimaryEvent(w, config.EventConfig{
-		Type: config.EventA3, Quantity: config.RSRP, Offset: off, Hysteresis: 1,
-		TimeToTriggerMs: 320, ReportIntervalMs: 240, MaxReportCells: 4,
+		Type: config.EventA3, Quantity: config.RSRP, Offset: off, Hysteresis: units.Db(1),
+		TimeToTriggerMs: units.Millis(320), ReportIntervalMs: units.Millis(240), MaxReportCells: 4,
 	})
 	route := netsim.RowRoute(w, 50, 40)
 	res := netsim.RunDrive(w, route, route.Duration(), netsim.UEOpts{
 		Seed: seed * 13, Active: true, App: traffic.Speedtest{},
 	})
-	s := Fig7Series{OffsetDB: off}
+	s := Fig7Series{OffsetDB: off.V()}
 	sum := 0.0
 	for _, h := range res.Handoffs {
 		if h.Event != config.EventA3 {
@@ -83,7 +84,7 @@ func fig7Run(off float64, seed int64) (Fig7Series, error) {
 // ΔA3 = 5 dB vs 12 dB, throughput traced in 1 s and 100 ms bins (§4.1).
 // The two drives run as parallel sim jobs.
 func Fig7(ctx context.Context, seed int64, workers int) ([2]Fig7Series, error) {
-	offsets := []float64{5, 12}
+	offsets := []units.Db{5, 12}
 	var out [2]Fig7Series
 	series, err := sim.Run(ctx, sim.Options{Workers: workers}, len(offsets),
 		func(_ context.Context, i int) (Fig7Series, error) {
@@ -106,31 +107,31 @@ type ConfigCase struct {
 // Fig8Cases returns the paper's labeled configurations: AT&T's A5a–A5d
 // and A3 (Fig. 8a), T-Mobile's A3a/A3b/A5a/A5b/P (Fig. 8b).
 func Fig8Cases() []ConfigCase {
-	a5 := func(q config.Quantity, t1, t2 float64) config.EventConfig {
+	a5 := func(q config.Quantity, t1, t2 units.Dbm) config.EventConfig {
 		return config.EventConfig{Type: config.EventA5, Quantity: q,
-			Threshold1: t1, Threshold2: t2, Hysteresis: 1,
-			TimeToTriggerMs: 320, ReportIntervalMs: 240, MaxReportCells: 4}
+			Threshold1: t1, Threshold2: t2, Hysteresis: units.Db(1),
+			TimeToTriggerMs: units.Millis(320), ReportIntervalMs: units.Millis(240), MaxReportCells: 4}
 	}
-	a3 := func(off float64) config.EventConfig {
+	a3 := func(off units.Db) config.EventConfig {
 		return config.EventConfig{Type: config.EventA3, Quantity: config.RSRP,
-			Offset: off, Hysteresis: 1,
-			TimeToTriggerMs: 320, ReportIntervalMs: 240, MaxReportCells: 4}
+			Offset: off, Hysteresis: units.Db(1),
+			TimeToTriggerMs: units.Millis(320), ReportIntervalMs: units.Millis(240), MaxReportCells: 4}
 	}
 	return []ConfigCase{
 		// AT&T (Fig. 8a): ΘA5,S = −44 relaxes the serving requirement and
 		// enables early handoffs; −118 defers them.
-		{"A5a", "A", a5(config.RSRP, -44, -114)},
-		{"A5b", "A", a5(config.RSRP, -118, -114)},
-		{"A5c", "A", a5(config.RSRQ, -16, -15)},
-		{"A5d", "A", a5(config.RSRQ, -18, -15)},
-		{"A3", "A", a3(3)},
+		{"A5a", "A", a5(config.RSRP, units.Dbm(-44), units.Dbm(-114))},
+		{"A5b", "A", a5(config.RSRP, units.Dbm(-118), units.Dbm(-114))},
+		{"A5c", "A", a5(config.RSRQ, units.Dbm(-16), units.Dbm(-15))},
+		{"A5d", "A", a5(config.RSRQ, units.Dbm(-18), units.Dbm(-15))},
+		{"A3", "A", a3(units.Db(3))},
 		// T-Mobile (Fig. 8b).
-		{"A3a", "T", a3(12)},
-		{"A3b", "T", a3(5)},
-		{"A5a", "T", a5(config.RSRP, -87, -110)},
-		{"A5b", "T", a5(config.RSRP, -121, -110)},
+		{"A3a", "T", a3(units.Db(12))},
+		{"A3b", "T", a3(units.Db(5))},
+		{"A5a", "T", a5(config.RSRP, units.Dbm(-87), units.Dbm(-110))},
+		{"A5b", "T", a5(config.RSRP, units.Dbm(-121), units.Dbm(-110))},
 		{"P", "T", config.EventConfig{Type: config.EventPeriodic, Quantity: config.RSRP,
-			ReportIntervalMs: 2048, MaxReportCells: 4}},
+			ReportIntervalMs: units.Millis(2048), MaxReportCells: 4}},
 	}
 }
 
@@ -248,8 +249,8 @@ func AblateTTT(ctx context.Context, seed int64, workers int) ([2]AblationResult,
 	ttts := []int{0, 320}
 	return ablatePair(ctx, workers, func(i int) (AblationResult, error) {
 		ev := config.EventConfig{Type: config.EventA3, Quantity: config.RSRP,
-			Offset: 3, Hysteresis: 1, TimeToTriggerMs: ttts[i],
-			ReportIntervalMs: 240, MaxReportCells: 4}
+			Offset: units.Db(3), Hysteresis: units.Db(1), TimeToTriggerMs: units.Millis(ttts[i]),
+			ReportIntervalMs: units.Millis(240), MaxReportCells: 4}
 		return ablationRun(fmt.Sprintf("TTT=%dms", ttts[i]), seed, func(w *netsim.World) {
 			netsim.OverridePrimaryEvent(w, ev)
 		})
@@ -261,8 +262,8 @@ func AblateHysteresis(ctx context.Context, seed int64, workers int) ([2]Ablation
 	hs := []float64{0, 2.5}
 	return ablatePair(ctx, workers, func(i int) (AblationResult, error) {
 		ev := config.EventConfig{Type: config.EventA3, Quantity: config.RSRP,
-			Offset: 3, Hysteresis: hs[i], TimeToTriggerMs: 0,
-			ReportIntervalMs: 240, MaxReportCells: 4}
+			Offset: units.Db(3), Hysteresis: units.Db(hs[i]), TimeToTriggerMs: 0,
+			ReportIntervalMs: units.Millis(240), MaxReportCells: 4}
 		return ablationRun(fmt.Sprintf("HA3=%.1fdB", hs[i]), seed, func(w *netsim.World) {
 			netsim.OverridePrimaryEvent(w, ev)
 		})
@@ -329,7 +330,7 @@ func AblateSpeedScaling(ctx context.Context, seed int64, workers int) ([2]Ablati
 					Enabled: true, NCellChangeMedium: 4, NCellChangeHigh: 7,
 					TEvaluationSec: 120, THystNormalSec: 120,
 					TReselectionSFMedium: 0.5, TReselectionSFHigh: 0.25,
-					QHystSFMedium: -2, QHystSFHigh: -4,
+					QHystSFMedium: units.Db(-2), QHystSFHigh: units.Db(-4),
 				}
 			} else {
 				s.SpeedScaling = config.SpeedScaling{}
@@ -343,7 +344,7 @@ func AblateSpeedScaling(ctx context.Context, seed int64, workers int) ([2]Ablati
 		}
 		rsrpOld := 0.0
 		for _, h := range res.Handoffs {
-			rsrpOld += h.RSRPOld
+			rsrpOld += h.RSRPOld.V()
 		}
 		r := AblationResult{Label: label, Handoffs: len(res.Handoffs)}
 		if len(res.Handoffs) > 0 {

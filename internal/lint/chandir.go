@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkChanDir flags bidirectional channels on the exported surface —
+// function/method parameters and struct fields — whose observed uses
+// are all one-directional, so a directional type (chan<- T / <-chan T)
+// is assignable and would encode the ownership discipline in the type.
+// A channel that escapes (passed on, assigned, returned) or is used in
+// both directions stays bidirectional and is not flagged; so is one
+// with no uses at all, since nothing constrains its direction.
+func checkChanDir(u *Unit) []Finding {
+	var out []Finding
+	for _, file := range u.Files {
+		if isTestFile(u.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				out = append(out, chanDirParams(u, d)...)
+			case *ast.GenDecl:
+				if d.Tok == token.TYPE {
+					for _, spec := range d.Specs {
+						if ts, ok := spec.(*ast.TypeSpec); ok {
+							out = append(out, chanDirFields(u, file, ts)...)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// chanUses tallies how a channel-valued expression is used.
+type chanUses struct {
+	send, recv, escape int
+}
+
+func (c *chanUses) directional() (string, bool) {
+	if c.escape > 0 {
+		return "", false
+	}
+	switch {
+	case c.send > 0 && c.recv == 0:
+		return "send", true
+	case c.recv > 0 && c.send == 0:
+		return "recv", true
+	}
+	return "", false
+}
+
+// bidiChan returns the channel type if t is a bidirectional chan.
+func bidiChan(t types.Type) *types.Chan {
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok || ch.Dir() != types.SendRecv {
+		return nil
+	}
+	return ch
+}
+
+// chanDirParams inspects one exported function or method declaration.
+func chanDirParams(u *Unit, fd *ast.FuncDecl) []Finding {
+	if fd.Body == nil || !fd.Name.IsExported() {
+		return nil
+	}
+	if fd.Recv != nil && !exportedRecv(u, fd.Recv) {
+		return nil
+	}
+	var out []Finding
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj, ok := u.Info.Defs[name].(*types.Var)
+			if !ok || bidiChan(obj.Type()) == nil {
+				continue
+			}
+			uses := collectChanUses(u, fd.Body, func(e ast.Expr) bool {
+				id, ok := e.(*ast.Ident)
+				return ok && u.Info.Uses[id] == obj
+			})
+			if dir, ok := uses.directional(); ok {
+				out = append(out, Finding{
+					Pos:   u.Fset.Position(name.Pos()),
+					Check: "chandir",
+					Message: fmt.Sprintf("parameter %s of exported %s is a bidirectional chan but is only %s; declare it %s so the compiler enforces the channel's ownership, or annotate //mmvet:allow chandir <reason>",
+						name.Name, fd.Name.Name, dirVerb(dir), dirType(dir, u, obj.Type())),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// chanDirFields inspects the channel fields of one exported struct
+// type, classifying every use of each field across the unit.
+func chanDirFields(u *Unit, file *ast.File, ts *ast.TypeSpec) []Finding {
+	if !ts.Name.IsExported() {
+		return nil
+	}
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		return nil
+	}
+	var out []Finding
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if !name.IsExported() {
+				continue
+			}
+			obj, ok := u.Info.Defs[name].(*types.Var)
+			if !ok || bidiChan(obj.Type()) == nil {
+				continue
+			}
+			uses := chanUses{}
+			for _, f := range u.Files {
+				fileUses := collectChanUses(u, f, func(e ast.Expr) bool {
+					sel, ok := e.(*ast.SelectorExpr)
+					if !ok {
+						return false
+					}
+					selection, ok := u.Info.Selections[sel]
+					return ok && selection.Obj() == obj
+				})
+				uses.send += fileUses.send
+				uses.recv += fileUses.recv
+				uses.escape += fileUses.escape
+			}
+			if dir, ok := uses.directional(); ok {
+				out = append(out, Finding{
+					Pos:   u.Fset.Position(name.Pos()),
+					Check: "chandir",
+					Message: fmt.Sprintf("exported field %s.%s is a bidirectional chan but is only %s; declare it %s, or annotate //mmvet:allow chandir <reason>",
+						ts.Name.Name, name.Name, dirVerb(dir), dirType(dir, u, obj.Type())),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func dirVerb(dir string) string {
+	if dir == "send" {
+		return "sent to (or closed)"
+	}
+	return "received from"
+}
+
+func dirType(dir string, u *Unit, t types.Type) string {
+	elem := types.TypeString(bidiChan(t).Elem(), types.RelativeTo(u.Pkg))
+	if dir == "send" {
+		return "chan<- " + elem
+	}
+	return "<-chan " + elem
+}
+
+// collectChanUses classifies every occurrence of a target channel
+// expression under root. Pre-order traversal lets each consuming
+// construct mark its operand before the operand itself is visited; any
+// unconsumed occurrence counts as an escape (the channel's full
+// bidirectional capability may be required).
+func collectChanUses(u *Unit, root ast.Node, target func(ast.Expr) bool) chanUses {
+	uses := chanUses{}
+	consumed := map[ast.Node]bool{}
+	classify := func(e ast.Expr, kind string) {
+		if e == nil || !target(unparen(e)) {
+			return
+		}
+		consumed[unparen(e)] = true
+		consumed[e] = true
+		switch kind {
+		case "send":
+			uses.send++
+		case "recv":
+			uses.recv++
+		case "neutral":
+		}
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			classify(n.Chan, "send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				classify(n.X, "recv")
+			}
+		case *ast.RangeStmt:
+			classify(n.X, "recv")
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := u.Info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "close":
+						// Closing is the sender's privilege; chan<- supports it.
+						if len(n.Args) == 1 {
+							classify(n.Args[0], "send")
+						}
+					case "len", "cap":
+						if len(n.Args) == 1 {
+							classify(n.Args[0], "neutral")
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// Assigning INTO the channel variable/field constructs it and
+			// does not constrain its direction.
+			for _, lhs := range n.Lhs {
+				classify(lhs, "neutral")
+			}
+		case *ast.BinaryExpr:
+			// nil comparisons don't constrain direction.
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				classify(n.X, "neutral")
+				classify(n.Y, "neutral")
+			}
+		}
+		if e, ok := n.(ast.Expr); ok && !consumed[e] && target(e) {
+			uses.escape++
+		}
+		return true
+	})
+	return uses
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// exportedRecv reports whether the method receiver's named type is
+// exported (the method is otherwise unreachable outside the package).
+func exportedRecv(u *Unit, recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return true
+	}
+	t := u.Info.Types[recv.List[0].Type].Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Exported()
+	}
+	return true
+}

@@ -23,16 +23,33 @@
 //   - globalrand: math/rand (and math/rand/v2) package-level draw
 //     functions are banned everywhere, tests included; randomness must
 //     flow from an injected seeded *rand.Rand.
-//   - gorphan: a go statement inside internal/pipeline must be
-//     lexically paired with its supervision — a WaitGroup.Add in the
-//     immediately preceding statements, or a deferred Done inside the
-//     spawned func literal — so drain and restart cannot leak
-//     goroutines.
+//   - gorphan: a go statement inside the supervised packages
+//     (internal/pipeline, internal/sim, cmd/mmlabd) must be lexically
+//     paired with its supervision — a WaitGroup.Add in the immediately
+//     preceding statements, or a deferred Done inside the spawned func
+//     literal — so drain and restart cannot leak goroutines.
+//   - units: dimensional discipline for the internal/units quantity
+//     types — no conversions between unit axes (the dB/dBm swap), no
+//     float64(x) laundering (use .V()), no raw arithmetic between two
+//     absolute dBm levels (use .Add/.SubDb/.Sub), and no bare numeric
+//     literals flowing into unit-typed parameters or struct fields
+//     outside construction sites (internal/config, tests).
+//   - lockorder: infers the mutex-acquisition partial order across the
+//     supervised packages from lexical Lock/Unlock pairing (including
+//     one level of intra-package calls) and flags order inversions —
+//     two locks acquired in both orders — and channel sends performed
+//     while a lock is held, both classic deadlock shapes under
+//     crash-chaos.
+//   - chandir: a bidirectional chan in an exported signature or struct
+//     field whose uses are all send-side or all receive-side should be
+//     directional (chan<- / <-chan), locking in the pipeline's channel
+//     ownership discipline at compile time.
 //
 // Suppressions are per-line comments with a mandatory reason:
 //
 //	//mmvet:allow <check> <reason>
 //	//mmvet:ordered <reason>          (shorthand for allow maprange)
+//	//mmvet:units <reason>            (shorthand for allow units)
 //
 // placed on the offending line or on the line directly above it. An
 // annotation without a reason is itself a finding.
@@ -44,6 +61,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one diagnostic.
@@ -97,11 +115,13 @@ var DefaultDeterministicPkgs = []string{
 }
 
 // DefaultSupervisedPkgs are the packages whose goroutines must be
-// lexically supervised (drain/restart machinery).
-var DefaultSupervisedPkgs = []string{"internal/pipeline"}
+// lexically supervised (drain/restart machinery) and whose mutexes are
+// subject to the lockorder partial-order check: the streaming pipeline,
+// the worker pool, and the daemon supervisor.
+var DefaultSupervisedPkgs = []string{"internal/pipeline", "internal/sim", "cmd/mmlabd"}
 
 // AllChecks lists every analyzer name.
-var AllChecks = []string{"maprange", "wallclock", "globalrand", "gorphan"}
+var AllChecks = []string{"maprange", "wallclock", "globalrand", "gorphan", "units", "lockorder", "chandir"}
 
 func (c Config) wantCheck(name string) bool {
 	if len(c.Checks) == 0 {
@@ -129,34 +149,66 @@ func (c Config) supervisedPkgs() []string {
 	return DefaultSupervisedPkgs
 }
 
+// CheckTiming is one analyzer's aggregate wall time across all units.
+type CheckTiming struct {
+	Check   string
+	Elapsed time.Duration
+}
+
 // Analyze runs the configured checks over the units and returns the
 // surviving findings sorted by position. Annotation suppressions are
 // applied here; baseline filtering is the caller's business.
 func Analyze(units []*Unit, cfg Config) []Finding {
+	findings, _ := AnalyzeTimed(units, cfg)
+	return findings
+}
+
+// AnalyzeTimed is Analyze plus per-analyzer wall time, in AllChecks
+// order, for mmvet -v.
+func AnalyzeTimed(units []*Unit, cfg Config) ([]Finding, []CheckTiming) {
+	elapsed := map[string]time.Duration{}
 	var out []Finding
+	keep := func(u *Unit, dirs *directiveSet, f Finding) {
+		if !u.Report(f.Pos.Filename) {
+			return
+		}
+		if dirs.suppresses(f.Pos.Filename, f.Pos.Line, f.Check) {
+			return
+		}
+		out = append(out, f)
+	}
+	// lockorder spans units: its per-unit facts feed one acquisition
+	// graph, and the cycle pass runs after every unit is collected.
+	var lockAll []*lockFacts
+	dirsByUnit := map[*Unit]*directiveSet{}
 	for _, u := range units {
 		dirs := directives(u)
+		dirsByUnit[u] = dirs
 		var raw []Finding
-		if cfg.wantCheck("maprange") {
-			raw = append(raw, checkMapRange(u)...)
+		run := func(name string, fn func() []Finding) {
+			if !cfg.wantCheck(name) {
+				return
+			}
+			start := time.Now()
+			raw = append(raw, fn()...)
+			elapsed[name] += time.Since(start)
 		}
-		if cfg.wantCheck("wallclock") {
-			raw = append(raw, checkWallClock(u, cfg.deterministicPkgs())...)
-		}
-		if cfg.wantCheck("globalrand") {
-			raw = append(raw, checkGlobalRand(u)...)
-		}
-		if cfg.wantCheck("gorphan") {
-			raw = append(raw, checkGorphan(u, cfg.supervisedPkgs())...)
-		}
+		run("maprange", func() []Finding { return checkMapRange(u) })
+		run("wallclock", func() []Finding { return checkWallClock(u, cfg.deterministicPkgs()) })
+		run("globalrand", func() []Finding { return checkGlobalRand(u) })
+		run("gorphan", func() []Finding { return checkGorphan(u, cfg.supervisedPkgs()) })
+		run("units", func() []Finding { return checkUnits(u) })
+		run("chandir", func() []Finding { return checkChanDir(u) })
+		run("lockorder", func() []Finding {
+			lf := lockOrderFacts(u, cfg.supervisedPkgs())
+			if lf == nil {
+				return nil
+			}
+			lockAll = append(lockAll, lf)
+			return lf.findings
+		})
 		for _, f := range raw {
-			if !u.Report(f.Pos.Filename) {
-				continue
-			}
-			if dirs.suppresses(f.Pos.Filename, f.Pos.Line, f.Check) {
-				continue
-			}
-			out = append(out, f)
+			keep(u, dirs, f)
 		}
 		// Malformed annotations are findings in their own right, so a
 		// reasonless //mmvet:allow can never silently ship.
@@ -165,6 +217,15 @@ func Analyze(units []*Unit, cfg Config) []Finding {
 				out = append(out, f)
 			}
 		}
+	}
+	if cfg.wantCheck("lockorder") {
+		// Cycle detection over the aggregated graph; each finding is
+		// filtered through the directives of the unit its edge came from.
+		start := time.Now()
+		for _, cf := range lockOrderCycles(lockAll) {
+			keep(cf.u, dirsByUnit[cf.u], cf.f)
+		}
+		elapsed["lockorder"] += time.Since(start)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -179,7 +240,13 @@ func Analyze(units []*Unit, cfg Config) []Finding {
 		}
 		return a.Check < b.Check
 	})
-	return dedupe(out)
+	var timings []CheckTiming
+	for _, name := range AllChecks {
+		if d, ok := elapsed[name]; ok {
+			timings = append(timings, CheckTiming{Check: name, Elapsed: d})
+		}
+	}
+	return dedupe(out), timings
 }
 
 func dedupe(fs []Finding) []Finding {
@@ -217,6 +284,8 @@ func directives(u *Unit) *directiveSet {
 				switch verb {
 				case "ordered":
 					check, reason = "maprange", rest
+				case "units":
+					check, reason = "units", rest
 				case "allow":
 					check, reason, _ = strings.Cut(rest, " ")
 					reason = strings.TrimSpace(reason)
@@ -227,7 +296,7 @@ func directives(u *Unit) *directiveSet {
 					}
 				default:
 					ds.errors = append(ds.errors, Finding{Pos: pos, Check: "annotation",
-						Message: fmt.Sprintf("unknown directive //mmvet:%s (want allow or ordered)", verb)})
+						Message: fmt.Sprintf("unknown directive //mmvet:%s (want allow, ordered, or units)", verb)})
 					continue
 				}
 				if reason == "" {

@@ -22,7 +22,13 @@ func runGolden(t *testing.T, name, importPath string, cfg Config) {
 	if err != nil {
 		t.Fatalf("LoadDir(%s): %v", dir, err)
 	}
+	goldenCheck(t, units, cfg)
+}
 
+// goldenCheck matches Analyze's findings against `// want` comments in
+// already-loaded units.
+func goldenCheck(t *testing.T, units []*Unit, cfg Config) {
+	t.Helper()
 	type key struct {
 		file string
 		line int
@@ -43,7 +49,7 @@ func runGolden(t *testing.T, name, importPath string, cfg Config) {
 		}
 	}
 	if len(wants) == 0 {
-		t.Fatalf("%s: no want comments found", dir)
+		t.Fatal("no want comments found")
 	}
 
 	matched := map[key]bool{}
@@ -93,6 +99,112 @@ func TestGlobalRandGolden(t *testing.T) {
 func TestGorphanGolden(t *testing.T) {
 	// Loaded under the supervised pipeline path so the check applies.
 	runGolden(t, "gorphan", "mmlab/internal/pipeline", Config{Checks: []string{"gorphan"}})
+}
+
+func TestUnitsGolden(t *testing.T) {
+	// The client package imports a stand-in units package loaded under
+	// the real internal/units suffix, so unit types resolve exactly as
+	// they do in the module.
+	units, err := LoadDirs("mmlab", []DirSpec{
+		{Dir: filepath.Join("testdata", "src", "units", "units"), ImportPath: "mmlab/internal/units"},
+		{Dir: filepath.Join("testdata", "src", "units", "client"), ImportPath: "mmlab/internal/netsim"},
+	})
+	if err != nil {
+		t.Fatalf("LoadDirs: %v", err)
+	}
+	goldenCheck(t, units, Config{Checks: []string{"units"}})
+}
+
+func TestLockOrderGolden(t *testing.T) {
+	// Loaded under the supervised pipeline path so the check applies.
+	runGolden(t, "lockorder", "mmlab/internal/pipeline", Config{Checks: []string{"lockorder"}})
+}
+
+func TestChanDirGolden(t *testing.T) {
+	runGolden(t, "chandir", "mmlab/internal/pipeline", Config{Checks: []string{"chandir"}})
+}
+
+// TestLockOrderCrossUnit seeds the two legs of a lock-order cycle in
+// two different packages — the daemon locking pipeline-owned mutexes in
+// the opposite order from the pipeline itself. Neither package alone
+// has a cycle; only the aggregated graph does.
+func TestLockOrderCrossUnit(t *testing.T) {
+	pipe := writeTempPkg(t, `package pipeline
+
+import "sync"
+
+type Shard struct {
+	Mu sync.Mutex
+	N  int
+}
+
+type Agg struct {
+	Mu    sync.Mutex
+	Total int
+}
+
+func Flush(s *Shard, a *Agg) {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	a.Mu.Lock()
+	a.Total += s.N
+	a.Mu.Unlock()
+}
+`)
+	daemon := writeTempPkg(t, `package main
+
+import "mmlab/internal/pipeline"
+
+func report(s *pipeline.Shard, a *pipeline.Agg) int {
+	a.Mu.Lock()
+	defer a.Mu.Unlock()
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	return a.Total + s.N
+}
+`)
+	units, err := LoadDirs("mmlab", []DirSpec{
+		{Dir: pipe, ImportPath: "mmlab/internal/pipeline"},
+		{Dir: daemon, ImportPath: "mmlab/cmd/mmlabd"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Analyze(units, Config{Checks: []string{"lockorder"}})
+	if len(findings) != 2 {
+		t.Fatalf("cross-unit inversion: got %d findings, want one per leg: %v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if !strings.Contains(f.Message, "lock order inversion") {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+
+	// The aggregated graph must hold exactly the two opposing edges.
+	var facts []*lockFacts
+	for _, u := range units {
+		if lf := lockOrderFacts(u, DefaultSupervisedPkgs); lf != nil {
+			facts = append(facts, lf)
+		}
+	}
+	wantEdges := "(pipeline.Agg).Mu -> (pipeline.Shard).Mu\n(pipeline.Shard).Mu -> (pipeline.Agg).Mu"
+	if got := lockOrderSummary(facts); got != wantEdges {
+		t.Errorf("inferred edges:\n%s\nwant:\n%s", got, wantEdges)
+	}
+
+	// Either package alone must be silent: the order is only wrong in
+	// combination.
+	for _, spec := range []DirSpec{
+		{Dir: pipe, ImportPath: "mmlab/internal/pipeline"},
+	} {
+		solo, err := LoadDirs("mmlab", []DirSpec{spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range Analyze(solo, Config{Checks: []string{"lockorder"}}) {
+			t.Errorf("single-package analysis should be clean, got %s", f)
+		}
+	}
 }
 
 // TestRepoClean is the acceptance gate: mmvet over the real module must
@@ -177,12 +289,70 @@ func leak(m map[string]int, sink chan string) int64 {
 
 	pipe := writeTempPkg(t, `package pipe
 
+import "sync"
+
+type a struct{ mu sync.Mutex }
+
+type b struct{ mu sync.Mutex }
+
 func spawn(f func()) {
 	go f()
 }
+
+func fwd(x *a, y *b, out chan int) {
+	x.mu.Lock()
+	y.mu.Lock()
+	out <- 1
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+func rev(x *a, y *b) {
+	y.mu.Lock()
+	x.mu.Lock()
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+
+func Drain(in chan int) int {
+	t := 0
+	for v := range in {
+		t += v
+	}
+	return t
+}
 `)
-	if got := findChecks(t, pipe, "mmlab/internal/pipeline"); got["gorphan"] == 0 {
-		t.Errorf("seeded gorphan violation not caught (got %v)", got)
+	got = findChecks(t, pipe, "mmlab/internal/pipeline")
+	for _, check := range []string{"gorphan", "lockorder", "chandir"} {
+		if got[check] == 0 {
+			t.Errorf("seeded %s violation not caught (got %v)", check, got)
+		}
+	}
+
+	// The seeded dB/dBm swap: a conversion between two unit axes.
+	swap := writeTempPkg(t, `package core
+
+import "mmlab/internal/units"
+
+func swap(rsrp units.Dbm) units.Db {
+	return units.Db(rsrp)
+}
+`)
+	us, err := LoadDirs("mmlab", []DirSpec{
+		{Dir: filepath.Join("testdata", "src", "units", "units"), ImportPath: "mmlab/internal/units"},
+		{Dir: swap, ImportPath: "mmlab/internal/core"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unitsHit := 0
+	for _, f := range Analyze(us, Config{}) {
+		if f.Check == "units" {
+			unitsHit++
+		}
+	}
+	if unitsHit == 0 {
+		t.Error("seeded dB/dBm swap not caught by the units analyzer")
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Unit is one type-checked body of code to analyze: a package's
@@ -111,6 +112,34 @@ func LoadDir(dir, importPath string) ([]*Unit, error) {
 	return typeCheck(fset, importPath, []*parsedDir{pd})
 }
 
+// DirSpec names one directory to load as one package of a miniature
+// module.
+type DirSpec struct {
+	Dir        string
+	ImportPath string
+}
+
+// LoadDirs parses and type-checks several directories as a miniature
+// module rooted at modPath, resolving imports among them in dependency
+// order. It exists for testdata trees whose packages import each other
+// — e.g. the units golden, whose client package imports a stand-in
+// internal/units package.
+func LoadDirs(modPath string, specs []DirSpec) ([]*Unit, error) {
+	fset := token.NewFileSet()
+	var dirs []*parsedDir
+	for _, s := range specs {
+		pd, err := parseDir(fset, s.Dir, s.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		if pd == nil {
+			return nil, fmt.Errorf("lint: no Go files in %s", s.Dir)
+		}
+		dirs = append(dirs, pd)
+	}
+	return typeCheck(fset, modPath, dirs)
+}
+
 // modulePath reads the module directive from a go.mod file.
 func modulePath(gomod string) (string, error) {
 	data, err := os.ReadFile(gomod)
@@ -175,6 +204,28 @@ func parseDir(fset *token.FileSet, dir, importPath string) (*parsedDir, error) {
 	return pd, nil
 }
 
+// stdImporter shares one source importer (and its private FileSet)
+// across every LoadModule/LoadDir/LoadDirs call in the process: the
+// standard library is parsed and type-checked once instead of per
+// invocation, which is what makes repeated golden-test loads and the
+// verify.sh lint fast path cheap. Std positions live in the shared
+// FileSet, which is fine — findings only ever cite analyzed files.
+var stdImporter = struct {
+	mu  sync.Mutex
+	imp types.Importer
+}{}
+
+type sharedStdImporter struct{}
+
+func (sharedStdImporter) Import(path string) (*types.Package, error) {
+	stdImporter.mu.Lock()
+	defer stdImporter.mu.Unlock()
+	if stdImporter.imp == nil {
+		stdImporter.imp = importer.ForCompiler(token.NewFileSet(), "source", nil)
+	}
+	return stdImporter.imp.Import(path)
+}
+
 // moduleImporter resolves module-internal import paths from the set of
 // already-checked packages and delegates everything else (the standard
 // library) to the source importer.
@@ -200,7 +251,7 @@ func typeCheck(fset *token.FileSet, modPath string, dirs []*parsedDir) ([]*Unit,
 	imp := &moduleImporter{
 		modPath: modPath,
 		local:   map[string]*types.Package{},
-		std:     importer.ForCompiler(fset, "source", nil),
+		std:     sharedStdImporter{},
 	}
 
 	byPath := map[string]*parsedDir{}

@@ -1,0 +1,527 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// checkLockOrder is split in two because the partial order must span
+// units: edges discovered in internal/pipeline and in cmd/mmlabd feed
+// one graph, and an inversion is only visible when both halves are in
+// it. lockOrderFacts extracts per-unit facts (acquisition edges plus
+// the immediate send-while-held findings); lockOrderCycles runs once
+// over all collected facts and reports every edge that participates in
+// a cycle of the aggregated acquisition graph.
+
+// lockEdge records one acquisition of `to` at pos while `from` was held.
+type lockEdge struct {
+	from, to string
+	pos      token.Position
+	u        *Unit
+}
+
+// lockFacts is the per-unit output of the lexical lock analysis.
+type lockFacts struct {
+	u     *Unit
+	edges []lockEdge
+	// findings are the immediately-reportable ones: channel sends (and
+	// blocking select-sends) performed while a lock is held.
+	findings []Finding
+}
+
+// fnLockInfo summarizes one function declaration for the one-level
+// interprocedural pass: the lock identities it acquires anywhere in its
+// body and the same-unit functions it calls.
+type fnLockInfo struct {
+	acquires map[string]bool
+	calls    []*types.Func
+}
+
+// lockOrderFacts runs the lexical analysis over one unit of the
+// supervised packages. Test files are skipped, as are func literals'
+// bodies as held-context continuations (a goroutine does not inherit
+// its spawner's critical section) — literals are analyzed as their own
+// roots instead.
+func lockOrderFacts(u *Unit, supervisedPkgs []string) *lockFacts {
+	if !pathMatches(u.ImportPath, supervisedPkgs) {
+		return nil
+	}
+	lf := &lockFacts{u: u}
+
+	// Pass 1: per-function summaries for the interprocedural edges.
+	infos := map[*types.Func]*fnLockInfo{}
+	var roots []*ast.BlockStmt
+	for _, file := range u.Files {
+		if isTestFile(u.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			roots = append(roots, fd.Body)
+			if fn, ok := u.Info.Defs[fd.Name].(*types.Func); ok {
+				infos[fn] = summarizeLocks(u, fd.Body)
+			}
+		}
+		// Func literals are independent roots with an empty held set.
+		ast.Inspect(file, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				roots = append(roots, fl.Body)
+			}
+			return true
+		})
+	}
+
+	// Transitive closure of acquires over same-unit calls.
+	memo := map[*types.Func]map[string]bool{}
+	var closure func(fn *types.Func, seen map[*types.Func]bool) map[string]bool
+	closure = func(fn *types.Func, seen map[*types.Func]bool) map[string]bool {
+		if got, ok := memo[fn]; ok {
+			return got
+		}
+		if seen[fn] {
+			return nil
+		}
+		seen[fn] = true
+		info := infos[fn]
+		if info == nil {
+			return nil
+		}
+		acq := map[string]bool{}
+		for id := range info.acquires {
+			acq[id] = true
+		}
+		for _, callee := range info.calls {
+			for id := range closure(callee, seen) {
+				acq[id] = true
+			}
+		}
+		memo[fn] = acq
+		return acq
+	}
+	acquiresStar := func(fn *types.Func) map[string]bool {
+		return closure(fn, map[*types.Func]bool{})
+	}
+
+	// Pass 2: lexical walk with a held set.
+	for _, body := range roots {
+		walkLockBlock(u, lf, body.List, nil, acquiresStar)
+	}
+	return lf
+}
+
+// summarizeLocks collects the lock identities acquired directly in body
+// and the same-unit functions it calls (func literals excluded — their
+// acquisitions happen at their own call time, which we analyze as
+// separate roots).
+func summarizeLocks(u *Unit, body *ast.BlockStmt) *fnLockInfo {
+	info := &fnLockInfo{acquires: map[string]bool{}}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, id, ok := mutexCall(u, call); ok {
+			if op == "lock" {
+				info.acquires[id] = true
+			}
+			return true
+		}
+		if fn := calleeFunc(u, call); fn != nil {
+			info.calls = append(info.calls, fn)
+		}
+		return true
+	})
+	return info
+}
+
+// walkLockBlock interprets a statement list sequentially, threading the
+// held set through it. Nested control-flow bodies get a copy of the
+// held set: an unlock inside a branch is treated as scoped to it, which
+// is conservative but keeps the analysis lexical.
+func walkLockBlock(u *Unit, lf *lockFacts, stmts []ast.Stmt, held []string, acquiresStar func(*types.Func) map[string]bool) {
+	held = append([]string(nil), held...)
+	for _, s := range stmts {
+		held = walkLockStmt(u, lf, s, held, acquiresStar)
+	}
+}
+
+func walkLockStmt(u *Unit, lf *lockFacts, s ast.Stmt, held []string, acquiresStar func(*types.Func) map[string]bool) []string {
+	reportSend := func(pos token.Pos) {
+		if len(held) == 0 {
+			return
+		}
+		lf.findings = append(lf.findings, Finding{
+			Pos:   u.Fset.Position(pos),
+			Check: "lockorder",
+			Message: fmt.Sprintf("channel send while holding %s; a slow or absent receiver keeps the lock held indefinitely — send outside the critical section or annotate //mmvet:allow lockorder <reason>",
+				held[len(held)-1]),
+		})
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		walkLockBlock(u, lf, s.List, held, acquiresStar)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = walkLockStmt(u, lf, s.Init, held, acquiresStar)
+		}
+		walkLockBlock(u, lf, s.Body.List, held, acquiresStar)
+		if s.Else != nil {
+			walkLockStmt(u, lf, s.Else, held, acquiresStar)
+		}
+	case *ast.ForStmt:
+		walkLockBlock(u, lf, s.Body.List, held, acquiresStar)
+	case *ast.RangeStmt:
+		walkLockBlock(u, lf, s.Body.List, held, acquiresStar)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkLockBlock(u, lf, cc.Body, held, acquiresStar)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkLockBlock(u, lf, cc.Body, held, acquiresStar)
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			// A select send with a default branch is non-blocking and safe.
+			if send, ok := cc.Comm.(*ast.SendStmt); ok && !hasDefault {
+				reportSend(send.Arrow)
+			}
+			walkLockBlock(u, lf, cc.Body, held, acquiresStar)
+		}
+	case *ast.SendStmt:
+		reportSend(s.Arrow)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held for the rest of the
+		// function, which is exactly what the held set already models;
+		// other deferred calls run outside this lexical order.
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the held set; its body
+		// is analyzed as a separate root.
+	default:
+		held = scanLockCalls(u, lf, s, held, acquiresStar)
+	}
+	return held
+}
+
+// scanLockCalls processes the mutex and callee calls inside a simple
+// statement in syntactic order, updating the held set.
+func scanLockCalls(u *Unit, lf *lockFacts, s ast.Stmt, held []string, acquiresStar func(*types.Func) map[string]bool) []string {
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, id, ok := mutexCall(u, call); ok {
+			switch op {
+			case "lock":
+				for _, h := range held {
+					lf.edges = append(lf.edges, lockEdge{from: h, to: id, pos: u.Fset.Position(call.Pos()), u: lf.u})
+				}
+				held = append(held, id)
+			case "unlock":
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == id {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			}
+			return true
+		}
+		if fn := calleeFunc(u, call); fn != nil && len(held) > 0 {
+			ids := make([]string, 0, len(acquiresStar(fn)))
+			for id := range acquiresStar(fn) {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			for _, id := range ids {
+				lf.edges = append(lf.edges, lockEdge{from: held[len(held)-1], to: id, pos: u.Fset.Position(call.Pos()), u: lf.u})
+			}
+		}
+		return true
+	})
+	return held
+}
+
+// mutexCall recognizes (R)Lock/(R)Unlock calls on sync.Mutex/RWMutex
+// values (including ones embedded in larger structs) and returns the
+// operation kind and the lock's identity string.
+func mutexCall(u *Unit, call *ast.CallExpr) (op, id string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = "lock"
+	case "Unlock", "RUnlock":
+		op = "unlock"
+	default:
+		return "", "", false
+	}
+	selection, isMethod := u.Info.Selections[sel]
+	if !isMethod {
+		return "", "", false
+	}
+	fn, isFunc := selection.Obj().(*types.Func)
+	if !isFunc || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return op, lockIdentity(u, sel.X), true
+}
+
+// lockIdentity names a lock by its owner: "(pkg.Type).field" for a
+// mutex field (including one promoted from an embedded mutex, named
+// "(pkg.Type).Mutex"), "pkg.var" for a package-level mutex, and the
+// bare variable name for locals.
+func lockIdentity(u *Unit, x ast.Expr) string {
+	t := u.Info.Types[x].Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok && !isSyncMutexType(n) {
+		// Embedded mutex promoted through a named type.
+		return "(" + shortTypeName(n) + ").Mutex"
+	}
+	switch x := x.(type) {
+	case *ast.SelectorExpr:
+		if selection, ok := u.Info.Selections[x]; ok {
+			rt := selection.Recv()
+			if p, ok := rt.(*types.Pointer); ok {
+				rt = p.Elem()
+			}
+			if n, ok := rt.(*types.Named); ok {
+				return "(" + shortTypeName(n) + ")." + x.Sel.Name
+			}
+		}
+		if v, ok := u.Info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+	case *ast.Ident:
+		if v, ok := u.Info.Uses[x].(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Name() + "." + v.Name()
+			}
+			return v.Name()
+		}
+	case *ast.ParenExpr:
+		return lockIdentity(u, x.X)
+	case *ast.StarExpr:
+		return lockIdentity(u, x.X)
+	}
+	return funcName(x)
+}
+
+func isSyncMutexType(n *types.Named) bool {
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+func shortTypeName(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Name() + "." + obj.Name()
+}
+
+// calleeFunc resolves a call to a same-unit function or method
+// declaration's object, or nil.
+func calleeFunc(u *Unit, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := u.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg() != u.Pkg {
+		return nil
+	}
+	return fn
+}
+
+// cycleFinding pairs a cycle-edge finding with the unit the edge came
+// from, so Analyze can apply that unit's suppression directives.
+type cycleFinding struct {
+	u *Unit
+	f Finding
+}
+
+// lockOrderCycles aggregates the edges of every analyzed unit into one
+// graph and reports each acquisition edge that participates in a cycle
+// (including self-loops, i.e. recursive acquisition).
+func lockOrderCycles(facts []*lockFacts) []cycleFinding {
+	var edges []lockEdge
+	adj := map[string]map[string]bool{}
+	for _, lf := range facts {
+		if lf == nil {
+			continue
+		}
+		for _, e := range lf.edges {
+			edges = append(edges, e)
+			if adj[e.from] == nil {
+				adj[e.from] = map[string]bool{}
+			}
+			adj[e.from][e.to] = true
+		}
+	}
+	if len(edges) == 0 {
+		return nil
+	}
+
+	scc := stronglyConnected(adj)
+	var out []cycleFinding
+	seen := map[string]bool{}
+	for _, e := range edges {
+		inCycle := e.from == e.to || (scc[e.from] != 0 && scc[e.from] == scc[e.to])
+		if !inCycle {
+			continue
+		}
+		key := e.pos.Filename + "\x00" + fmt.Sprint(e.pos.Line) + "\x00" + e.from + "\x00" + e.to
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		msg := fmt.Sprintf("lock order inversion: %s acquired while holding %s, but the opposite order also occurs; establish one global order or annotate //mmvet:allow lockorder <reason>", e.to, e.from)
+		if e.from == e.to {
+			msg = fmt.Sprintf("recursive acquisition of %s while it is already held (self-deadlock); split the critical section or annotate //mmvet:allow lockorder <reason>", e.to)
+		}
+		out = append(out, cycleFinding{u: e.u, f: Finding{Pos: e.pos, Check: "lockorder", Message: msg}})
+	}
+	return out
+}
+
+// stronglyConnected returns a component id per node; ids are only
+// comparable for equality, and a node in a singleton component without
+// a self-loop gets id 0 (not part of any cycle).
+func stronglyConnected(adj map[string]map[string]bool) map[string]int {
+	// Tarjan, iterative enough for our graph sizes via recursion.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	comp := map[string]int{}
+	next, compID := 1, 1
+
+	nodes := make([]string, 0, len(adj))
+	seenNode := map[string]bool{}
+	addNode := func(n string) {
+		if !seenNode[n] {
+			seenNode[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	for from, tos := range adj {
+		addNode(from)
+		for to := range tos {
+			addNode(to)
+		}
+	}
+	sort.Strings(nodes)
+
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		var succs []string
+		for w := range adj[v] {
+			succs = append(succs, w)
+		}
+		sort.Strings(succs)
+		for _, w := range succs {
+			if index[w] == 0 {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var members []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			if len(members) > 1 {
+				for _, m := range members {
+					comp[m] = compID
+				}
+				compID++
+			}
+		}
+	}
+	for _, v := range nodes {
+		if index[v] == 0 {
+			strong(v)
+		}
+	}
+	return comp
+}
+
+// lockOrderSummary is used by tests to render the inferred order edges.
+func lockOrderSummary(facts []*lockFacts) string {
+	var lines []string
+	for _, lf := range facts {
+		if lf == nil {
+			continue
+		}
+		for _, e := range lf.edges {
+			lines = append(lines, e.from+" -> "+e.to)
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(dedupeStrings(lines), "\n")
+}
+
+func dedupeStrings(ss []string) []string {
+	var out []string
+	for i, s := range ss {
+		if i > 0 && s == ss[i-1] {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+// Package chandir seeds bidirectional channels on the exported surface
+// whose uses are one-directional, plus the shapes that must stay
+// silent: escaping channels, both-direction uses, and unexported API.
+package chandir
+
+// Stage's Results field is only ever received from inside the package;
+// <-chan would encode the ownership.
+type Stage struct {
+	Results chan int // want "only received from"
+	Errs    chan error
+	shut    chan struct{} // unexported: not part of the exported surface
+}
+
+func (s *Stage) drain() int {
+	total := 0
+	for v := range s.Results {
+		total += v
+	}
+	s.Errs <- nil
+	<-s.Errs // Errs is used in both directions: stays bidirectional, silent
+	close(s.shut)
+	return total
+}
+
+// Feed only sends into sink.
+func Feed(
+	sink chan int, // want "only sent to"
+	vals []int,
+) {
+	for _, v := range vals {
+		sink <- v
+	}
+	close(sink)
+}
+
+// Collect only receives from src.
+func Collect(
+	src chan int, // want "only received from"
+) int {
+	total := 0
+	for v := range src {
+		total += v
+	}
+	return total
+}
+
+// Pump uses both directions of ch: bidirectional is required.
+func Pump(ch chan int) {
+	v := <-ch
+	ch <- v + 1
+}
+
+// Relay hands ch to another function: its full capability may be
+// needed, so it stays silent.
+func Relay(ch chan int) {
+	Pump(ch)
+}
+
+// feed is unexported: internal plumbing may keep bidirectional chans.
+func feed(sink chan int) {
+	sink <- 1
+}
+
+// Directional declarations are already disciplined.
+func Disciplined(in <-chan int, out chan<- int) {
+	for v := range in {
+		out <- v
+	}
+}

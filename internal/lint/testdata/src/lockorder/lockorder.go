@@ -1,0 +1,92 @@
+// Package lockorder seeds a lock-order inversion (one leg direct, one
+// leg through a same-package call), a recursive acquisition, and a
+// send performed inside a critical section — plus the disciplined
+// shapes that must stay silent.
+package lockorder
+
+import "sync"
+
+type shard struct {
+	mu    sync.Mutex
+	n     int
+	dirty []int
+}
+
+type aggregator struct {
+	mu    sync.Mutex
+	total int
+}
+
+// ab acquires the aggregator lock through flush while still holding the
+// shard lock: the edge (shard).mu -> (aggregator).mu.
+func (s *shard) ab(a *aggregator) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	a.flush(s.n) // want "lock order inversion"
+}
+
+func (a *aggregator) flush(n int) {
+	a.mu.Lock()
+	a.total += n
+	a.mu.Unlock()
+}
+
+// ba takes the same two locks in the opposite order: the cycle.
+func (a *aggregator) ba(s *shard) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s.mu.Lock() // want "lock order inversion"
+	a.total += s.n
+	s.mu.Unlock()
+}
+
+// reenter re-acquires a lock it already holds: self-deadlock.
+func (s *shard) reenter() {
+	s.mu.Lock()
+	s.mu.Lock() // want "recursive acquisition"
+	s.n++
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// sendHeld performs a blocking send inside the critical section.
+func (s *shard) sendHeld(out chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out <- s.n // want "channel send while holding"
+}
+
+// okSequential takes the locks one at a time: no edge, no finding.
+func okSequential(s *shard, a *aggregator, out chan int) {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	a.mu.Lock()
+	a.total += n
+	a.mu.Unlock()
+	out <- n
+}
+
+// okSelectDefault: a select send with a default branch cannot block.
+func (s *shard) okSelectDefault(out chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case out <- s.n:
+	default:
+		s.dirty = append(s.dirty, s.n)
+	}
+}
+
+// okGoroutine: the spawned goroutine does not inherit the held set.
+func (s *shard) okGoroutine(out chan int, wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.n
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out <- n
+	}()
+}

@@ -1,0 +1,25 @@
+// Package units is a stand-in for mmlab/internal/units, loaded under
+// the same import-path suffix so the analyzer treats its defined types
+// as unit types. The conversions inside this package are the sanctioned
+// helpers and must not be flagged (the units package is exempt).
+package units
+
+type Dbm float64
+
+type Db float64
+
+type Millis int64
+
+func (d Dbm) V() float64 { return float64(d) }
+
+func (d Db) V() float64 { return float64(d) }
+
+func (m Millis) V() int64 { return int64(m) }
+
+func (d Dbm) Add(o Db) Dbm { return d + Dbm(o) }
+
+func (d Dbm) SubDb(o Db) Dbm { return d - Dbm(o) }
+
+func (d Dbm) Sub(o Dbm) Db { return Db(d - o) }
+
+func LevelFromDb(d Db) Dbm { return Dbm(d) }

@@ -45,9 +45,9 @@ func (s *SweepResult) add(h HandoffRecord) {
 	if h.MinThptBefore >= 0 {
 		s.MinThpts = append(s.MinThpts, h.MinThptBefore)
 	}
-	s.DeltaRSRP = append(s.DeltaRSRP, h.RSRPNew-h.RSRPOld)
-	s.RSRPOld = append(s.RSRPOld, h.RSRPOld)
-	s.RSRPNew = append(s.RSRPNew, h.RSRPNew)
+	s.DeltaRSRP = append(s.DeltaRSRP, h.RSRPNew.Sub(h.RSRPOld).V())
+	s.RSRPOld = append(s.RSRPOld, h.RSRPOld.V())
+	s.RSRPNew = append(s.RSRPNew, h.RSRPNew.V())
 }
 
 // merge appends another run's statistics.

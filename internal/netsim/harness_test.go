@@ -10,6 +10,7 @@ import (
 	"mmlab/internal/geo"
 	"mmlab/internal/mobility"
 	"mmlab/internal/traffic"
+	"mmlab/internal/units"
 )
 
 func TestRowRoutePassesSites(t *testing.T) {
@@ -107,7 +108,7 @@ func TestRSRQInWorldSpansPaperRange(t *testing.T) {
 	w := testWorld(t, "A", WorldOpts{LTELayers: 1})
 	route := RowRoute(w, 50, 40)
 	res := RunDrive(w, route, route.Duration(), UEOpts{Seed: 2, Active: true, App: traffic.Speedtest{}})
-	lo, hi := 0.0, -30.0
+	lo, hi := units.Db(0), units.Db(-30)
 	for _, h := range res.Handoffs {
 		if h.RSRQOld < lo {
 			lo = h.RSRQOld

@@ -13,6 +13,7 @@ import (
 	"mmlab/internal/sib"
 	"mmlab/internal/stats"
 	"mmlab/internal/traffic"
+	"mmlab/internal/units"
 )
 
 func testWorld(t *testing.T, acr string, opts WorldOpts) *World {
@@ -253,7 +254,7 @@ func TestA3OffsetDelaysHandoffAndHurtsThroughput(t *testing.T) {
 		t.Fatal(err)
 	}
 	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(6000, 4000))
-	run := func(offset float64) (minBefore float64, n int) {
+	run := func(offset units.Db) (minBefore float64, n int) {
 		build := func(seed int64) *World {
 			w := BuildWorld(g, region, WorldOpts{Seed: seed, LTELayers: 1})
 			OverridePrimaryEvent(w, config.EventConfig{

@@ -1,6 +1,9 @@
 package netsim
 
-import "mmlab/internal/config"
+import (
+	"mmlab/internal/config"
+	"mmlab/internal/units"
+)
 
 // OverridePrimaryEvent replaces the primary handoff event (report id 2) in
 // every LTE cell of the world with the given configuration. The Type-II
@@ -23,7 +26,7 @@ func OverridePrimaryEvent(w *World, ev config.EventConfig) {
 
 // OverrideA2Gate replaces the A2 measurement-gate threshold (report id 1)
 // across the world's LTE cells.
-func OverrideA2Gate(w *World, thresholdDBm float64) {
+func OverrideA2Gate(w *World, thresholdDBm units.Dbm) {
 	for _, c := range w.Cells {
 		if c.Site.Identity.RAT != config.RATLTE || c.Config.Meas.Reports == nil {
 			continue

@@ -10,6 +10,7 @@ import (
 	"mmlab/internal/radio"
 	"mmlab/internal/sib"
 	"mmlab/internal/traffic"
+	"mmlab/internal/units"
 )
 
 // HandoffKind distinguishes the paper's two handoff categories.
@@ -35,8 +36,8 @@ type HandoffRecord struct {
 	From, To                 config.CellIdentity
 	FromPriority, ToPriority int
 
-	RSRPOld, RSRPNew float64
-	RSRQOld, RSRQNew float64
+	RSRPOld, RSRPNew units.Dbm
+	RSRQOld, RSRQNew units.Db
 
 	// MinThptBefore is the minimum 100 ms throughput in the 5 s before the
 	// decisive report (bps); the paper's handoff-quality metric (§4.1).
@@ -367,8 +368,8 @@ var ueNoiseMw = radio.NoisePerREMw(7)
 // the audibility query); intfNoiseMw is the co-channel
 // interference-plus-noise power per RE excluding this cell; fadeDB is the
 // blanket deep-fade attenuation (0 outside fault episodes).
-func (u *ue) measure(c *Cell, det, intfNoiseMw, fadeDB float64) core.RawMeas {
-	rsrp := radio.ClampRSRP(det + u.fadingFor(c.Site.Identity.CellID).Next() - fadeDB)
+func (u *ue) measure(c *Cell, det units.Dbm, intfNoiseMw, fadeDB float64) core.RawMeas {
+	rsrp := radio.ClampRSRP(det.Add(u.fadingFor(c.Site.Identity.CellID).Next()).SubDb(units.Db(fadeDB)))
 	return core.RawMeas{
 		Cell: c.Site.Identity,
 		RSRP: rsrp,
@@ -414,23 +415,23 @@ func (u *ue) round(t core.Clock, move mobility.Model) {
 	// the interference substrate behind RSRQ and SINR. The probe already
 	// scored every audible cell, so no RSRP is evaluated twice.
 	clear(u.chPow)
-	servingRSRP := math.NaN()
+	servingRSRP := units.Dbm(math.NaN())
 	for _, a := range audible {
 		k := chKey{a.Cell.Site.Identity.EARFCN, a.Cell.Site.Identity.RAT}
-		u.chPow[k] += a.Cell.Load * radio.DBmToMw(a.RSRP)
+		u.chPow[k] += a.Cell.Load * radio.DBmToMw(a.RSRP.V())
 		if a.Cell == u.serving {
 			servingRSRP = a.RSRP
 		}
 	}
-	if math.IsNaN(servingRSRP) {
+	if math.IsNaN(servingRSRP.V()) {
 		// Serving cell out of measurement range: it still transmits.
 		servingRSRP = u.w.RSRPAt(u.serving, pos)
 		k := chKey{u.serving.Site.Identity.EARFCN, u.serving.Site.Identity.RAT}
-		u.chPow[k] += u.serving.Load * radio.DBmToMw(servingRSRP)
+		u.chPow[k] += u.serving.Load * radio.DBmToMw(servingRSRP.V())
 	}
-	intfFor := func(c *Cell, det float64) float64 {
+	intfFor := func(c *Cell, det units.Dbm) float64 {
 		k := chKey{c.Site.Identity.EARFCN, c.Site.Identity.RAT}
-		intf := u.chPow[k] - c.Load*radio.DBmToMw(det)
+		intf := u.chPow[k] - c.Load*radio.DBmToMw(det.V())
 		if intf < 0 {
 			intf = 0
 		}
@@ -485,7 +486,7 @@ func (u *ue) seedRound(t core.Clock, move mobility.Model) {
 	audible := u.w.Audible(pos)
 
 	chPow := map[chKey]float64{}
-	det := make(map[*Cell]float64, len(audible)+1)
+	det := make(map[*Cell]units.Dbm, len(audible)+1)
 	account := func(c *Cell) {
 		if _, ok := det[c]; ok {
 			return
@@ -493,7 +494,7 @@ func (u *ue) seedRound(t core.Clock, move mobility.Model) {
 		p := u.w.RSRPAt(c, pos)
 		det[c] = p
 		k := chKey{c.Site.Identity.EARFCN, c.Site.Identity.RAT}
-		chPow[k] += c.Load * radio.DBmToMw(p)
+		chPow[k] += c.Load * radio.DBmToMw(p.V())
 	}
 	for _, c := range audible {
 		account(c)
@@ -501,7 +502,7 @@ func (u *ue) seedRound(t core.Clock, move mobility.Model) {
 	account(u.serving)
 	intfFor := func(c *Cell) float64 {
 		k := chKey{c.Site.Identity.EARFCN, c.Site.Identity.RAT}
-		intf := chPow[k] - c.Load*radio.DBmToMw(det[c])
+		intf := chPow[k] - c.Load*radio.DBmToMw(det[c].V())
 		if intf < 0 {
 			intf = 0
 		}
@@ -761,7 +762,7 @@ func (u *ue) reestabSearch(t core.Clock, servingMeas core.RawMeas, neighbors []c
 // common case once a fade lifts).
 func (u *ue) bestReestabCell(servingMeas core.RawMeas, neighbors []core.RawMeas) (config.CellIdentity, bool) {
 	var best config.CellIdentity
-	bestRSRP := radio.RSRPMin + 1 // detectability floor
+	bestRSRP := units.Dbm(radio.RSRPMin + 1) // detectability floor
 	consider := func(m core.RawMeas) {
 		if m.Cell.RAT != config.RATLTE || m.RSRP <= bestRSRP {
 			return

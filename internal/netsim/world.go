@@ -15,13 +15,14 @@ import (
 	"mmlab/internal/config"
 	"mmlab/internal/geo"
 	"mmlab/internal/radio"
+	"mmlab/internal/units"
 )
 
 // Cell is one deployed cell instantiated with radio state.
 type Cell struct {
 	Site    carrier.CellSite
 	Config  *config.CellConfig
-	FreqMHz float64
+	FreqMHz units.MegaHz
 	Shadow  *radio.ShadowField
 	Load    float64 // downlink activity factor in [0,1]
 }
@@ -197,8 +198,8 @@ func hashFrac(seed int64, id uint32) float64 {
 
 // RSRPAt computes a cell's RSRP at a position (path loss + shadowing, no
 // fast fading — the caller adds per-UE fading).
-func (w *World) RSRPAt(c *Cell, pos geo.Point) float64 {
-	d := pos.Dist(c.Site.Pos)
+func (w *World) RSRPAt(c *Cell, pos geo.Point) units.Dbm {
+	d := units.Meters(pos.Dist(c.Site.Pos))
 	return radio.RSRPAt(c.Config.TxPowerDBm, w.PathLoss, d, c.FreqMHz, c.Shadow.At(pos.X, pos.Y))
 }
 
@@ -207,7 +208,7 @@ func (w *World) RSRPAt(c *Cell, pos geo.Point) float64 {
 // query position, so callers never compute the same RSRP twice.
 type AudibleCell struct {
 	Cell *Cell
-	RSRP float64
+	RSRP units.Dbm
 }
 
 // Probe is a reusable audibility-query context. It owns the scratch
@@ -288,7 +289,7 @@ func (w *World) StrongestLTE(pos geo.Point) *Cell {
 // result is independent of cell iteration order.
 func (w *World) StrongestCoChannel(pos geo.Point, serving *Cell) *Cell {
 	var best *Cell
-	bestRSRP := math.Inf(-1)
+	bestRSRP := units.Dbm(math.Inf(-1))
 	consider := func(c *Cell) {
 		if c == serving ||
 			c.Site.Identity.EARFCN != serving.Site.Identity.EARFCN ||

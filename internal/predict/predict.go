@@ -16,6 +16,7 @@ import (
 	"mmlab/internal/config"
 	"mmlab/internal/radio"
 	"mmlab/internal/sib"
+	"mmlab/internal/units"
 )
 
 // Prediction is the forecast attached to one measurement report.
@@ -29,14 +30,14 @@ type Prediction struct {
 // assumes (the same defaults as core.NewDecider; a real deployment would
 // fit them from observed handoffs).
 type Policy struct {
-	PeriodicMargin float64
-	A2Emergency    float64
-	SanityMargin   float64
+	PeriodicMargin units.Db
+	A2Emergency    units.Dbm
+	SanityMargin   units.Db
 }
 
 // DefaultPolicy returns the deployed decision constants.
 func DefaultPolicy() Policy {
-	return Policy{PeriodicMargin: 2, A2Emergency: -126, SanityMargin: 6}
+	return Policy{PeriodicMargin: units.Db(2), A2Emergency: units.Dbm(-126), SanityMargin: units.Db(6)}
 }
 
 // Predictor replays a device's signaling and forecasts handoffs.
@@ -78,12 +79,12 @@ func (p *Predictor) predict(ts uint64, rep *sib.MeasurementReport) Prediction {
 		q := quantityOf(p.meas, rep.EventType)
 		sv, bv := servRSRP, bestRSRP
 		if q == config.RSRQ {
-			sv = radio.DequantizeRSRQ(rep.Serving.RSRQIdx)
-			bv = radio.DequantizeRSRQ(best.RSRQIdx)
+			sv = units.LevelFromDb(radio.DequantizeRSRQ(rep.Serving.RSRQIdx))
+			bv = units.LevelFromDb(radio.DequantizeRSRQ(best.RSRQIdx))
 		}
-		out.Handoff = bv > sv-p.Policy.SanityMargin
+		out.Handoff = bv > sv.SubDb(p.Policy.SanityMargin)
 	case config.EventPeriodic:
-		out.Handoff = bestRSRP > servRSRP+p.Policy.PeriodicMargin
+		out.Handoff = bestRSRP > servRSRP.Add(p.Policy.PeriodicMargin)
 	case config.EventA2:
 		out.Handoff = servRSRP < p.Policy.A2Emergency && bestRSRP > servRSRP+3
 	}

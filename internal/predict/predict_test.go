@@ -11,9 +11,10 @@ import (
 	"mmlab/internal/radio"
 	"mmlab/internal/sib"
 	"mmlab/internal/traffic"
+	"mmlab/internal/units"
 )
 
-func report(ev config.EventType, servingRSRP, bestRSRP float64, bestPCI uint16) *sib.MeasurementReport {
+func report(ev config.EventType, servingRSRP, bestRSRP units.Dbm, bestPCI uint16) *sib.MeasurementReport {
 	return &sib.MeasurementReport{
 		MeasID:    1,
 		EventType: ev,

@@ -1,6 +1,10 @@
 package radio
 
-import "math"
+import (
+	"math"
+
+	"mmlab/internal/units"
+)
 
 // L3Filter is the 3GPP layer-3 measurement filter (TS 36.331 §5.5.3.2):
 //
@@ -49,8 +53,8 @@ func (f *L3Filter) Reset() { f.primed = false; f.value = 0 }
 
 // QuantizeRSRP maps an RSRP in dBm to the integer reporting range 0..97
 // used on the wire (TS 36.133 §9.1.4): 0 ≤ −140 dBm, 97 ≥ −44 dBm.
-func QuantizeRSRP(dBm float64) int {
-	v := int(math.Floor(dBm + 141))
+func QuantizeRSRP(dBm units.Dbm) int {
+	v := int(math.Floor(dBm.V() + 141))
 	if v < 0 {
 		v = 0
 	}
@@ -61,20 +65,20 @@ func QuantizeRSRP(dBm float64) int {
 }
 
 // DequantizeRSRP is the inverse mapping, returning the lower edge in dBm.
-func DequantizeRSRP(idx int) float64 {
+func DequantizeRSRP(idx int) units.Dbm {
 	if idx < 0 {
 		idx = 0
 	}
 	if idx > 97 {
 		idx = 97
 	}
-	return float64(idx) - 141
+	return units.Dbm(float64(idx) - 141)
 }
 
 // QuantizeRSRQ maps RSRQ in dB to the integer range 0..34
 // (TS 36.133 §9.1.7): 0 ≤ −19.5 dB, 34 ≥ −3 dB, half-dB steps.
-func QuantizeRSRQ(dB float64) int {
-	v := int(math.Floor((dB + 20) * 2))
+func QuantizeRSRQ(dB units.Db) int {
+	v := int(math.Floor((dB.V() + 20) * 2))
 	if v < 0 {
 		v = 0
 	}
@@ -85,12 +89,12 @@ func QuantizeRSRQ(dB float64) int {
 }
 
 // DequantizeRSRQ is the inverse mapping, returning the lower edge in dB.
-func DequantizeRSRQ(idx int) float64 {
+func DequantizeRSRQ(idx int) units.Db {
 	if idx < 0 {
 		idx = 0
 	}
 	if idx > 34 {
 		idx = 34
 	}
-	return float64(idx)/2 - 20
+	return units.Db(float64(idx)/2 - 20)
 }

@@ -7,7 +7,11 @@
 // [−140, −44], RSRQ in dB within [−19.5, −3] (§2.2).
 package radio
 
-import "math"
+import (
+	"math"
+
+	"mmlab/internal/units"
+)
 
 // RSRP and RSRQ bounds per 3GPP TS 36.133 and paper §2.2.
 const (
@@ -18,10 +22,10 @@ const (
 )
 
 // ClampRSRP limits v to the reportable RSRP range.
-func ClampRSRP(v float64) float64 { return clamp(v, RSRPMin, RSRPMax) }
+func ClampRSRP(v units.Dbm) units.Dbm { return units.Dbm(clamp(v.V(), RSRPMin, RSRPMax)) }
 
 // ClampRSRQ limits v to the reportable RSRQ range.
-func ClampRSRQ(v float64) float64 { return clamp(v, RSRQMin, RSRQMax) }
+func ClampRSRQ(v units.Db) units.Db { return units.Db(clamp(v.V(), RSRQMin, RSRQMax)) }
 
 func clamp(v, lo, hi float64) float64 {
 	if v < lo {
@@ -38,7 +42,7 @@ func clamp(v, lo, hi float64) float64 {
 type PathLossModel interface {
 	// Loss returns the path loss in dB (positive). Implementations must be
 	// monotonically non-decreasing in distance.
-	Loss(d float64, freqMHz float64) float64
+	Loss(d units.Meters, freqMHz units.MegaHz) units.Db
 }
 
 // FreeSpace is the free-space path loss model, FSPL(dB) =
@@ -47,11 +51,12 @@ type PathLossModel interface {
 type FreeSpace struct{}
 
 // Loss implements PathLossModel.
-func (FreeSpace) Loss(d, freqMHz float64) float64 {
+func (FreeSpace) Loss(dist units.Meters, freqMHz units.MegaHz) units.Db {
+	d, f := dist.V(), freqMHz.V()
 	if d < 1 {
 		d = 1 // avoid -inf at the antenna
 	}
-	return 20*math.Log10(d/1000) + 20*math.Log10(freqMHz) + 32.45
+	return units.Db(20*math.Log10(d/1000) + 20*math.Log10(f) + 32.45)
 }
 
 // COST231Hata is the COST-231 Hata urban macro model, the standard
@@ -70,7 +75,8 @@ func DefaultCOST231() COST231Hata {
 }
 
 // Loss implements PathLossModel.
-func (m COST231Hata) Loss(d, freqMHz float64) float64 {
+func (m COST231Hata) Loss(dist units.Meters, freqMHz units.MegaHz) units.Db {
+	d, f := dist.V(), freqMHz.V()
 	if d < 10 {
 		d = 10 // model validity floor; also avoids -inf
 	}
@@ -83,20 +89,20 @@ func (m COST231Hata) Loss(d, freqMHz float64) float64 {
 		hm = 1.5
 	}
 	// Mobile antenna correction for medium cities.
-	a := (1.1*math.Log10(freqMHz)-0.7)*hm - (1.56*math.Log10(freqMHz) - 0.8)
+	a := (1.1*math.Log10(f)-0.7)*hm - (1.56*math.Log10(f) - 0.8)
 	c := 0.0
 	if m.Metropolitan {
 		c = 3
 	}
-	return 46.3 + 33.9*math.Log10(freqMHz) - 13.82*math.Log10(hb) - a +
-		(44.9-6.55*math.Log10(hb))*math.Log10(d/1000) + c
+	return units.Db(46.3 + 33.9*math.Log10(f) - 13.82*math.Log10(hb) - a +
+		(44.9-6.55*math.Log10(hb))*math.Log10(d/1000) + c)
 }
 
 // RSRPAt converts a link budget to RSRP: transmit reference-signal power
 // txPowerDBm minus path loss minus extra attenuation (shadowing+fading, dB,
 // positive attenuates). The result is clamped to the reportable range.
-func RSRPAt(txPowerDBm float64, model PathLossModel, d, freqMHz, extraLossDB float64) float64 {
-	return ClampRSRP(txPowerDBm - model.Loss(d, freqMHz) - extraLossDB)
+func RSRPAt(txPowerDBm units.Dbm, model PathLossModel, d units.Meters, freqMHz units.MegaHz, extraLossDB units.Db) units.Dbm {
+	return ClampRSRP(txPowerDBm.SubDb(model.Loss(d, freqMHz)).SubDb(extraLossDB))
 }
 
 // RSRQFromRSRP derives an RSRQ figure from RSRP and a cell-load factor in
@@ -105,14 +111,14 @@ func RSRPAt(txPowerDBm float64, model PathLossModel, d, freqMHz, extraLossDB flo
 // the paper notes, "conceptually interchangeable [but] no 1:1 mapping",
 // §4.1) because load varies independently of RSRP. Prefer RSRQ when the
 // co-channel interference power is actually known.
-func RSRQFromRSRP(rsrp float64, load float64) float64 {
+func RSRQFromRSRP(rsrp units.Dbm, load float64) units.Db {
 	load = clamp(load, 0, 1)
 	// At zero load RSRQ ≈ −3 dB (only reference symbols), at full load the
 	// subcarriers are all occupied and RSRQ degrades toward −19.5 dB as
 	// RSRP approaches the noise floor.
-	weak := (rsrp - RSRPMax) / (RSRPMin - RSRPMax) // 0 strong .. 1 weak
+	weak := (rsrp.V() - RSRPMax) / (RSRPMin - RSRPMax) // 0 strong .. 1 weak
 	q := RSRQMax - 7*load - 9.5*weak*load
-	return ClampRSRQ(q)
+	return ClampRSRQ(units.Db(q))
 }
 
 // NoisePerREMw returns thermal noise power per 15 kHz resource element in
@@ -127,18 +133,18 @@ func NoisePerREMw(noiseFigureDB float64) float64 {
 // ceiling is the unloaded-cell bound; as interference dominates, RSRQ
 // tracks SINR and reaches the −19.5 dB floor near −16.5 dB SINR — so the
 // paper's full RSRQ threshold range [−19.5, −3] is actually exercised.
-func RSRQ(rsrpDBm float64, intfNoiseMw float64) float64 {
+func RSRQ(rsrpDBm units.Dbm, intfNoiseMw float64) units.Db {
 	if intfNoiseMw <= 0 {
 		return RSRQMax
 	}
-	x := dbmToMw(rsrpDBm) / intfNoiseMw
-	return ClampRSRQ(-3 + 10*math.Log10(x/(x+1)))
+	x := dbmToMw(rsrpDBm.V()) / intfNoiseMw
+	return ClampRSRQ(units.Db(-3 + 10*math.Log10(x/(x+1))))
 }
 
 // SINRdB converts the same per-RE powers to SINR in dB.
-func SINRdB(rsrpDBm float64, intfNoiseMw float64) float64 {
+func SINRdB(rsrpDBm units.Dbm, intfNoiseMw float64) float64 {
 	if intfNoiseMw <= 0 {
 		intfNoiseMw = NoisePerREMw(7)
 	}
-	return rsrpDBm - 10*math.Log10(intfNoiseMw)
+	return rsrpDBm.V() - 10*math.Log10(intfNoiseMw)
 }

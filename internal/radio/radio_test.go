@@ -4,10 +4,12 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"mmlab/internal/units"
 )
 
 func TestClampRSRP(t *testing.T) {
-	tests := []struct{ in, want float64 }{
+	tests := []struct{ in, want units.Dbm }{
 		{-200, RSRPMin}, {-100, -100}, {0, RSRPMax}, {RSRPMin, RSRPMin}, {RSRPMax, RSRPMax},
 	}
 	for _, tt := range tests {
@@ -32,7 +34,7 @@ func TestClampRSRQ(t *testing.T) {
 func TestFreeSpaceKnownValue(t *testing.T) {
 	// FSPL at 1 km, 2000 MHz: 20*0 + 20*log10(2000) + 32.45 = 98.47 dB.
 	got := FreeSpace{}.Loss(1000, 2000)
-	if math.Abs(got-98.47) > 0.01 {
+	if math.Abs(got.V()-98.47) > 0.01 {
 		t.Errorf("FSPL(1km,2GHz) = %v, want ~98.47", got)
 	}
 }
@@ -41,7 +43,7 @@ func TestFreeSpaceMonotone(t *testing.T) {
 	m := FreeSpace{}
 	prev := m.Loss(1, 1900)
 	for d := 10.0; d < 20000; d *= 2 {
-		l := m.Loss(d, 1900)
+		l := m.Loss(units.Meters(d), 1900)
 		if l < prev {
 			t.Fatalf("loss decreased at d=%v", d)
 		}
@@ -51,7 +53,7 @@ func TestFreeSpaceMonotone(t *testing.T) {
 
 func TestFreeSpaceNearFieldFloor(t *testing.T) {
 	m := FreeSpace{}
-	if got := m.Loss(0, 1900); math.IsInf(got, 0) || math.IsNaN(got) {
+	if got := m.Loss(0, 1900); math.IsInf(got.V(), 0) || math.IsNaN(got.V()) {
 		t.Errorf("loss at d=0 should be finite, got %v", got)
 	}
 	if m.Loss(0, 1900) != m.Loss(1, 1900) {
@@ -81,14 +83,14 @@ func TestCOST231HataShape(t *testing.T) {
 func TestCOST231Metropolitan(t *testing.T) {
 	base := COST231Hata{BaseHeight: 30, MobileHeight: 1.5}
 	metro := COST231Hata{BaseHeight: 30, MobileHeight: 1.5, Metropolitan: true}
-	if diff := metro.Loss(1000, 2000) - base.Loss(1000, 2000); math.Abs(diff-3) > 1e-9 {
+	if diff := metro.Loss(1000, 2000) - base.Loss(1000, 2000); math.Abs(diff.V()-3) > 1e-9 {
 		t.Errorf("metropolitan correction = %v, want 3", diff)
 	}
 }
 
 func TestCOST231DefaultsOnZeroHeights(t *testing.T) {
 	m := COST231Hata{}
-	if got := m.Loss(1000, 2000); math.IsNaN(got) || math.IsInf(got, 0) {
+	if got := m.Loss(1000, 2000); math.IsNaN(got.V()) || math.IsInf(got.V(), 0) {
 		t.Errorf("zero-height model should default, got %v", got)
 	}
 }
@@ -101,7 +103,7 @@ func TestCOST231MonotoneProperty(t *testing.T) {
 		if d1 > d2 {
 			d1, d2 = d2, d1
 		}
-		return m.Loss(d1, 1900) <= m.Loss(d2, 1900)+1e-9
+		return m.Loss(units.Meters(d1), 1900) <= m.Loss(units.Meters(d2), 1900)+1e-9
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -111,7 +113,7 @@ func TestCOST231MonotoneProperty(t *testing.T) {
 func TestRSRPAt(t *testing.T) {
 	got := RSRPAt(15, FreeSpace{}, 1000, 2000, 0)
 	want := 15 - 98.47
-	if math.Abs(got-want) > 0.01 {
+	if math.Abs(got.V()-want) > 0.01 {
 		t.Errorf("RSRPAt = %v, want %v", got, want)
 	}
 	// Always within reportable range.
@@ -135,7 +137,7 @@ func TestRSRQFromRSRP(t *testing.T) {
 	}
 	// Range property.
 	f := func(r, l float64) bool {
-		q := RSRQFromRSRP(clamp(r, RSRPMin, RSRPMax), math.Abs(math.Mod(l, 1)))
+		q := RSRQFromRSRP(units.Dbm(clamp(r, RSRPMin, RSRPMax)), math.Abs(math.Mod(l, 1)))
 		return q >= RSRQMin && q <= RSRQMax
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -153,7 +155,7 @@ func TestShadowFieldStatistics(t *testing.T) {
 	for i := 0; i < 4000; i++ {
 		x := float64(i%80) * 37.3
 		y := float64(i/80) * 41.1
-		xs = append(xs, f.At(x, y))
+		xs = append(xs, f.At(x, y).V())
 	}
 	mean, varr := meanVar(xs)
 	if math.Abs(mean) > 1.5 {
@@ -194,8 +196,8 @@ func TestShadowFieldCorrelation(t *testing.T) {
 	n := 500
 	for i := 0; i < n; i++ {
 		x, y := float64(i)*53.7, float64(i)*17.9
-		nearDiff += math.Abs(f.At(x, y) - f.At(x+5, y))
-		farDiff += math.Abs(f.At(x, y) - f.At(x+1000, y))
+		nearDiff += math.Abs((f.At(x, y) - f.At(x+5, y)).V())
+		farDiff += math.Abs((f.At(x, y) - f.At(x+1000, y)).V())
 	}
 	if nearDiff >= farDiff {
 		t.Errorf("near-diff %v should be < far-diff %v", nearDiff/float64(n), farDiff/float64(n))
@@ -204,7 +206,7 @@ func TestShadowFieldCorrelation(t *testing.T) {
 
 func TestShadowFieldZeroCorrDistDefaults(t *testing.T) {
 	f := NewShadowField(1, 6, 0)
-	if v := f.At(10, 10); math.IsNaN(v) || math.IsInf(v, 0) {
+	if v := f.At(10, 10); math.IsNaN(v.V()) || math.IsInf(v.V(), 0) {
 		t.Errorf("field with default corrDist broken: %v", v)
 	}
 }
@@ -213,7 +215,7 @@ func TestFastFadingStationary(t *testing.T) {
 	ff := NewFastFading(11, 1.5, 0.8)
 	var xs []float64
 	for i := 0; i < 20000; i++ {
-		xs = append(xs, ff.Next())
+		xs = append(xs, ff.Next().V())
 	}
 	mean, varr := meanVar(xs)
 	if math.Abs(mean) > 0.2 {
@@ -229,7 +231,7 @@ func TestFastFadingRhoClamped(t *testing.T) {
 	for _, rho := range []float64{-0.5, 1.0, 2.0} {
 		ff := NewFastFading(5, 1, rho)
 		for i := 0; i < 100; i++ {
-			if v := ff.Next(); math.IsNaN(v) || math.IsInf(v, 0) {
+			if v := ff.Next(); math.IsNaN(v.V()) || math.IsInf(v.V(), 0) {
 				t.Fatalf("rho=%v produced %v", rho, v)
 			}
 		}
@@ -294,7 +296,7 @@ func TestL3FilterConvergence(t *testing.T) {
 
 func TestRSRPQuantization(t *testing.T) {
 	tests := []struct {
-		dbm  float64
+		dbm  units.Dbm
 		want int
 	}{
 		{-141, 0}, {-140, 1}, {-44, 97}, {-100, 41}, {-139.5, 1}, {0, 97}, {-200, 0},
@@ -308,10 +310,10 @@ func TestRSRPQuantization(t *testing.T) {
 
 func TestRSRPQuantizationRoundTrip(t *testing.T) {
 	f := func(raw int16) bool {
-		dbm := clamp(float64(raw)/100, RSRPMin, RSRPMax)
+		dbm := units.Dbm(clamp(float64(raw)/100, RSRPMin, RSRPMax))
 		idx := QuantizeRSRP(dbm)
 		back := DequantizeRSRP(idx)
-		return math.Abs(back-dbm) <= 1.0+1e-9 // 1 dB quantization
+		return math.Abs(back.V()-dbm.V()) <= 1.0+1e-9 // 1 dB quantization
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -323,10 +325,10 @@ func TestRSRPQuantizationRoundTrip(t *testing.T) {
 
 func TestRSRQQuantizationRoundTrip(t *testing.T) {
 	f := func(raw int16) bool {
-		db := clamp(float64(raw)/100, RSRQMin, RSRQMax)
+		db := units.Db(clamp(float64(raw)/100, RSRQMin, RSRQMax))
 		idx := QuantizeRSRQ(db)
 		back := DequantizeRSRQ(idx)
-		return math.Abs(back-db) <= 0.5+1e-9 // half-dB quantization
+		return math.Abs(back.V()-db.V()) <= 0.5+1e-9 // half-dB quantization
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -421,13 +423,13 @@ func TestNoisePerREMw(t *testing.T) {
 func TestRSRQPhysical(t *testing.T) {
 	noise := NoisePerREMw(7)
 	// No interference, strong signal → ceiling −3 dB.
-	if q := RSRQ(-70, noise); math.Abs(q-RSRQMax) > 0.1 {
+	if q := RSRQ(-70, noise); math.Abs(q.V()-RSRQMax) > 0.1 {
 		t.Errorf("clean RSRQ = %v, want ~-3", q)
 	}
 	// Interference-dominated: RSRQ tracks SINR − 3.
 	intf := DBmToMw(-90)
 	q := RSRQ(-100, intf) // SIR −10 dB
-	if math.Abs(q-(-3-10.4)) > 0.5 {
+	if math.Abs(q.V()-(-3-10.4)) > 0.5 {
 		t.Errorf("RSRQ at SIR -10dB = %v, want ~-13.4", q)
 	}
 	// Deep interference reaches the −19.5 floor: the paper's strictest

@@ -3,6 +3,8 @@ package radio
 import (
 	"math"
 	"math/rand"
+
+	"mmlab/internal/units"
 )
 
 // ShadowField is a deterministic, spatially correlated log-normal shadowing
@@ -54,12 +56,12 @@ func NewShadowField(seed int64, sigmaDB, corrDist float64) *ShadowField {
 
 // At evaluates the shadowing in dB at position (x, y) meters. Positive
 // values attenuate (they are added to path loss).
-func (f *ShadowField) At(x, y float64) float64 {
+func (f *ShadowField) At(x, y float64) units.Db {
 	s := 0.0
 	for i := range f.kx {
 		s += math.Cos(f.kx[i]*x + f.ky[i]*y + f.phase[i])
 	}
-	return s * f.amp
+	return units.Db(s * f.amp)
 }
 
 // Sigma returns the configured standard deviation in dB.
@@ -90,8 +92,8 @@ func NewFastFading(seed int64, sigmaDB, rho float64) *FastFading {
 
 // Next advances the process one measurement interval and returns the fading
 // term in dB.
-func (ff *FastFading) Next() float64 {
+func (ff *FastFading) Next() units.Db {
 	innov := ff.rng.NormFloat64() * ff.sigma * math.Sqrt(1-ff.rho*ff.rho)
 	ff.state = ff.rho*ff.state + innov
-	return ff.state
+	return units.Db(ff.state)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mmlab/internal/config"
+	"mmlab/internal/units"
 )
 
 // Message is a decodable signaling message.
@@ -110,8 +111,8 @@ func (m *CellInfo) decode(payload []byte) error {
 type SIB1 struct {
 	CellID    uint32
 	TAC       uint16
-	QRxLevMin float64
-	QQualMin  float64
+	QRxLevMin units.Dbm
+	QQualMin  units.Db
 	Barred    bool
 }
 
@@ -122,8 +123,8 @@ func (m *SIB1) payload() []byte {
 	var w Writer
 	w.PutUint(1, uint64(m.CellID))
 	w.PutUint(2, uint64(m.TAC))
-	w.PutDB(3, m.QRxLevMin)
-	w.PutDB(4, m.QQualMin)
+	w.PutDBAbs(3, m.QRxLevMin)
+	w.PutDBRel(4, m.QQualMin)
 	w.PutBool(5, m.Barred)
 	return w.Bytes()
 }
@@ -141,9 +142,9 @@ func (m *SIB1) decode(payload []byte) error {
 			v, err = f.Uint()
 			m.TAC = uint16(v)
 		case 3:
-			m.QRxLevMin, err = f.DB()
+			m.QRxLevMin, err = f.DBAbs()
 		case 4:
-			m.QQualMin, err = f.DB()
+			m.QQualMin, err = f.DBRel()
 		case 5:
 			m.Barred, err = f.Bool()
 		}
@@ -167,15 +168,15 @@ func (m *SIB3) payload() []byte {
 	var w Writer
 	s := m.Serving
 	w.PutUint(1, uint64(s.Priority))
-	w.PutDB(2, s.QHyst)
-	w.PutDB(3, s.SIntraSearch)
-	w.PutDB(4, s.SIntraSearchQ)
-	w.PutDB(5, s.SNonIntraSearch)
-	w.PutDB(6, s.SNonIntraSearchQ)
-	w.PutDB(7, s.QRxLevMin)
-	w.PutDB(8, s.QQualMin)
-	w.PutDB(9, s.ThreshServingLow)
-	w.PutDB(10, s.ThreshServingLowQ)
+	w.PutDBRel(2, s.QHyst)
+	w.PutDBRel(3, s.SIntraSearch)
+	w.PutDBRel(4, s.SIntraSearchQ)
+	w.PutDBRel(5, s.SNonIntraSearch)
+	w.PutDBRel(6, s.SNonIntraSearchQ)
+	w.PutDBAbs(7, s.QRxLevMin)
+	w.PutDBRel(8, s.QQualMin)
+	w.PutDBRel(9, s.ThreshServingLow)
+	w.PutDBRel(10, s.ThreshServingLowQ)
 	w.PutUint(11, uint64(s.TReselectionSec))
 	w.PutUint(12, uint64(s.THigherMeasSec))
 	if s.SpeedScaling.Enabled {
@@ -187,8 +188,8 @@ func (m *SIB3) payload() []byte {
 		sw.PutUint(4, uint64(sc.THystNormalSec))
 		sw.PutUint(5, uint64(sc.TReselectionSFMedium*4)) // quarters
 		sw.PutUint(6, uint64(sc.TReselectionSFHigh*4))
-		sw.PutDB(7, sc.QHystSFMedium)
-		sw.PutDB(8, sc.QHystSFHigh)
+		sw.PutDBRel(7, sc.QHystSFMedium)
+		sw.PutDBRel(8, sc.QHystSFHigh)
 		w.PutBytes(13, sw.Bytes())
 	}
 	return w.Bytes()
@@ -204,23 +205,23 @@ func (m *SIB3) decode(payload []byte) error {
 			v, err = f.Uint()
 			s.Priority = int(v)
 		case 2:
-			s.QHyst, err = f.DB()
+			s.QHyst, err = f.DBRel()
 		case 3:
-			s.SIntraSearch, err = f.DB()
+			s.SIntraSearch, err = f.DBRel()
 		case 4:
-			s.SIntraSearchQ, err = f.DB()
+			s.SIntraSearchQ, err = f.DBRel()
 		case 5:
-			s.SNonIntraSearch, err = f.DB()
+			s.SNonIntraSearch, err = f.DBRel()
 		case 6:
-			s.SNonIntraSearchQ, err = f.DB()
+			s.SNonIntraSearchQ, err = f.DBRel()
 		case 7:
-			s.QRxLevMin, err = f.DB()
+			s.QRxLevMin, err = f.DBAbs()
 		case 8:
-			s.QQualMin, err = f.DB()
+			s.QQualMin, err = f.DBRel()
 		case 9:
-			s.ThreshServingLow, err = f.DB()
+			s.ThreshServingLow, err = f.DBRel()
 		case 10:
-			s.ThreshServingLowQ, err = f.DB()
+			s.ThreshServingLowQ, err = f.DBRel()
 		case 11:
 			var v uint64
 			v, err = f.Uint()
@@ -254,9 +255,9 @@ func (m *SIB3) decode(payload []byte) error {
 					v, err = sf.Uint()
 					sc.TReselectionSFHigh = float64(v) / 4
 				case 7:
-					sc.QHystSFMedium, err = sf.DB()
+					sc.QHystSFMedium, err = sf.DBRel()
 				case 8:
-					sc.QHystSFHigh, err = sf.DB()
+					sc.QHystSFHigh, err = sf.DBRel()
 				}
 				return err
 			})
@@ -317,10 +318,10 @@ func encodeFreq(f config.FreqRelation) []byte {
 	w.PutUint(1, uint64(f.EARFCN))
 	w.PutUint(2, uint64(f.RAT))
 	w.PutUint(3, uint64(f.Priority))
-	w.PutDB(4, f.ThreshHigh)
-	w.PutDB(5, f.ThreshLow)
-	w.PutDB(6, f.QRxLevMin)
-	w.PutDB(7, f.QOffsetFreq)
+	w.PutDBRel(4, f.ThreshHigh)
+	w.PutDBRel(5, f.ThreshLow)
+	w.PutDBAbs(6, f.QRxLevMin)
+	w.PutDBRel(7, f.QOffsetFreq)
 	w.PutUint(8, uint64(f.TReselectionSec))
 	w.PutUint(9, uint64(f.MeasBandwidthRBs))
 	return w.Bytes()
@@ -344,13 +345,13 @@ func decodeFreq(b []byte) (config.FreqRelation, error) {
 			v, err = fl.Uint()
 			f.Priority = int(v)
 		case 4:
-			f.ThreshHigh, err = fl.DB()
+			f.ThreshHigh, err = fl.DBRel()
 		case 5:
-			f.ThreshLow, err = fl.DB()
+			f.ThreshLow, err = fl.DBRel()
 		case 6:
-			f.QRxLevMin, err = fl.DB()
+			f.QRxLevMin, err = fl.DBAbs()
 		case 7:
-			f.QOffsetFreq, err = fl.DB()
+			f.QOffsetFreq, err = fl.DBRel()
 		case 8:
 			var v uint64
 			v, err = fl.Uint()
@@ -414,12 +415,12 @@ func encodeEvent(e config.EventConfig) []byte {
 	var w Writer
 	w.PutUint(1, uint64(e.Type))
 	w.PutUint(2, uint64(e.Quantity))
-	w.PutDB(3, e.Threshold1)
-	w.PutDB(4, e.Threshold2)
-	w.PutDB(5, e.Offset)
-	w.PutDB(6, e.Hysteresis)
-	w.PutUint(7, uint64(e.TimeToTriggerMs))
-	w.PutUint(8, uint64(e.ReportIntervalMs))
+	w.PutDBAbs(3, e.Threshold1)
+	w.PutDBAbs(4, e.Threshold2)
+	w.PutDBRel(5, e.Offset)
+	w.PutDBRel(6, e.Hysteresis)
+	w.PutUint(7, uint64(e.TimeToTriggerMs.V()))
+	w.PutUint(8, uint64(e.ReportIntervalMs.V()))
 	w.PutUint(9, uint64(e.ReportAmount))
 	w.PutUint(10, uint64(e.MaxReportCells))
 	return w.Bytes()
@@ -439,21 +440,21 @@ func decodeEvent(b []byte) (config.EventConfig, error) {
 			v, err = f.Uint()
 			e.Quantity = config.Quantity(v)
 		case 3:
-			e.Threshold1, err = f.DB()
+			e.Threshold1, err = f.DBAbs()
 		case 4:
-			e.Threshold2, err = f.DB()
+			e.Threshold2, err = f.DBAbs()
 		case 5:
-			e.Offset, err = f.DB()
+			e.Offset, err = f.DBRel()
 		case 6:
-			e.Hysteresis, err = f.DB()
+			e.Hysteresis, err = f.DBRel()
 		case 7:
 			var v uint64
 			v, err = f.Uint()
-			e.TimeToTriggerMs = int(v)
+			e.TimeToTriggerMs = units.Millis(v)
 		case 8:
 			var v uint64
 			v, err = f.Uint()
-			e.ReportIntervalMs = int(v)
+			e.ReportIntervalMs = units.Millis(v)
 		case 9:
 			var v uint64
 			v, err = f.Uint()
@@ -473,11 +474,11 @@ func encodeObject(id int, o config.MeasObject) []byte {
 	w.PutUint(1, uint64(id))
 	w.PutUint(2, uint64(o.EARFCN))
 	w.PutUint(3, uint64(o.RAT))
-	w.PutDB(4, o.OffsetFreq)
+	w.PutDBRel(4, o.OffsetFreq)
 	for _, pci := range sortedPCIs(o.CellOffsets) {
 		var cw Writer
 		cw.PutUint(1, uint64(pci))
-		cw.PutDB(2, o.CellOffsets[pci])
+		cw.PutDBRel(2, o.CellOffsets[pci])
 		w.PutBytes(5, cw.Bytes())
 	}
 	for _, pci := range o.Blacklist {
@@ -486,7 +487,7 @@ func encodeObject(id int, o config.MeasObject) []byte {
 	return w.Bytes()
 }
 
-func sortedPCIs(m map[uint16]float64) []uint16 {
+func sortedPCIs(m map[uint16]units.Db) []uint16 {
 	out := make([]uint16, 0, len(m))
 	//mmvet:ordered keys are insertion-sorted immediately below
 	for pci := range m {
@@ -519,23 +520,23 @@ func decodeObject(b []byte) (int, config.MeasObject, error) {
 			v, err = f.Uint()
 			o.RAT = config.RAT(v)
 		case 4:
-			o.OffsetFreq, err = f.DB()
+			o.OffsetFreq, err = f.DBRel()
 		case 5:
 			var pci uint64
-			var off float64
+			var off units.Db
 			err = NewReader(f.Val).ForEach(func(cf Field) error {
 				var err error
 				switch cf.Tag {
 				case 1:
 					pci, err = cf.Uint()
 				case 2:
-					off, err = cf.DB()
+					off, err = cf.DBRel()
 				}
 				return err
 			})
 			if err == nil {
 				if o.CellOffsets == nil {
-					o.CellOffsets = make(map[uint16]float64)
+					o.CellOffsets = make(map[uint16]units.Db)
 				}
 				o.CellOffsets[uint16(pci)] = off
 			}
@@ -568,7 +569,7 @@ func (m *RRCReconfig) payload() []byte {
 		w.PutBytes(3, lw.Bytes())
 	}
 	w.PutUint(4, uint64(mc.FilterK))
-	w.PutDB(5, mc.SMeasure)
+	w.PutDBAbs(5, mc.SMeasure)
 	return w.Bytes()
 }
 
@@ -662,7 +663,7 @@ func (m *RRCReconfig) decode(payload []byte) error {
 			}
 			mc.FilterK = int(v)
 		case 5:
-			v, err := f.DB()
+			v, err := f.DBAbs()
 			if err != nil {
 				return err
 			}

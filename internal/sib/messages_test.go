@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mmlab/internal/config"
+	"mmlab/internal/units"
 )
 
 func sampleServing() config.ServingCellConfig {
@@ -28,7 +29,7 @@ func sampleMeasConfig() config.MeasConfig {
 	return config.MeasConfig{
 		Objects: map[int]config.MeasObject{
 			1: {EARFCN: 5780, RAT: config.RATLTE, OffsetFreq: 2,
-				CellOffsets: map[uint16]float64{17: -1.5, 44: 3},
+				CellOffsets: map[uint16]units.Db{17: -1.5, 44: 3},
 				Blacklist:   []uint16{100, 200}},
 			2: {EARFCN: 2000, RAT: config.RATLTE},
 		},

@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"mmlab/internal/config"
+	"mmlab/internal/units"
 )
 
 // halfDB snaps a raw float onto the wire's half-dB grid within a range.
@@ -26,10 +27,10 @@ func TestFreqRelationWireRoundTripProperty(t *testing.T) {
 			EARFCN:           earfcn % 45000,
 			RAT:              config.RAT(ratRaw % 5),
 			Priority:         int(prioRaw % 8),
-			ThreshHigh:       halfDB(thRaw, 0, 62),
-			ThreshLow:        halfDB(tlRaw, 0, 62),
-			QRxLevMin:        halfDB(qrRaw, -140, -44),
-			QOffsetFreq:      halfDB(qoRaw, -15, 15),
+			ThreshHigh:       units.Db(halfDB(thRaw, 0, 62)),
+			ThreshLow:        units.Db(halfDB(tlRaw, 0, 62)),
+			QRxLevMin:        units.Dbm(halfDB(qrRaw, -140, -44)),
+			QOffsetFreq:      units.Db(halfDB(qoRaw, -15, 15)),
 			TReselectionSec:  int(tresel % 8),
 			MeasBandwidthRBs: int(bw%4) * 25,
 		}
@@ -53,12 +54,12 @@ func TestEventConfigWireRoundTripProperty(t *testing.T) {
 		ev := config.EventConfig{
 			Type:             config.EventType(evRaw % 11),
 			Quantity:         config.Quantity(qRaw % 2),
-			Threshold1:       halfDB(t1Raw, -140, -44),
-			Threshold2:       halfDB(t2Raw, -140, -44),
-			Offset:           halfDB(offRaw, -15, 15),
-			Hysteresis:       halfDB(hRaw, 0, 15),
-			TimeToTriggerMs:  ttts[int(tttIdx)%len(ttts)],
-			ReportIntervalMs: ris[int(riIdx)%len(ris)],
+			Threshold1:       units.Dbm(halfDB(t1Raw, -140, -44)),
+			Threshold2:       units.Dbm(halfDB(t2Raw, -140, -44)),
+			Offset:           units.Db(halfDB(offRaw, -15, 15)),
+			Hysteresis:       units.Db(halfDB(hRaw, 0, 15)),
+			TimeToTriggerMs:  units.Millis(ttts[int(tttIdx)%len(ttts)]),
+			ReportIntervalMs: units.Millis(ris[int(riIdx)%len(ris)]),
 			ReportAmount:     int(amount % 9),
 			MaxReportCells:   int(maxCells%8) + 1,
 		}

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
+
+	"mmlab/internal/units"
 )
 
 // Envelope constants.
@@ -169,6 +171,12 @@ func (w *Writer) PutDB(tag uint64, db float64) {
 	w.PutInt(tag, int64(math.Round(db*2)))
 }
 
+// PutDBRel writes a relative dB quantity on the half-dB grid; see PutDB.
+func (w *Writer) PutDBRel(tag uint64, db units.Db) { w.PutDB(tag, db.V()) }
+
+// PutDBAbs writes an absolute dBm level on the half-dB grid; see PutDB.
+func (w *Writer) PutDBAbs(tag uint64, dbm units.Dbm) { w.PutDB(tag, dbm.V()) }
+
 // PutBool writes a boolean field.
 func (w *Writer) PutBool(tag uint64, v bool) {
 	if v {
@@ -221,6 +229,18 @@ func (f Field) DB() (float64, error) {
 		return 0, err
 	}
 	return float64(v) / 2, nil
+}
+
+// DBRel decodes a half-dB-grid value as a relative dB quantity.
+func (f Field) DBRel() (units.Db, error) {
+	v, err := f.DB()
+	return units.Db(v), err
+}
+
+// DBAbs decodes a half-dB-grid value as an absolute dBm level.
+func (f Field) DBAbs() (units.Dbm, error) {
+	v, err := f.DB()
+	return units.Dbm(v), err
 }
 
 // Bool decodes the field as boolean.

@@ -89,6 +89,11 @@ func Collect[T any](ctx context.Context, opts Options, gen func(i int) (func(con
 	workers := opts.workers()
 	window := 2 * workers
 	runCtx, cancel := context.WithCancel(ctx)
+	// LIFO defer order: cancel runs first and unblocks the dispatcher's
+	// selects, then the join below reaps it — an early consume error can
+	// never leak the dispatcher past Collect's return.
+	var dispatcherWG sync.WaitGroup
+	defer dispatcherWG.Wait()
 	defer cancel()
 
 	type task struct {
@@ -107,7 +112,9 @@ func Collect[T any](ctx context.Context, opts Options, gen func(i int) (func(con
 	results := make(chan result, window)
 	tickets := make(chan struct{}, window)
 
+	dispatcherWG.Add(1)
 	go func() { // dispatcher: feeds tasks in index order, window-bounded
+		defer dispatcherWG.Done()
 		defer close(tasks)
 		for i := 0; ; i++ {
 			fn, ok := gen(i)

@@ -191,13 +191,13 @@ func FindUnreachable(cfgs []*config.CellConfig) []UnreachableFinding {
 	for _, c := range cfgs {
 		for _, fr := range c.Freqs {
 			target := ChannelKey{fr.EARFCN, fr.RAT}
-			if fr.Priority > c.Serving.Priority && fr.QRxLevMin+fr.ThreshHigh > -44 {
+			if fr.Priority > c.Serving.Priority && fr.QRxLevMin.Add(fr.ThreshHigh) > -44 {
 				out = append(out, UnreachableFinding{
 					Cell: c.Identity.CellID, Target: target,
-					Reason: fmt.Sprintf("entry needs RSRP > %g dBm (above the reportable ceiling)", fr.QRxLevMin+fr.ThreshHigh),
+					Reason: fmt.Sprintf("entry needs RSRP > %g dBm (above the reportable ceiling)", fr.QRxLevMin.Add(fr.ThreshHigh).V()),
 				})
 			}
-			if fr.Priority < c.Serving.Priority && c.Serving.QRxLevMin+c.Serving.ThreshServingLow < -140 {
+			if fr.Priority < c.Serving.Priority && c.Serving.QRxLevMin.Add(c.Serving.ThreshServingLow) < -140 {
 				out = append(out, UnreachableFinding{
 					Cell: c.Identity.CellID, Target: target,
 					Reason: "leaving needs serving RSRP below the reportable floor",

@@ -24,7 +24,9 @@ fi
 
 if [ "$1" = "lint" ]; then
     echo "== mmvet =="
-    go run ./cmd/mmvet ./...
+    go run ./cmd/mmvet -v ./...
+    echo "== mmvet -check-annotations =="
+    go run ./cmd/mmvet -check-annotations ./...
     echo "OK"
     exit 0
 fi
